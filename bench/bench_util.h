@@ -1,0 +1,105 @@
+// Shared harness utilities for the per-figure benchmark binaries.
+//
+// Scaling: the simulator processes real elements, so paper-sized inputs
+// (gigabytes) are represented by `element_scale`: each simulated element
+// stands for `element_scale` real elements. Per-element CPU cost is scaled
+// up and bandwidths scaled down by the same factor, so virtual time behaves
+// as if the full-size data were processed while the harness stays fast.
+// Reported dataset sizes are the modelled (scaled) sizes.
+#ifndef MITOS_BENCH_BENCH_UTIL_H_
+#define MITOS_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/logging.h"
+#include "sim/filesystem.h"
+
+namespace mitos::bench {
+
+// Cluster configured like the paper's testbed, with element scaling.
+inline api::RunConfig MakeConfig(int machines, double element_scale) {
+  api::RunConfig config;
+  config.machines = machines;
+  config.cluster.cpu_per_element *= element_scale;
+  config.cluster.net_bandwidth /= element_scale;
+  config.cluster.disk_bandwidth /= element_scale;
+  config.cluster.memory_bandwidth /= element_scale;
+  config.cluster.local_bandwidth /= element_scale;
+  // Headers/control messages do not grow with the modelled element size.
+  config.cluster.control_message_bytes = static_cast<size_t>(
+      std::max(8.0, 64.0 / element_scale));
+  // Chunks keep their modelled byte granularity.
+  config.cluster.chunk_elements = static_cast<size_t>(
+      std::max(64.0, 2048.0 / element_scale));
+  return config;
+}
+
+// Runs `program` on a private copy of `inputs`; aborts the benchmark on
+// engine errors (misconfiguration should be loud).
+inline runtime::RunStats RunOrDie(api::EngineKind engine,
+                                  const lang::Program& program,
+                                  const sim::SimFileSystem& inputs,
+                                  const api::RunConfig& config) {
+  sim::SimFileSystem fs = inputs;
+  auto result = api::Run(engine, program, &fs, config);
+  MITOS_CHECK(result.ok()) << api::EngineKindName(engine) << ": "
+                           << result.status().ToString();
+  return result->stats;
+}
+
+// Markdown-ish series table: one row per x value, one column per engine.
+class SeriesTable {
+ public:
+  SeriesTable(std::string x_label, std::vector<std::string> columns)
+      : x_label_(std::move(x_label)), columns_(std::move(columns)) {}
+
+  void AddRow(const std::string& x, const std::vector<double>& values) {
+    MITOS_CHECK_EQ(values.size(), columns_.size());
+    rows_.push_back({x, values});
+  }
+
+  void Print(const char* unit = "s") const {
+    std::printf("| %-18s |", x_label_.c_str());
+    for (const std::string& c : columns_) std::printf(" %16s |", c.c_str());
+    std::printf("\n|%s|", std::string(20, '-').c_str());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s|", std::string(18, '-').c_str());
+    }
+    std::printf("\n");
+    for (const Row& row : rows_) {
+      std::printf("| %-18s |", row.x.c_str());
+      for (double v : row.values) std::printf(" %14.3f%s |", v, unit);
+      std::printf("\n");
+    }
+  }
+
+ private:
+  struct Row {
+    std::string x;
+    std::vector<double> values;
+  };
+  std::string x_label_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+inline std::string HumanBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f KB", bytes / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace mitos::bench
+
+#endif  // MITOS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// Figure 6: Visit Count (with the pageTypes join) when varying the total
+// input size.
+//
+// Paper result: Mitos outperforms Spark by 23x growing past 100x with the
+// input size (Spark is killed at the largest size), and outperforms Flink
+// by 3.1-10.5x — the *largest* factor at the *smallest* inputs, where
+// Flink's per-step native-iteration overhead (FLINK-3322) dominates.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::bench {
+namespace {
+
+void Main() {
+  constexpr int kMachines = 25;
+  constexpr int kDays = 30;  // scaled-down year (per-step ratios preserved)
+
+  std::printf("=== Figure 6: Visit Count (with pageTypes) vs input size "
+              "===\n");
+  std::printf("(%d machines, %d days)\n\n", kMachines, kDays);
+
+  SeriesTable table("total input", {"Spark", "Flink", "Mitos",
+                                    "Spark/Mitos", "Flink/Mitos"});
+  // Paper sweep: 0.045 GB to 45 GB total. The input splits into the page
+  // visit logs (a modelled year's worth: per-day size = total/365) and a
+  // pageTypes dataset that grows with the input — the paper attributes
+  // Spark's worsening factor to the hoisting the per-step jobs cannot do,
+  // which requires the loop-invariant side to scale with the input.
+  std::vector<double> total_gb = {0.045, 0.45, 4.5, 45.0};
+  for (double gb : total_gb) {
+    double log_bytes = gb * 1e9 / 2;
+    double types_bytes = gb * 1e9 / 2;
+    double real_elements_per_day = log_bytes / 8.0 / 365.0;
+    // Pick the element scale so each run simulates ~4k log elements/day.
+    double scale = std::max(4.0, real_elements_per_day / 4'000.0);
+    int64_t sim_entries_per_day = std::max<int64_t>(
+        64, static_cast<int64_t>(real_elements_per_day / scale));
+    // pageTypes rows model 200 bytes each (page id, type, payload).
+    int64_t sim_pages = std::max<int64_t>(
+        100, static_cast<int64_t>(types_bytes / 200.0 / scale));
+
+    sim::SimFileSystem inputs;
+    workloads::GenerateVisitLogs(&inputs,
+                                 {.days = kDays,
+                                  .entries_per_day = sim_entries_per_day,
+                                  .num_pages = sim_pages});
+    workloads::GeneratePageTypes(&inputs, {.num_pages = sim_pages,
+                                           .num_types = 4,
+                                           .padding_bytes = 180});
+    lang::Program program = workloads::VisitCountProgram(
+        {.days = kDays, .with_page_types = true});
+
+    api::RunConfig config = MakeConfig(kMachines, scale);
+    double spark = RunOrDie(api::EngineKind::kSpark, program, inputs, config)
+                       .total_seconds;
+    double flink = RunOrDie(api::EngineKind::kFlink, program, inputs, config)
+                       .total_seconds;
+    double mitos = RunOrDie(api::EngineKind::kMitos, program, inputs, config)
+                       .total_seconds;
+    table.AddRow(HumanBytes(gb * 1e9),
+                 {spark, flink, mitos, spark / mitos, flink / mitos});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper: Spark/Mitos 23x -> >100x with size; Flink/Mitos 10.5x at\n"
+      "the smallest input (per-step overhead dominates) falling to ~3.1x\n"
+      "at the largest (data path dominates).\n");
+}
+
+}  // namespace
+}  // namespace mitos::bench
+
+int main() {
+  mitos::bench::Main();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Microbenchmarks for the Mitos library internals (google-benchmark).
+//
+// These are not paper figures; they track the host-side costs of the
+// building blocks: Datum hashing, the shared reduce kernel, compilation
+// (Preparator + SSA + translation), the longest-prefix input-choice rule,
+// and a small end-to-end simulated run.
+#include <benchmark/benchmark.h>
+
+#include "ir/ssa.h"
+#include "lang/interpreter.h"
+#include "runtime/executor.h"
+#include "runtime/path.h"
+#include "runtime/translator.h"
+#include "sim/cluster.h"
+#include "sim/simulator.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos {
+namespace {
+
+void BM_DatumHashInt(benchmark::State& state) {
+  Datum d = Datum::Int64(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.Hash());
+  }
+}
+BENCHMARK(BM_DatumHashInt);
+
+void BM_DatumHashTuple(benchmark::State& state) {
+  Datum d = Datum::Tuple({Datum::Int64(7), Datum::String("page"),
+                          Datum::Double(0.5)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.Hash());
+  }
+}
+BENCHMARK(BM_DatumHashTuple);
+
+void BM_ReduceByKeyKernel(benchmark::State& state) {
+  DatumVector input;
+  for (int i = 0; i < 4096; ++i) {
+    input.push_back(Datum::Pair(Datum::Int64(i % 97), Datum::Int64(1)));
+  }
+  lang::BinaryFn combine = lang::fns::SumInt64();
+  for (auto _ : state) {
+    auto result = lang::ReduceByKeyKernel(input, combine);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ReduceByKeyKernel);
+
+void BM_CompileVisitCount(benchmark::State& state) {
+  lang::Program program = workloads::VisitCountProgram({.days = 365});
+  for (auto _ : state) {
+    auto ir = ir::CompileToIr(program);
+    benchmark::DoNotOptimize(ir);
+  }
+}
+BENCHMARK(BM_CompileVisitCount);
+
+void BM_TranslateVisitCount(benchmark::State& state) {
+  lang::Program program = workloads::VisitCountProgram({.days = 365});
+  auto ir = ir::CompileToIr(program);
+  MITOS_CHECK(ir.ok());
+  for (auto _ : state) {
+    auto graph = runtime::Translate(*ir, 25);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_TranslateVisitCount);
+
+void BM_LongestPrefix(benchmark::State& state) {
+  runtime::ExecutionPath path;
+  // A long alternating path (block 2 occurs every 3 appends).
+  for (int i = 0; i < state.range(0); ++i) {
+    path.Append(1);
+    path.Append(2);
+    path.Append(3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path.LongestPrefixEndingWith(2, path.size()));
+  }
+}
+BENCHMARK(BM_LongestPrefix)->Arg(100)->Arg(10000);
+
+void BM_InterpreterVisitCount(benchmark::State& state) {
+  sim::SimFileSystem inputs;
+  workloads::GenerateVisitLogs(&inputs, {.days = 10,
+                                         .entries_per_day = 1000,
+                                         .num_pages = 100});
+  lang::Program program = workloads::VisitCountProgram({.days = 10});
+  for (auto _ : state) {
+    sim::SimFileSystem fs = inputs;
+    lang::Interpreter interp(&fs);
+    Status status = interp.Run(program);
+    MITOS_CHECK(status.ok());
+  }
+}
+BENCHMARK(BM_InterpreterVisitCount);
+
+void BM_MitosEndToEndTinyLoop(benchmark::State& state) {
+  lang::Program program = workloads::StepOverheadProgram(10);
+  for (auto _ : state) {
+    sim::SimFileSystem fs;
+    sim::Simulator sim;
+    sim::ClusterConfig config;
+    config.num_machines = 4;
+    sim::Cluster cluster(&sim, config);
+    runtime::MitosExecutor executor(&sim, &cluster, &fs);
+    auto stats = executor.Run(program);
+    MITOS_CHECK(stats.ok());
+  }
+}
+BENCHMARK(BM_MitosEndToEndTinyLoop);
+
+}  // namespace
+}  // namespace mitos
+
+BENCHMARK_MAIN();

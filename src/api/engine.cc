@@ -1,0 +1,97 @@
+#include "api/engine.h"
+
+#include "baselines/flink.h"
+#include "baselines/spark.h"
+#include "lang/interpreter.h"
+#include "sim/simulator.h"
+
+namespace mitos::api {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kReference: return "Reference";
+    case EngineKind::kMitos: return "Mitos";
+    case EngineKind::kMitosNoPipelining: return "Mitos (not pipelined)";
+    case EngineKind::kMitosNoHoisting: return "Mitos (wo. hoisting)";
+    case EngineKind::kFlink: return "Flink";
+    case EngineKind::kFlinkSeparateJobs: return "Flink (separate jobs)";
+    case EngineKind::kSpark: return "Spark";
+    case EngineKind::kNaiad: return "Naiad";
+    case EngineKind::kTensorFlow: return "TensorFlow";
+  }
+  return "?";
+}
+
+StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
+                        sim::SimFileSystem* fs, const RunConfig& config) {
+  RunResult result;
+  result.engine = engine;
+
+  if (engine == EngineKind::kReference) {
+    lang::Interpreter interpreter(fs);
+    MITOS_RETURN_IF_ERROR(interpreter.Run(program));
+    result.stats = runtime::RunStats{};
+    result.stats.jobs = 0;
+    return result;
+  }
+
+  sim::Simulator sim;
+  sim::ClusterConfig cluster_config = config.cluster;
+  cluster_config.num_machines = config.machines;
+  sim::Cluster cluster(&sim, cluster_config);
+
+  switch (engine) {
+    case EngineKind::kMitos:
+    case EngineKind::kMitosNoPipelining:
+    case EngineKind::kMitosNoHoisting: {
+      runtime::ExecutorOptions options;
+      options.pipelining = engine != EngineKind::kMitosNoPipelining;
+      options.hoisting = engine != EngineKind::kMitosNoHoisting;
+      options.launch_base = config.mitos_launch_base;
+      options.launch_per_machine = config.mitos_launch_per_machine;
+      options.max_path_len = config.max_path_len;
+      options.operator_fusion = config.mitos_operator_fusion;
+      runtime::MitosExecutor executor(&sim, &cluster, fs, options);
+      StatusOr<runtime::RunStats> stats = executor.Run(program);
+      if (!stats.ok()) return stats.status();
+      result.stats = *stats;
+      return result;
+    }
+    case EngineKind::kFlink:
+    case EngineKind::kNaiad:
+    case EngineKind::kTensorFlow: {
+      baselines::FlinkOptions options;
+      options.strict = engine == EngineKind::kFlink && config.flink_strict;
+      options.step_overhead =
+          engine == EngineKind::kFlink ? config.flink_step_overhead
+          : engine == EngineKind::kNaiad ? config.naiad_step_overhead
+                                         : config.tensorflow_step_overhead;
+      StatusOr<runtime::RunStats> stats =
+          baselines::RunFlinkSim(&sim, &cluster, fs, program, options);
+      if (!stats.ok()) return stats.status();
+      result.stats = *stats;
+      return result;
+    }
+    case EngineKind::kSpark:
+    case EngineKind::kFlinkSeparateJobs: {
+      baselines::SparkOptions options;
+      if (engine == EngineKind::kSpark) {
+        options.launch_base = config.spark_launch_base;
+        options.launch_per_machine = config.spark_launch_per_machine;
+      } else {
+        options.launch_base = config.flink_jobs_launch_base;
+        options.launch_per_machine = config.flink_jobs_launch_per_machine;
+      }
+      baselines::SparkDriver driver(&sim, &cluster, fs, options);
+      StatusOr<runtime::RunStats> stats = driver.Run(program);
+      if (!stats.ok()) return stats.status();
+      result.stats = *stats;
+      return result;
+    }
+    case EngineKind::kReference:
+      break;  // handled above
+  }
+  return Status::Internal("unknown engine");
+}
+
+}  // namespace mitos::api

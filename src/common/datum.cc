@@ -1,0 +1,218 @@
+#include "common/datum.h"
+
+#include <cstring>
+#include <functional>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace mitos {
+
+Datum Datum::Tuple(DatumVector fields) {
+  return Datum(Rep(std::make_shared<const DatumVector>(std::move(fields))));
+}
+
+Datum Datum::Pair(Datum a, Datum b) {
+  DatumVector fields;
+  fields.reserve(2);
+  fields.push_back(std::move(a));
+  fields.push_back(std::move(b));
+  return Tuple(std::move(fields));
+}
+
+int64_t Datum::int64() const {
+  MITOS_CHECK(is_int64()) << "not an int64: " << ToString();
+  return std::get<int64_t>(rep_);
+}
+
+double Datum::dbl() const {
+  MITOS_CHECK(is_double()) << "not a double: " << ToString();
+  return std::get<double>(rep_);
+}
+
+bool Datum::boolean() const {
+  MITOS_CHECK(is_bool()) << "not a bool: " << ToString();
+  return std::get<bool>(rep_);
+}
+
+const std::string& Datum::str() const {
+  MITOS_CHECK(is_string()) << "not a string: " << ToString();
+  return std::get<std::string>(rep_);
+}
+
+const DatumVector& Datum::tuple() const {
+  MITOS_CHECK(is_tuple()) << "not a tuple: " << ToString();
+  return *std::get<TupleRep>(rep_);
+}
+
+const Datum& Datum::field(size_t i) const {
+  const DatumVector& fields = tuple();
+  MITOS_CHECK_LT(i, fields.size()) << "tuple field out of range";
+  return fields[i];
+}
+
+double Datum::AsNumber() const {
+  if (is_int64()) return static_cast<double>(std::get<int64_t>(rep_));
+  if (is_double()) return std::get<double>(rep_);
+  MITOS_CHECK(false) << "not numeric: " << ToString();
+  return 0;
+}
+
+bool Datum::operator==(const Datum& other) const {
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case Kind::kNull:
+      return true;
+    case Kind::kInt64:
+      return std::get<int64_t>(rep_) == std::get<int64_t>(other.rep_);
+    case Kind::kDouble:
+      return std::get<double>(rep_) == std::get<double>(other.rep_);
+    case Kind::kBool:
+      return std::get<bool>(rep_) == std::get<bool>(other.rep_);
+    case Kind::kString:
+      return std::get<std::string>(rep_) == std::get<std::string>(other.rep_);
+    case Kind::kTuple: {
+      const DatumVector& a = tuple();
+      const DatumVector& b = other.tuple();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Datum::operator<(const Datum& other) const {
+  if (kind() != other.kind()) return kind() < other.kind();
+  switch (kind()) {
+    case Kind::kNull:
+      return false;
+    case Kind::kInt64:
+      return std::get<int64_t>(rep_) < std::get<int64_t>(other.rep_);
+    case Kind::kDouble:
+      return std::get<double>(rep_) < std::get<double>(other.rep_);
+    case Kind::kBool:
+      return std::get<bool>(rep_) < std::get<bool>(other.rep_);
+    case Kind::kString:
+      return std::get<std::string>(rep_) < std::get<std::string>(other.rep_);
+    case Kind::kTuple: {
+      const DatumVector& a = tuple();
+      const DatumVector& b = other.tuple();
+      size_t n = a.size() < b.size() ? a.size() : b.size();
+      for (size_t i = 0; i < n; ++i) {
+        if (a[i] < b[i]) return true;
+        if (b[i] < a[i]) return false;
+      }
+      return a.size() < b.size();
+    }
+  }
+  return false;
+}
+
+size_t Datum::Hash() const {
+  size_t seed = static_cast<size_t>(kind()) * 0x9e3779b97f4a7c15ULL;
+  switch (kind()) {
+    case Kind::kNull:
+      return seed;
+    case Kind::kInt64:
+      return HashCombine(
+          seed, MixInt64(static_cast<uint64_t>(std::get<int64_t>(rep_))));
+    case Kind::kDouble: {
+      double d = std::get<double>(rep_);
+      // Normalize -0.0 to 0.0 so equal doubles hash equally.
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(seed, MixInt64(bits));
+    }
+    case Kind::kBool:
+      return HashCombine(seed, std::get<bool>(rep_) ? 1 : 2);
+    case Kind::kString:
+      return HashCombine(seed,
+                         std::hash<std::string>{}(std::get<std::string>(rep_)));
+    case Kind::kTuple: {
+      for (const Datum& f : tuple()) seed = HashCombine(seed, f.Hash());
+      return seed;
+    }
+  }
+  return seed;
+}
+
+size_t Datum::SerializedSize() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return 1;
+    case Kind::kInt64:
+    case Kind::kDouble:
+      return 8;
+    case Kind::kBool:
+      return 1;
+    case Kind::kString:
+      return 4 + std::get<std::string>(rep_).size();
+    case Kind::kTuple: {
+      size_t total = 4;  // field-count header
+      for (const Datum& f : tuple()) total += f.SerializedSize();
+      return total;
+    }
+  }
+  return 1;
+}
+
+std::string Datum::ToString() const {
+  std::ostringstream out;
+  switch (kind()) {
+    case Kind::kNull:
+      out << "null";
+      break;
+    case Kind::kInt64:
+      out << std::get<int64_t>(rep_);
+      break;
+    case Kind::kDouble:
+      out << std::get<double>(rep_);
+      break;
+    case Kind::kBool:
+      out << (std::get<bool>(rep_) ? "true" : "false");
+      break;
+    case Kind::kString:
+      out << '"' << std::get<std::string>(rep_) << '"';
+      break;
+    case Kind::kTuple: {
+      out << '(';
+      bool first = true;
+      for (const Datum& f : tuple()) {
+        if (!first) out << ", ";
+        first = false;
+        out << f.ToString();
+      }
+      out << ')';
+      break;
+    }
+  }
+  return out.str();
+}
+
+size_t SerializedSize(const DatumVector& data) {
+  size_t total = 0;
+  for (const Datum& d : data) total += d.SerializedSize();
+  return total;
+}
+
+std::string ToString(const DatumVector& data, size_t limit) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i > 0) out << ", ";
+    if (i >= limit) {
+      out << "... (" << data.size() << " total)";
+      break;
+    }
+    out << data[i].ToString();
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace mitos

@@ -1,0 +1,114 @@
+// Datum: the dynamic element type of Mitos bags.
+//
+// The paper's language (Emma) is embedded in Scala, where bag elements are
+// arbitrary Scala values. Our C++ reproduction uses a small dynamic value
+// model instead of templating the whole engine: a Datum is a null, int64,
+// double, bool, string, or tuple of Datums. This is the idiomatic choice for
+// a database-style engine (rows are runtime-typed) and keeps every module
+// (operators, channels, files) monomorphic.
+//
+// Datums are cheap to copy: tuples are shared (immutable after creation).
+// SerializedSize() feeds the simulator's network/disk cost model.
+#ifndef MITOS_COMMON_DATUM_H_
+#define MITOS_COMMON_DATUM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mitos {
+
+class Datum;
+
+// Element sequences appear everywhere (bags, chunks, files).
+using DatumVector = std::vector<Datum>;
+
+class Datum {
+ public:
+  enum class Kind { kNull = 0, kInt64, kDouble, kBool, kString, kTuple };
+
+  // Null datum.
+  Datum() : rep_(std::monostate{}) {}
+
+  // Factories. Explicit names avoid implicit-conversion surprises
+  // (e.g. bool vs int64 ambiguity).
+  static Datum Int64(int64_t v) { return Datum(Rep(v)); }
+  static Datum Double(double v) { return Datum(Rep(v)); }
+  static Datum Bool(bool v) { return Datum(Rep(v)); }
+  static Datum String(std::string v) { return Datum(Rep(std::move(v))); }
+  static Datum Tuple(DatumVector fields);
+  // Convenience for the ubiquitous (key, value) shape.
+  static Datum Pair(Datum a, Datum b);
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_int64() const { return kind() == Kind::kInt64; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_tuple() const { return kind() == Kind::kTuple; }
+
+  // Typed accessors; abort on kind mismatch (programming error).
+  int64_t int64() const;
+  double dbl() const;
+  bool boolean() const;
+  const std::string& str() const;
+  const DatumVector& tuple() const;
+
+  // Number of tuple fields; aborts unless tuple.
+  size_t size() const { return tuple().size(); }
+  // i-th tuple field; aborts unless tuple with i in range.
+  const Datum& field(size_t i) const;
+
+  // Numeric value as double (int64 or double kinds); aborts otherwise.
+  double AsNumber() const;
+
+  // Value equality across identical kinds; differing kinds are unequal
+  // (no numeric coercion).
+  bool operator==(const Datum& other) const;
+  bool operator!=(const Datum& other) const { return !(*this == other); }
+  // Total order (kind-major, then value); lets tests sort outputs
+  // deterministically.
+  bool operator<(const Datum& other) const;
+
+  size_t Hash() const;
+
+  // Modelled wire size in bytes (fixed 8 for numerics, length for strings,
+  // sum + small header for tuples). Used by the cluster cost model.
+  size_t SerializedSize() const;
+
+  // Debug rendering, e.g. `(42, "page7", 1.5)`.
+  std::string ToString() const;
+
+ private:
+  using TupleRep = std::shared_ptr<const DatumVector>;
+  using Rep = std::variant<std::monostate, int64_t, double, bool, std::string,
+                           TupleRep>;
+
+  explicit Datum(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+// Functors for unordered containers keyed by Datum.
+struct DatumHash {
+  size_t operator()(const Datum& d) const { return d.Hash(); }
+};
+struct DatumEq {
+  bool operator()(const Datum& a, const Datum& b) const { return a == b; }
+};
+
+// Total serialized size of a vector of datums.
+size_t SerializedSize(const DatumVector& data);
+
+// Renders up to `limit` elements, e.g. `[1, 2, 3, ...]`.
+std::string ToString(const DatumVector& data, size_t limit = 16);
+
+}  // namespace mitos
+
+#endif  // MITOS_COMMON_DATUM_H_

@@ -1,0 +1,25 @@
+// Hashing helpers shared across Mitos modules.
+#ifndef MITOS_COMMON_HASH_H_
+#define MITOS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mitos {
+
+// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+// SplitMix64 finalizer; a cheap high-quality mixer for integer keys.
+inline uint64_t MixInt64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace mitos
+
+#endif  // MITOS_COMMON_HASH_H_

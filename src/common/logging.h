@@ -1,0 +1,70 @@
+// Minimal logging and invariant-checking utilities for Mitos.
+//
+// Following Google style we do not use exceptions in core paths. Invariant
+// violations abort with a readable message; recoverable errors use
+// mitos::Status (see status.h).
+#ifndef MITOS_COMMON_LOGGING_H_
+#define MITOS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mitos {
+namespace internal_logging {
+
+// Accumulates a message and aborts the process when destroyed. Used as the
+// right-hand side of the MITOS_CHECK macros; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "[MITOS FATAL] " << file << ":" << line << " Check failed: "
+            << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Enables `MITOS_CHECK(x) << "detail"` to compile in both branches of the
+// ternary used below.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace mitos
+
+// Aborts with a message when `condition` is false. Streams extra detail:
+//   MITOS_CHECK(a == b) << "a=" << a;
+#define MITOS_CHECK(condition)                                              \
+  (condition) ? (void)0                                                     \
+              : ::mitos::internal_logging::Voidify() &                      \
+                    ::mitos::internal_logging::FatalMessage(__FILE__,       \
+                                                            __LINE__,       \
+                                                            #condition)     \
+                        .stream()
+
+#define MITOS_CHECK_EQ(a, b) MITOS_CHECK((a) == (b))
+#define MITOS_CHECK_NE(a, b) MITOS_CHECK((a) != (b))
+#define MITOS_CHECK_LT(a, b) MITOS_CHECK((a) < (b))
+#define MITOS_CHECK_LE(a, b) MITOS_CHECK((a) <= (b))
+#define MITOS_CHECK_GT(a, b) MITOS_CHECK((a) > (b))
+#define MITOS_CHECK_GE(a, b) MITOS_CHECK((a) >= (b))
+
+// Marks unreachable code paths.
+#define MITOS_UNREACHABLE() \
+  MITOS_CHECK(false) << "unreachable code reached"
+
+#endif  // MITOS_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All Mitos workload generators draw from this generator so that every
+// experiment is reproducible bit-for-bit from its seed.
+#ifndef MITOS_COMMON_RNG_H_
+#define MITOS_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace mitos {
+
+// SplitMix64: tiny, fast, and statistically solid for data generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound).
+  uint64_t NextBelow(uint64_t bound) {
+    MITOS_CHECK_GT(bound, 0u);
+    return Next() % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    MITOS_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mitos
+
+#endif  // MITOS_COMMON_RNG_H_

@@ -1,0 +1,232 @@
+#include "dataflow/operators.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mitos::dataflow {
+
+void BagOperator::Close(int input, const EmitFn& emit) {
+  (void)input;
+  (void)emit;
+}
+
+bool BagOperator::CanReuseInput(int input) const {
+  (void)input;
+  return false;
+}
+
+void BagOperator::SetReuseInput(int input, bool reuse) {
+  (void)input;
+  MITOS_CHECK(!reuse) << "operator does not support input state reuse";
+}
+
+int BagOperator::BlockingInput() const { return -1; }
+
+void MapOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+  MITOS_CHECK_EQ(input, 0);
+  DatumVector out;
+  out.reserve(chunk.size());
+  for (const Datum& x : chunk) out.push_back(fn_(x));
+  if (!out.empty()) emit(std::move(out));
+}
+
+void MapOp::Finish(const EmitFn& emit) { (void)emit; }
+
+void FilterOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+  MITOS_CHECK_EQ(input, 0);
+  DatumVector out;
+  for (const Datum& x : chunk) {
+    if (fn_(x)) out.push_back(x);
+  }
+  if (!out.empty()) emit(std::move(out));
+}
+
+void FilterOp::Finish(const EmitFn& emit) { (void)emit; }
+
+void FlatMapOp::Push(int input, const DatumVector& chunk,
+                     const EmitFn& emit) {
+  MITOS_CHECK_EQ(input, 0);
+  DatumVector out;
+  for (const Datum& x : chunk) {
+    DatumVector pieces = fn_(x);
+    out.insert(out.end(), std::make_move_iterator(pieces.begin()),
+               std::make_move_iterator(pieces.end()));
+  }
+  if (!out.empty()) emit(std::move(out));
+}
+
+void FlatMapOp::Finish(const EmitFn& emit) { (void)emit; }
+
+void ReduceByKeyOp::Open() {
+  key_order_.clear();
+  acc_.clear();
+}
+
+void ReduceByKeyOp::Push(int input, const DatumVector& chunk,
+                         const EmitFn& emit) {
+  MITOS_CHECK_EQ(input, 0);
+  (void)emit;
+  for (const Datum& element : chunk) {
+    MITOS_CHECK(element.is_tuple() && element.size() >= 2)
+        << "reduceByKey input is not a (key, value) pair: "
+        << element.ToString();
+    const Datum& key = element.field(0);
+    auto it = acc_.find(key);
+    if (it == acc_.end()) {
+      acc_.emplace(key, element.field(1));
+      key_order_.push_back(key);
+    } else {
+      it->second = combine_(it->second, element.field(1));
+    }
+  }
+}
+
+void ReduceByKeyOp::Finish(const EmitFn& emit) {
+  if (key_order_.empty()) return;
+  DatumVector out;
+  out.reserve(key_order_.size());
+  for (const Datum& key : key_order_) {
+    out.push_back(Datum::Pair(key, acc_.at(key)));
+  }
+  emit(std::move(out));
+}
+
+void ReduceOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+  MITOS_CHECK_EQ(input, 0);
+  (void)emit;
+  for (const Datum& x : chunk) {
+    acc_ = acc_.has_value() ? combine_(*acc_, x) : x;
+  }
+}
+
+void ReduceOp::Finish(const EmitFn& emit) {
+  if (acc_.has_value()) emit(DatumVector{*acc_});
+}
+
+void CountOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+  MITOS_CHECK_EQ(input, 0);
+  (void)emit;
+  count_ += static_cast<int64_t>(chunk.size());
+}
+
+void CountOp::Finish(const EmitFn& emit) {
+  emit(DatumVector{Datum::Int64(count_)});
+}
+
+void JoinOp::Open() {
+  if (!reuse_build_) table_.clear();
+}
+
+void JoinOp::SetReuseInput(int input, bool reuse) {
+  MITOS_CHECK_EQ(input, 0) << "only the build side supports reuse";
+  reuse_build_ = reuse;
+}
+
+void JoinOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+  if (input == 0) {
+    for (const Datum& element : chunk) {
+      MITOS_CHECK(element.is_tuple() && element.size() >= 2)
+          << "join build input is not a (key, value) pair";
+      table_[element.field(0)].push_back(element.field(1));
+    }
+    return;
+  }
+  MITOS_CHECK_EQ(input, 1);
+  DatumVector out;
+  for (const Datum& element : chunk) {
+    MITOS_CHECK(element.is_tuple() && element.size() >= 2)
+        << "join probe input is not a (key, value) pair";
+    auto it = table_.find(element.field(0));
+    if (it == table_.end()) continue;
+    for (const Datum& build_value : it->second) {
+      out.push_back(
+          Datum::Tuple({element.field(0), build_value, element.field(1)}));
+    }
+  }
+  if (!out.empty()) emit(std::move(out));
+}
+
+void UnionOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+  MITOS_CHECK(input == 0 || input == 1);
+  DatumVector out = chunk;
+  emit(std::move(out));
+}
+
+void DistinctOp::Push(int input, const DatumVector& chunk,
+                      const EmitFn& emit) {
+  MITOS_CHECK_EQ(input, 0);
+  DatumVector out;
+  for (const Datum& x : chunk) {
+    if (seen_.emplace(x, true).second) out.push_back(x);
+  }
+  if (!out.empty()) emit(std::move(out));
+}
+
+void Combine2Op::Open() {
+  a_.reset();
+  b_.reset();
+}
+
+void Combine2Op::Push(int input, const DatumVector& chunk,
+                      const EmitFn& emit) {
+  (void)emit;
+  for (const Datum& x : chunk) {
+    if (input == 0) {
+      MITOS_CHECK(!a_.has_value()) << "combine2 input 0 has >1 element";
+      a_ = x;
+    } else {
+      MITOS_CHECK_EQ(input, 1);
+      MITOS_CHECK(!b_.has_value()) << "combine2 input 1 has >1 element";
+      b_ = x;
+    }
+  }
+}
+
+void Combine2Op::Finish(const EmitFn& emit) {
+  if (a_.has_value() && b_.has_value()) {
+    emit(DatumVector{fn_(*a_, *b_)});
+  }
+}
+
+void PhiOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+  (void)input;  // the host feeds only the selected input
+  DatumVector out = chunk;
+  emit(std::move(out));
+}
+
+std::unique_ptr<BagOperator> MakeOperator(const LogicalNode& node) {
+  switch (node.kind) {
+    case NodeKind::kMap:
+      return std::make_unique<MapOp>(node.unary);
+    case NodeKind::kFilter:
+      return std::make_unique<FilterOp>(node.pred);
+    case NodeKind::kFlatMap:
+      return std::make_unique<FlatMapOp>(node.flat);
+    case NodeKind::kReduceByKey:
+      return std::make_unique<ReduceByKeyOp>(node.binary);
+    case NodeKind::kLocalReduce:
+    case NodeKind::kFinalReduce:
+      return std::make_unique<ReduceOp>(node.binary);
+    case NodeKind::kLocalCount:
+      return std::make_unique<CountOp>();
+    case NodeKind::kJoin:
+      return std::make_unique<JoinOp>();
+    case NodeKind::kUnion:
+      return std::make_unique<UnionOp>();
+    case NodeKind::kDistinct:
+      return std::make_unique<DistinctOp>();
+    case NodeKind::kCombine2:
+      return std::make_unique<Combine2Op>(node.binary);
+    case NodeKind::kPhi:
+      return std::make_unique<PhiOp>();
+    case NodeKind::kBagLit:
+    case NodeKind::kReadFile:
+    case NodeKind::kWriteFile:
+    case NodeKind::kCondition:
+      return nullptr;  // handled by the host
+  }
+  return nullptr;
+}
+
+}  // namespace mitos::dataflow

@@ -1,0 +1,205 @@
+// Bag operator kernels: the pure data-processing logic of dataflow vertices.
+//
+// A kernel computes one output bag at a time: Open() starts a bag, Push()
+// feeds an input chunk, Close() signals end of one input, Finish() signals
+// all inputs done. Kernels emit output chunks through the provided callback
+// and know nothing about the simulator, the network, or bag identifiers —
+// the BagOperatorHost (runtime/host.h) wraps each instance and handles all
+// coordination, exactly as in the paper's architecture (Fig. 2).
+//
+// Kernels are long-lived: the same instance serves every output bag of its
+// operator across all iteration steps. This is what makes loop-invariant
+// hoisting possible (paper Sec. 5.3): a kernel that supports state reuse
+// (hash join build side) keeps its built state when the host tells it the
+// corresponding input bag is unchanged.
+#ifndef MITOS_DATAFLOW_OPERATORS_H_
+#define MITOS_DATAFLOW_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/datum.h"
+#include "dataflow/graph.h"
+#include "lang/functions.h"
+
+namespace mitos::dataflow {
+
+class BagOperator {
+ public:
+  using EmitFn = std::function<void(DatumVector&&)>;
+
+  virtual ~BagOperator() = default;
+
+  // Starts a new output bag. State for inputs marked reusable via
+  // SetReuseInput(true) must be kept; everything else resets.
+  virtual void Open() = 0;
+
+  // Feeds a chunk of the chosen input bag on logical input `input`.
+  virtual void Push(int input, const DatumVector& chunk,
+                    const EmitFn& emit) = 0;
+
+  // All data of logical input `input` has been fed for this bag.
+  virtual void Close(int input, const EmitFn& emit);
+
+  // All inputs closed; emit any remaining output for this bag.
+  virtual void Finish(const EmitFn& emit) = 0;
+
+  // Loop-invariant hoisting support (paper Sec. 5.3): true if the state
+  // built from `input` can be kept across output bags.
+  virtual bool CanReuseInput(int input) const;
+
+  // Called by the host before Open(): when true, the next bag's `input` is
+  // the same bag as the previous one and the kernel must keep its state.
+  virtual void SetReuseInput(int input, bool reuse);
+
+  // Input that must be fully fed before any other input (join build side);
+  // -1 if none.
+  virtual int BlockingInput() const;
+};
+
+// Creates the kernel for `node`. Source/sink/condition kinds (bagLit,
+// readFile, writeFile, condition) are handled by the host itself and return
+// null here.
+std::unique_ptr<BagOperator> MakeOperator(const LogicalNode& node);
+
+// ----- concrete kernels (exposed for unit tests) -----
+
+class MapOp : public BagOperator {
+ public:
+  explicit MapOp(lang::UnaryFn fn) : fn_(std::move(fn)) {}
+  void Open() override {}
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& emit) override;
+
+ private:
+  lang::UnaryFn fn_;
+};
+
+class FilterOp : public BagOperator {
+ public:
+  explicit FilterOp(lang::PredicateFn fn) : fn_(std::move(fn)) {}
+  void Open() override {}
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& emit) override;
+
+ private:
+  lang::PredicateFn fn_;
+};
+
+class FlatMapOp : public BagOperator {
+ public:
+  explicit FlatMapOp(lang::FlatMapFn fn) : fn_(std::move(fn)) {}
+  void Open() override {}
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& emit) override;
+
+ private:
+  lang::FlatMapFn fn_;
+};
+
+// Per-partition hash aggregation over (k, v) pairs; emits at Finish in
+// first-seen key order (matching lang::ReduceByKeyKernel per partition).
+class ReduceByKeyOp : public BagOperator {
+ public:
+  explicit ReduceByKeyOp(lang::BinaryFn combine)
+      : combine_(std::move(combine)) {}
+  void Open() override;
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& emit) override;
+
+ private:
+  lang::BinaryFn combine_;
+  std::vector<Datum> key_order_;
+  std::unordered_map<Datum, Datum, DatumHash, DatumEq> acc_;
+};
+
+// Folds everything it sees; emits the (single) partial at Finish, or
+// nothing when the input was empty. Used for both the local pre-fold and
+// the final fold of a global reduce.
+class ReduceOp : public BagOperator {
+ public:
+  explicit ReduceOp(lang::BinaryFn combine) : combine_(std::move(combine)) {}
+  void Open() override { acc_.reset(); }
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& emit) override;
+
+ private:
+  lang::BinaryFn combine_;
+  std::optional<Datum> acc_;
+};
+
+// Counts elements; emits one int64 at Finish (even for empty input).
+class CountOp : public BagOperator {
+ public:
+  void Open() override { count_ = 0; }
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& emit) override;
+
+ private:
+  int64_t count_ = 0;
+};
+
+// Hash join: input 0 builds, input 1 probes; emits (k, build_v, probe_v).
+// The build side supports loop-invariant state reuse (paper Sec. 5.3).
+class JoinOp : public BagOperator {
+ public:
+  void Open() override;
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& /*emit*/) override {}
+  bool CanReuseInput(int input) const override { return input == 0; }
+  void SetReuseInput(int input, bool reuse) override;
+  int BlockingInput() const override { return 0; }
+
+ private:
+  bool reuse_build_ = false;
+  std::unordered_map<Datum, DatumVector, DatumHash, DatumEq> table_;
+};
+
+// Multiset union: forwards both inputs.
+class UnionOp : public BagOperator {
+ public:
+  void Open() override {}
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& /*emit*/) override {}
+};
+
+// Per-partition duplicate elimination (inputs arrive hash-partitioned by
+// whole element, so global distinctness holds).
+class DistinctOp : public BagOperator {
+ public:
+  void Open() override { seen_.clear(); }
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& /*emit*/) override {}
+
+ private:
+  std::unordered_map<Datum, bool, DatumHash, DatumEq> seen_;
+};
+
+// f(a0, b0) over two one-element bags; emits nothing if either is empty.
+class Combine2Op : public BagOperator {
+ public:
+  explicit Combine2Op(lang::BinaryFn fn) : fn_(std::move(fn)) {}
+  void Open() override;
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& emit) override;
+
+ private:
+  lang::BinaryFn fn_;
+  std::optional<Datum> a_;
+  std::optional<Datum> b_;
+};
+
+// Φ: forwards whichever single input the host selected for this bag.
+class PhiOp : public BagOperator {
+ public:
+  void Open() override {}
+  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Finish(const EmitFn& /*emit*/) override {}
+};
+
+}  // namespace mitos::dataflow
+
+#endif  // MITOS_DATAFLOW_OPERATORS_H_

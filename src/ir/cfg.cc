@@ -1,0 +1,136 @@
+#include "ir/cfg.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mitos::ir {
+
+Cfg::Cfg(const Program& program) {
+  int n = program.num_blocks();
+  succs_.resize(static_cast<size_t>(n));
+  preds_.resize(static_cast<size_t>(n));
+  for (BlockId b = 0; b < n; ++b) {
+    const Terminator& term = program.block(b).term;
+    switch (term.kind) {
+      case Terminator::Kind::kJump:
+        succs_[static_cast<size_t>(b)] = {term.target};
+        break;
+      case Terminator::Kind::kBranch:
+        succs_[static_cast<size_t>(b)] = {term.target, term.target_else};
+        break;
+      case Terminator::Kind::kExit:
+        break;
+    }
+    for (BlockId s : succs_[static_cast<size_t>(b)]) {
+      MITOS_CHECK_GE(s, 0);
+      MITOS_CHECK_LT(s, n);
+      preds_[static_cast<size_t>(s)].push_back(b);
+    }
+  }
+  ComputeDominators();
+}
+
+bool Cfg::CanReach(BlockId from, BlockId target) const {
+  return CanReachAvoiding(from, target, kNoBlock);
+}
+
+bool Cfg::CanReachAvoiding(BlockId from, BlockId target,
+                           BlockId banned) const {
+  if (from == target) return true;
+  std::vector<bool> visited(static_cast<size_t>(num_blocks()), false);
+  std::vector<BlockId> stack = {from};
+  visited[static_cast<size_t>(from)] = true;
+  while (!stack.empty()) {
+    BlockId b = stack.back();
+    stack.pop_back();
+    for (BlockId s : successors(b)) {
+      if (s == target) return true;
+      if (s == banned) continue;  // may not pass through `banned`
+      if (!visited[static_cast<size_t>(s)]) {
+        visited[static_cast<size_t>(s)] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+void Cfg::ComputeDominators() {
+  // Cooper-Harvey-Kennedy iterative algorithm over reverse postorder.
+  int n = num_blocks();
+  idom_.assign(static_cast<size_t>(n), kNoBlock);
+  rpo_index_.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return;
+
+  // Postorder DFS from entry (block 0).
+  std::vector<BlockId> postorder;
+  {
+    std::vector<int> state(static_cast<size_t>(n), 0);  // 0 new, 1 open
+    std::vector<std::pair<BlockId, size_t>> stack = {{0, 0}};
+    state[0] = 1;
+    while (!stack.empty()) {
+      auto& [b, next] = stack.back();
+      const std::vector<BlockId>& ss = successors(b);
+      if (next < ss.size()) {
+        BlockId s = ss[next++];
+        if (state[static_cast<size_t>(s)] == 0) {
+          state[static_cast<size_t>(s)] = 1;
+          stack.push_back({s, 0});
+        }
+      } else {
+        postorder.push_back(b);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<BlockId> rpo(postorder.rbegin(), postorder.rend());
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index_[static_cast<size_t>(rpo[i])] = static_cast<int>(i);
+  }
+
+  auto intersect = [&](BlockId a, BlockId c) {
+    while (a != c) {
+      while (rpo_index_[static_cast<size_t>(a)] >
+             rpo_index_[static_cast<size_t>(c)]) {
+        a = idom_[static_cast<size_t>(a)];
+      }
+      while (rpo_index_[static_cast<size_t>(c)] >
+             rpo_index_[static_cast<size_t>(a)]) {
+        c = idom_[static_cast<size_t>(c)];
+      }
+    }
+    return a;
+  };
+
+  idom_[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == 0) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : predecessors(b)) {
+        if (idom_[static_cast<size_t>(p)] == kNoBlock) continue;  // not seen
+        new_idom = (new_idom == kNoBlock) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && idom_[static_cast<size_t>(b)] != new_idom) {
+        idom_[static_cast<size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::Dominates(BlockId a, BlockId b) const {
+  if (rpo_index_[static_cast<size_t>(b)] < 0) return false;  // unreachable
+  BlockId cur = b;
+  while (true) {
+    if (cur == a) return true;
+    BlockId up = idom_[static_cast<size_t>(cur)];
+    if (up == cur || up == kNoBlock) return false;  // reached entry / dead
+    cur = up;
+  }
+}
+
+}  // namespace mitos::ir

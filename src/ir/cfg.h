@@ -1,0 +1,58 @@
+// Control-flow-graph analyses over ir::Program.
+//
+// The Mitos runtime needs two graph queries (paper Sec. 5.2.4):
+//   * whether a block occurrence means a conditional edge's target can still
+//     be reached without passing the producer's block again — this decides
+//     when buffered bag partitions may be discarded;
+//   * dominators, used by the IR verifier.
+#ifndef MITOS_IR_CFG_H_
+#define MITOS_IR_CFG_H_
+
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace mitos::ir {
+
+class Cfg {
+ public:
+  explicit Cfg(const Program& program);
+
+  int num_blocks() const { return static_cast<int>(succs_.size()); }
+  const std::vector<BlockId>& successors(BlockId b) const {
+    return succs_[static_cast<size_t>(b)];
+  }
+  const std::vector<BlockId>& predecessors(BlockId b) const {
+    return preds_[static_cast<size_t>(b)];
+  }
+
+  // True if some path from `from` reaches `target` (paths of length zero
+  // count: CanReach(b, b) is true).
+  bool CanReach(BlockId from, BlockId target) const;
+
+  // True if some path from `from` reaches `target` without passing through
+  // `banned` as an intermediate step. `from == target` counts as reached
+  // (zero-length path). If `from == banned`, the path may still start there:
+  // only *subsequent* visits to `banned` are forbidden, matching the
+  // discard rule "every path to b2 goes through b1" evaluated after b1.
+  bool CanReachAvoiding(BlockId from, BlockId target, BlockId banned) const;
+
+  // Immediate dominator of each block (entry's idom is itself). Blocks
+  // unreachable from entry get kNoBlock.
+  const std::vector<BlockId>& idom() const { return idom_; }
+
+  // True if `a` dominates `b` (reflexive).
+  bool Dominates(BlockId a, BlockId b) const;
+
+ private:
+  void ComputeDominators();
+
+  std::vector<std::vector<BlockId>> succs_;
+  std::vector<std::vector<BlockId>> preds_;
+  std::vector<BlockId> idom_;
+  std::vector<int> rpo_index_;  // reverse-postorder number, -1 if unreachable
+};
+
+}  // namespace mitos::ir
+
+#endif  // MITOS_IR_CFG_H_

@@ -1,0 +1,104 @@
+#include "ir/dce.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mitos::ir {
+
+StatusOr<DceResult> EliminateDeadCode(const Program& program) {
+  const size_t num_vars = static_cast<size_t>(program.num_vars());
+  std::vector<bool> live(num_vars, false);
+  std::vector<VarId> worklist;
+
+  auto mark = [&](VarId v) {
+    if (v == kNoVar) return;
+    if (!live[static_cast<size_t>(v)]) {
+      live[static_cast<size_t>(v)] = true;
+      worklist.push_back(v);
+    }
+  };
+
+  // Roots: sink inputs and branch conditions.
+  for (const BasicBlock& block : program.blocks) {
+    for (const Stmt& stmt : block.stmts) {
+      if (stmt.op == OpKind::kWriteFile) {
+        for (VarId in : stmt.inputs) mark(in);
+      }
+    }
+    if (block.term.kind == Terminator::Kind::kBranch) {
+      mark(block.term.cond);
+    }
+  }
+
+  // Transitive closure through defining statements.
+  while (!worklist.empty()) {
+    VarId v = worklist.back();
+    worklist.pop_back();
+    const VarInfo& info = program.var(v);
+    const Stmt& def = program.block(info.def_block)
+                          .stmts[static_cast<size_t>(info.def_index)];
+    for (VarId in : def.inputs) mark(in);
+  }
+
+  // Rebuild with dense variable ids.
+  DceResult result;
+  std::vector<VarId> remap(num_vars, kNoVar);
+  Program& out = result.program;
+  out.blocks.reserve(program.blocks.size());
+
+  for (const BasicBlock& block : program.blocks) {
+    BasicBlock new_block;
+    new_block.label = block.label;
+    new_block.term = block.term;
+    for (const Stmt& stmt : block.stmts) {
+      bool keep = stmt.op == OpKind::kWriteFile ||
+                  (stmt.result != kNoVar &&
+                   live[static_cast<size_t>(stmt.result)]);
+      if (!keep) {
+        ++result.removed_stmts;
+        continue;
+      }
+      Stmt new_stmt = stmt;
+      if (stmt.result != kNoVar) {
+        VarId new_id = static_cast<VarId>(out.vars.size());
+        remap[static_cast<size_t>(stmt.result)] = new_id;
+        VarInfo info = program.var(stmt.result);
+        info.def_block = static_cast<BlockId>(out.blocks.size());
+        info.def_index = static_cast<int>(new_block.stmts.size());
+        out.vars.push_back(std::move(info));
+        new_stmt.result = new_id;
+      }
+      new_block.stmts.push_back(std::move(new_stmt));
+    }
+    out.blocks.push_back(std::move(new_block));
+  }
+
+  // Remap uses (inputs were defined before uses in program order except Φ
+  // back-edges, so remap in a second pass over the rebuilt program).
+  for (BasicBlock& block : out.blocks) {
+    for (Stmt& stmt : block.stmts) {
+      for (VarId& in : stmt.inputs) {
+        VarId mapped = remap[static_cast<size_t>(in)];
+        if (mapped == kNoVar) {
+          return Status::Internal(
+              "DCE dropped a variable that is still referenced: " +
+              program.var(in).name);
+        }
+        in = mapped;
+      }
+    }
+    if (block.term.kind == Terminator::Kind::kBranch) {
+      VarId mapped = remap[static_cast<size_t>(block.term.cond)];
+      if (mapped == kNoVar) {
+        return Status::Internal("DCE dropped a live branch condition");
+      }
+      block.term.cond = mapped;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mitos::ir

@@ -1,0 +1,31 @@
+// Dead code elimination on the SSA IR (an optimization pass beyond the
+// paper's minimum).
+//
+// SSA construction conservatively creates a Φ in every loop for every
+// variable assigned in the body — whether or not anything downstream reads
+// it — and user programs may compute bags they never observe. Every IR
+// statement becomes a dataflow operator with per-iteration coordination
+// (output-bag choice, markers, conditional-edge gating), so pruning dead
+// statements removes real runtime work.
+//
+// Roots of liveness: writeFile sinks and branch condition variables.
+// Everything not transitively reachable from a root is removed; variables
+// are renumbered densely.
+#ifndef MITOS_IR_DCE_H_
+#define MITOS_IR_DCE_H_
+
+#include "common/status.h"
+#include "ir/ir.h"
+
+namespace mitos::ir {
+
+struct DceResult {
+  Program program;
+  int removed_stmts = 0;
+};
+
+StatusOr<DceResult> EliminateDeadCode(const Program& program);
+
+}  // namespace mitos::ir
+
+#endif  // MITOS_IR_DCE_H_

@@ -1,0 +1,163 @@
+#include "ir/fusion.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mitos::ir {
+
+namespace {
+
+bool IsElementwise(OpKind op) {
+  return op == OpKind::kMap || op == OpKind::kFilter ||
+         op == OpKind::kFlatMap;
+}
+
+// Any elementwise statement as an element -> elements function.
+lang::FlatMapFn AsFlatMap(const Stmt& stmt) {
+  switch (stmt.op) {
+    case OpKind::kMap: {
+      lang::UnaryFn fn = stmt.unary;
+      return {fn.name, [fn](const Datum& x) { return DatumVector{fn(x)}; }};
+    }
+    case OpKind::kFilter: {
+      lang::PredicateFn fn = stmt.pred;
+      return {fn.name, [fn](const Datum& x) {
+                return fn(x) ? DatumVector{x} : DatumVector{};
+              }};
+    }
+    case OpKind::kFlatMap:
+      return stmt.flat;
+    default:
+      MITOS_UNREACHABLE();
+  }
+  return {};
+}
+
+lang::FlatMapFn Compose(const lang::FlatMapFn& first,
+                        const lang::FlatMapFn& second) {
+  return {first.name + "|" + second.name, [first, second](const Datum& x) {
+            DatumVector out;
+            for (const Datum& mid : first(x)) {
+              DatumVector pieces = second(mid);
+              out.insert(out.end(),
+                         std::make_move_iterator(pieces.begin()),
+                         std::make_move_iterator(pieces.end()));
+            }
+            return out;
+          }};
+}
+
+void RecomputeDefSites(Program* program) {
+  for (BlockId b = 0; b < program->num_blocks(); ++b) {
+    BasicBlock& block = program->blocks[static_cast<size_t>(b)];
+    for (size_t i = 0; i < block.stmts.size(); ++i) {
+      if (block.stmts[i].result == kNoVar) continue;
+      VarInfo& info =
+          program->vars[static_cast<size_t>(block.stmts[i].result)];
+      info.def_block = b;
+      info.def_index = static_cast<int>(i);
+    }
+  }
+}
+
+std::vector<int> UseCounts(const Program& program) {
+  std::vector<int> uses(static_cast<size_t>(program.num_vars()), 0);
+  for (const BasicBlock& block : program.blocks) {
+    for (const Stmt& stmt : block.stmts) {
+      for (VarId in : stmt.inputs) ++uses[static_cast<size_t>(in)];
+    }
+    if (block.term.kind == Terminator::Kind::kBranch) {
+      ++uses[static_cast<size_t>(block.term.cond)];
+    }
+  }
+  return uses;
+}
+
+// Performs one fusion if possible; returns whether anything changed.
+bool FuseOnePair(Program* program) {
+  std::vector<int> uses = UseCounts(*program);
+  for (BlockId b = 0; b < program->num_blocks(); ++b) {
+    BasicBlock& block = program->blocks[static_cast<size_t>(b)];
+    for (size_t i = 0; i < block.stmts.size(); ++i) {
+      Stmt& consumer = block.stmts[i];
+      if (!IsElementwise(consumer.op)) continue;
+      VarId in = consumer.inputs[0];
+      const VarInfo& producer_info = program->var(in);
+      if (producer_info.def_block != b) continue;  // cross-block: keep
+      Stmt& producer = block.stmts[static_cast<size_t>(
+          producer_info.def_index)];
+      if (!IsElementwise(producer.op)) continue;
+      if (uses[static_cast<size_t>(in)] != 1) continue;  // shared: keep
+
+      // Fuse: consumer becomes a flatMap over the producer's input with
+      // the composed function; the producer statement disappears.
+      lang::FlatMapFn composed =
+          Compose(AsFlatMap(producer), AsFlatMap(consumer));
+      consumer.op = OpKind::kFlatMap;
+      consumer.flat = std::move(composed);
+      consumer.unary = {};
+      consumer.pred = {};
+      consumer.inputs = producer.inputs;
+      block.stmts.erase(block.stmts.begin() +
+                        producer_info.def_index);
+      RecomputeDefSites(program);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Renumbers variables densely after fusion removed some definitions.
+Status Compact(Program* program) {
+  std::vector<VarId> remap(static_cast<size_t>(program->num_vars()),
+                           kNoVar);
+  std::vector<VarInfo> new_vars;
+  for (BlockId b = 0; b < program->num_blocks(); ++b) {
+    BasicBlock& block = program->blocks[static_cast<size_t>(b)];
+    for (size_t i = 0; i < block.stmts.size(); ++i) {
+      Stmt& stmt = block.stmts[i];
+      if (stmt.result == kNoVar) continue;
+      VarId new_id = static_cast<VarId>(new_vars.size());
+      remap[static_cast<size_t>(stmt.result)] = new_id;
+      VarInfo info = program->var(stmt.result);
+      info.def_block = b;
+      info.def_index = static_cast<int>(i);
+      new_vars.push_back(std::move(info));
+      stmt.result = new_id;
+    }
+  }
+  for (BasicBlock& block : program->blocks) {
+    for (Stmt& stmt : block.stmts) {
+      for (VarId& in : stmt.inputs) {
+        if (remap[static_cast<size_t>(in)] == kNoVar) {
+          return Status::Internal("fusion dropped a referenced variable");
+        }
+        in = remap[static_cast<size_t>(in)];
+      }
+    }
+    if (block.term.kind == Terminator::Kind::kBranch) {
+      if (remap[static_cast<size_t>(block.term.cond)] == kNoVar) {
+        return Status::Internal("fusion dropped a branch condition");
+      }
+      block.term.cond = remap[static_cast<size_t>(block.term.cond)];
+    }
+  }
+  program->vars = std::move(new_vars);
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<FusionResult> FuseElementwise(const Program& program) {
+  FusionResult result;
+  result.program = program;
+  while (FuseOnePair(&result.program)) {
+    ++result.fused_stmts;
+  }
+  MITOS_RETURN_IF_ERROR(Compact(&result.program));
+  return result;
+}
+
+}  // namespace mitos::ir

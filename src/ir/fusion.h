@@ -1,0 +1,31 @@
+// Elementwise operator fusion (chaining) on the SSA IR — an optimization
+// pass beyond the paper's minimum, mirroring what Flink/Spark call operator
+// chaining.
+//
+// A chain of elementwise statements (map / filter / flatMap) in the same
+// basic block, where each intermediate result has exactly one consumer,
+// collapses into a single flatMap whose function is the composition. Every
+// IR statement becomes a dataflow operator with its own host, work queue,
+// per-bag coordination, and channels — fusing removes all of that for the
+// interior of the chain.
+//
+// Statements whose results feed branch terminators or multiple consumers
+// are chain heads and never fused away.
+#ifndef MITOS_IR_FUSION_H_
+#define MITOS_IR_FUSION_H_
+
+#include "common/status.h"
+#include "ir/ir.h"
+
+namespace mitos::ir {
+
+struct FusionResult {
+  Program program;
+  int fused_stmts = 0;  // statements eliminated by fusion
+};
+
+StatusOr<FusionResult> FuseElementwise(const Program& program);
+
+}  // namespace mitos::ir
+
+#endif  // MITOS_IR_FUSION_H_

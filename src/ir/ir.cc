@@ -1,0 +1,83 @@
+#include "ir/ir.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mitos::ir {
+
+const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kBagLit: return "bagLit";
+    case OpKind::kReadFile: return "readFile";
+    case OpKind::kMap: return "map";
+    case OpKind::kFilter: return "filter";
+    case OpKind::kFlatMap: return "flatMap";
+    case OpKind::kReduceByKey: return "reduceByKey";
+    case OpKind::kReduce: return "reduce";
+    case OpKind::kJoin: return "join";
+    case OpKind::kUnion: return "union";
+    case OpKind::kDistinct: return "distinct";
+    case OpKind::kCount: return "count";
+    case OpKind::kCombine2: return "combine2";
+    case OpKind::kPhi: return "Φ";
+    case OpKind::kWriteFile: return "writeFile";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string VarName(const Program& p, VarId id) {
+  if (id == kNoVar) return "_";
+  return p.var(id).name;
+}
+
+}  // namespace
+
+std::string ToString(const Program& program) {
+  std::ostringstream out;
+  for (BlockId b = 0; b < program.num_blocks(); ++b) {
+    const BasicBlock& block = program.block(b);
+    out << "block " << b << " (" << block.label << "):\n";
+    for (const Stmt& stmt : block.stmts) {
+      out << "  ";
+      if (stmt.result != kNoVar) {
+        out << VarName(program, stmt.result) << " = ";
+      }
+      out << OpKindName(stmt.op) << '(';
+      for (size_t i = 0; i < stmt.inputs.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << VarName(program, stmt.inputs[i]);
+      }
+      // Function payloads, for readability.
+      if (stmt.unary.valid()) out << "; " << stmt.unary.name;
+      if (stmt.pred.valid()) out << "; " << stmt.pred.name;
+      if (stmt.flat.valid()) out << "; " << stmt.flat.name;
+      if (stmt.binary.valid()) out << "; " << stmt.binary.name;
+      if (stmt.op == OpKind::kBagLit) {
+        out << mitos::ToString(stmt.bag_lit, 4);
+      }
+      out << ")";
+      if (stmt.result != kNoVar && program.var(stmt.result).singleton) {
+        out << "  [singleton]";
+      }
+      out << '\n';
+    }
+    switch (block.term.kind) {
+      case Terminator::Kind::kJump:
+        out << "  jump " << block.term.target << '\n';
+        break;
+      case Terminator::Kind::kBranch:
+        out << "  branch " << VarName(program, block.term.cond) << " ? "
+            << block.term.target << " : " << block.term.target_else << '\n';
+        break;
+      case Terminator::Kind::kExit:
+        out << "  exit\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mitos::ir

@@ -1,0 +1,105 @@
+// The SSA-based intermediate representation of Mitos (paper Sec. 4.2).
+//
+// A program is a list of basic blocks. Each block holds a sequence of
+// single-operation assignment statements (one future dataflow node each)
+// and ends with a terminator: an unconditional jump, a conditional branch
+// on a one-element bool bag, or program exit. Every variable has exactly one
+// assignment (SSA); variables that had multiple assignments in the source
+// are merged with Φ-statements whose input is chosen at runtime from the
+// execution path (Sec. 5.2.3).
+#ifndef MITOS_IR_IR_H_
+#define MITOS_IR_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "lang/functions.h"
+
+namespace mitos::ir {
+
+using VarId = int32_t;
+using BlockId = int32_t;
+inline constexpr VarId kNoVar = -1;
+inline constexpr BlockId kNoBlock = -1;
+
+enum class OpKind {
+  kBagLit,       // literal bag (also wrapped scalar constants); no inputs
+  kReadFile,     // inputs: [filename (one-element string bag)]
+  kMap,          // inputs: [bag]; unary
+  kFilter,       // inputs: [bag]; pred
+  kFlatMap,      // inputs: [bag]; flat
+  kReduceByKey,  // inputs: [bag of (k,v)]; binary combiner
+  kReduce,       // inputs: [bag]; binary; one-element (or empty) output
+  kJoin,         // inputs: [build, probe]; emits (k, bv, pv)
+  kUnion,        // inputs: [a, b]
+  kDistinct,     // inputs: [bag]
+  kCount,        // inputs: [bag]; one-element int64 output
+  kCombine2,     // inputs: [a, b] one-element bags; binary
+  kPhi,          // inputs: one per incoming definition; runtime chooses
+  kWriteFile,    // sink; inputs: [bag, filename]; no result
+};
+
+const char* OpKindName(OpKind op);
+
+// One SSA assignment statement = one dataflow node.
+struct Stmt {
+  VarId result = kNoVar;  // kNoVar for sinks (kWriteFile)
+  OpKind op{};
+  std::vector<VarId> inputs;
+
+  // Op payloads (only the field matching `op` is set).
+  lang::UnaryFn unary;
+  lang::PredicateFn pred;
+  lang::FlatMapFn flat;
+  lang::BinaryFn binary;
+  DatumVector bag_lit;
+};
+
+struct Terminator {
+  enum class Kind { kJump, kBranch, kExit };
+  Kind kind = Kind::kExit;
+  BlockId target = kNoBlock;       // kJump target / kBranch true-successor
+  BlockId target_else = kNoBlock;  // kBranch false-successor
+  VarId cond = kNoVar;             // kBranch condition (one-element bool bag)
+};
+
+struct BasicBlock {
+  std::string label;  // e.g. "entry", "loop1_body", for debugging
+  std::vector<Stmt> stmts;
+  Terminator term;
+};
+
+// Per-SSA-variable metadata.
+struct VarInfo {
+  std::string name;              // source name + version, e.g. "day2"
+  BlockId def_block = kNoBlock;  // block containing the defining statement
+  int def_index = -1;            // statement index within def_block
+  // True for variables that live in the wrapped-scalar world (one-element
+  // bags): loop counters, conditions, file names, reduce/count results.
+  // Drives the translator's parallelism choice (such ops run single-
+  // instance, forming the cheap control-flow "spine" that enables loop
+  // pipelining to overlap heavy steps).
+  bool singleton = false;
+};
+
+struct Program {
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry block
+  std::vector<VarInfo> vars;
+
+  BlockId entry() const { return 0; }
+  const BasicBlock& block(BlockId id) const {
+    return blocks[static_cast<size_t>(id)];
+  }
+  int num_blocks() const { return static_cast<int>(blocks.size()); }
+  int num_vars() const { return static_cast<int>(vars.size()); }
+  const VarInfo& var(VarId id) const { return vars[static_cast<size_t>(id)]; }
+};
+
+// Text rendering in the style of the paper's Figure 3a.
+std::string ToString(const Program& program);
+
+}  // namespace mitos::ir
+
+#endif  // MITOS_IR_IR_H_

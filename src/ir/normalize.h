@@ -1,0 +1,46 @@
+// The Preparator: program simplification (paper Sec. 4.1).
+//
+// Rewrites a type-checked lang::Program so that
+//   * every assignment's right-hand side is a single bag operation whose
+//     operands are plain variable references (multi-operation expressions
+//     are split into temporaries: b = a.map(f).filter(p) becomes
+//     _t1 = a.map(f); b = _t1.filter(p));
+//   * every scalar (loop counter, condition, file name) is wrapped into a
+//     one-element bag: literals become one-element bag literals, scalar
+//     expressions with one variable operand become maps over that variable's
+//     bag, expressions with two variable operands become combine2 nodes;
+//   * loop and if conditions are references to one-element bool-bag
+//     variables (the paper's ifCond / exitCond nodes);
+//   * a copy assignment v = w becomes an identity map (a real dataflow
+//     node, matching yesterdayCnts3 in the paper's Figure 3).
+//
+// The output is still a lang::Program (runnable by the reference
+// interpreter, which is how the rewrite is differentially tested), plus the
+// set of variables living in the wrapped-scalar world — the SSA builder
+// marks those singleton so the translator gives them parallelism 1.
+#ifndef MITOS_IR_NORMALIZE_H_
+#define MITOS_IR_NORMALIZE_H_
+
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace mitos::ir {
+
+struct NormalizeResult {
+  lang::Program program;
+  // Variables holding wrapped scalars (one-element bags).
+  std::set<std::string> singleton_vars;
+};
+
+StatusOr<NormalizeResult> Normalize(const lang::Program& program);
+
+// True when `program` satisfies the normal form above (used by tests and
+// asserted by the SSA builder).
+bool IsNormalized(const lang::Program& program);
+
+}  // namespace mitos::ir
+
+#endif  // MITOS_IR_NORMALIZE_H_

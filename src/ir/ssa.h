@@ -1,0 +1,37 @@
+// SSA construction (paper Sec. 4.2): normalized lang::Program -> ir::Program.
+//
+// The input must be in Preparator normal form (ir/normalize.h). Control-flow
+// constructs are lowered to basic blocks with conditional jumps; each source
+// variable gets a fresh SSA variable per assignment; variables with
+// control-flow-dependent values are merged with Φ-statements:
+//   * if/else: a Φ in the join block per variable assigned differently in
+//     the branches;
+//   * loops: a Φ at the top of the loop body (do-while) or in the loop
+//     header (while) per loop-carried variable, merging the initial value
+//     with the previous iteration's value — exactly the yesterdayCnts2/day2
+//     nodes of the paper's Figure 3.
+#ifndef MITOS_IR_SSA_H_
+#define MITOS_IR_SSA_H_
+
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "ir/ir.h"
+#include "ir/normalize.h"
+#include "lang/ast.h"
+
+namespace mitos::ir {
+
+// Builds SSA from a normalized program. `singleton_vars` marks variables in
+// the wrapped-scalar world (from NormalizeResult); the builder propagates
+// singleton-ness through maps/filters/Φs.
+StatusOr<Program> BuildSsa(const lang::Program& normalized,
+                           const std::set<std::string>& singleton_vars);
+
+// Convenience: TypeCheck + Normalize + BuildSsa.
+StatusOr<Program> CompileToIr(const lang::Program& program);
+
+}  // namespace mitos::ir
+
+#endif  // MITOS_IR_SSA_H_

@@ -1,0 +1,164 @@
+#include "ir/verify.h"
+
+#include <string>
+#include <vector>
+
+#include "ir/cfg.h"
+
+namespace mitos::ir {
+
+namespace {
+
+Status Fail(const std::string& message) {
+  return Status::Internal("IR verification failed: " + message);
+}
+
+size_t ExpectedArity(OpKind op) {
+  switch (op) {
+    case OpKind::kBagLit:
+      return 0;
+    case OpKind::kReadFile:
+    case OpKind::kMap:
+    case OpKind::kFilter:
+    case OpKind::kFlatMap:
+    case OpKind::kReduceByKey:
+    case OpKind::kReduce:
+    case OpKind::kDistinct:
+    case OpKind::kCount:
+      return 1;
+    case OpKind::kJoin:
+    case OpKind::kUnion:
+    case OpKind::kCombine2:
+    case OpKind::kWriteFile:
+      return 2;
+    case OpKind::kPhi:
+      return 2;  // minimum; checked separately
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status Verify(const Program& program) {
+  const int num_blocks = program.num_blocks();
+  const int num_vars = program.num_vars();
+  if (num_blocks == 0) return Fail("no blocks");
+
+  // Terminators are well-formed.
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    const Terminator& term = program.block(b).term;
+    auto check_target = [&](BlockId t) -> Status {
+      if (t < 0 || t >= num_blocks) {
+        return Fail("block " + std::to_string(b) + " targets invalid block " +
+                    std::to_string(t));
+      }
+      return Status::Ok();
+    };
+    switch (term.kind) {
+      case Terminator::Kind::kJump:
+        MITOS_RETURN_IF_ERROR(check_target(term.target));
+        break;
+      case Terminator::Kind::kBranch:
+        MITOS_RETURN_IF_ERROR(check_target(term.target));
+        MITOS_RETURN_IF_ERROR(check_target(term.target_else));
+        if (term.cond < 0 || term.cond >= num_vars) {
+          return Fail("branch in block " + std::to_string(b) +
+                      " has invalid condition variable");
+        }
+        break;
+      case Terminator::Kind::kExit:
+        break;
+    }
+  }
+
+  Cfg cfg(program);
+
+  // Definition sites are consistent and unique (SSA).
+  std::vector<int> def_count(static_cast<size_t>(num_vars), 0);
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    const BasicBlock& block = program.block(b);
+    for (size_t i = 0; i < block.stmts.size(); ++i) {
+      const Stmt& stmt = block.stmts[i];
+      if (stmt.result == kNoVar) {
+        if (stmt.op != OpKind::kWriteFile) {
+          return Fail("non-sink statement without result");
+        }
+        continue;
+      }
+      if (stmt.result < 0 || stmt.result >= num_vars) {
+        return Fail("statement defines invalid variable id");
+      }
+      ++def_count[static_cast<size_t>(stmt.result)];
+      const VarInfo& info = program.var(stmt.result);
+      if (info.def_block != b || info.def_index != static_cast<int>(i)) {
+        return Fail("definition site mismatch for " + info.name);
+      }
+    }
+  }
+  for (VarId v = 0; v < num_vars; ++v) {
+    if (def_count[static_cast<size_t>(v)] != 1) {
+      return Fail("variable " + program.var(v).name + " has " +
+                  std::to_string(def_count[static_cast<size_t>(v)]) +
+                  " definitions (SSA requires exactly 1)");
+    }
+  }
+
+  // Uses are dominated by definitions; arities hold.
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    const BasicBlock& block = program.block(b);
+    for (size_t i = 0; i < block.stmts.size(); ++i) {
+      const Stmt& stmt = block.stmts[i];
+      if (stmt.op == OpKind::kPhi) {
+        if (stmt.inputs.size() < 2) {
+          return Fail("Φ with fewer than 2 inputs");
+        }
+      } else if (stmt.inputs.size() != ExpectedArity(stmt.op)) {
+        return Fail(std::string("arity mismatch for ") + OpKindName(stmt.op));
+      }
+      for (VarId in : stmt.inputs) {
+        if (in < 0 || in >= num_vars) {
+          return Fail("use of invalid variable id");
+        }
+        const VarInfo& def = program.var(in);
+        if (stmt.op == OpKind::kPhi) {
+          // Φ inputs arrive along some control-flow path.
+          if (!cfg.CanReach(def.def_block, b)) {
+            return Fail("Φ input " + def.name + " cannot reach its Φ");
+          }
+          continue;
+        }
+        if (def.def_block == b) {
+          if (def.def_index >= static_cast<int>(i)) {
+            return Fail("use of " + def.name + " before its definition");
+          }
+        } else if (!cfg.Dominates(def.def_block, b)) {
+          return Fail("definition of " + def.name +
+                      " does not dominate its use in block " +
+                      std::to_string(b));
+        }
+      }
+    }
+  }
+
+  // Branch conditions must be singleton bags.
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    const Terminator& term = program.block(b).term;
+    if (term.kind == Terminator::Kind::kBranch &&
+        !program.var(term.cond).singleton) {
+      // A user-supplied bag condition is legal but must be one-element at
+      // runtime; we only warn structurally when it is provably large.
+      // (BagLit conditions with != 1 element would fail here.)
+      const VarInfo& info = program.var(term.cond);
+      const Stmt& def = program.block(info.def_block)
+                            .stmts[static_cast<size_t>(info.def_index)];
+      if (def.op == OpKind::kBagLit && def.bag_lit.size() != 1) {
+        return Fail("branch condition " + info.name +
+                    " is a literal bag without exactly 1 element");
+      }
+    }
+  }
+
+  return Status::Ok();
+}
+
+}  // namespace mitos::ir

@@ -1,0 +1,26 @@
+// Structural verifier for ir::Programs.
+//
+// Checks the invariants downstream passes (translator, runtime) rely on:
+//   * terminators target valid blocks; branch conditions are defined
+//     variables; exactly the blocks reachable from entry are present;
+//   * SSA: every variable has exactly one defining statement, matching its
+//     recorded definition site;
+//   * non-Φ inputs: the definition dominates the use (same-block uses must
+//     come after the definition);
+//   * Φ inputs: each input's defining block can reach the Φ's block, and a
+//     Φ has at least two inputs;
+//   * operator arities (join/combine2/union take 2 inputs, writeFile takes
+//     bag + filename, ...).
+#ifndef MITOS_IR_VERIFY_H_
+#define MITOS_IR_VERIFY_H_
+
+#include "common/status.h"
+#include "ir/ir.h"
+
+namespace mitos::ir {
+
+Status Verify(const Program& program);
+
+}  // namespace mitos::ir
+
+#endif  // MITOS_IR_VERIFY_H_

@@ -1,0 +1,93 @@
+// ProgramBuilder: imperative-feeling construction of lang::Programs.
+//
+// This is the reproduction's stand-in for the paper's macro-based frontend:
+// user code reads top-to-bottom like an imperative script, and the builder
+// records the control-flow structure the Scala macro would have captured:
+//
+//   ProgramBuilder pb;
+//   pb.Assign("day", LitInt(1));
+//   pb.While(Le(Var("day"), LitInt(365)), [&] {
+//     pb.Assign("visits", ReadFile(Concat(LitString("log"), Var("day"))));
+//     pb.Assign("counts", ReduceByKey(Map(Var("visits"), fns::PairWithOne()),
+//                                     fns::SumInt64()));
+//     pb.WriteFile(Var("counts"), Concat(LitString("out"), Var("day")));
+//     pb.Assign("day", Add(Var("day"), LitInt(1)));
+//   });
+//   lang::Program program = pb.Build();
+#ifndef MITOS_LANG_BUILDER_H_
+#define MITOS_LANG_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace mitos::lang {
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder() { scopes_.emplace_back(); }
+
+  ProgramBuilder(const ProgramBuilder&) = delete;
+  ProgramBuilder& operator=(const ProgramBuilder&) = delete;
+
+  // var = expr
+  void Assign(std::string var, ExprPtr expr) {
+    Emit(lang::Assign(std::move(var), std::move(expr)));
+  }
+
+  // bag.writeFile(filename)
+  void WriteFile(ExprPtr bag, ExprPtr filename) {
+    Emit(lang::WriteFile(std::move(bag), std::move(filename)));
+  }
+
+  // while (cond) { body() }
+  void While(ExprPtr cond, const std::function<void()>& body) {
+    Emit(lang::While(std::move(cond), Capture(body)));
+  }
+
+  // do { body() } while (cond)
+  void DoWhile(const std::function<void()>& body, ExprPtr cond) {
+    Emit(lang::DoWhile(Capture(body), std::move(cond)));
+  }
+
+  // if (cond) { then_body() } else { else_body() }
+  void If(ExprPtr cond, const std::function<void()>& then_body,
+          const std::function<void()>& else_body = nullptr) {
+    StmtList then_stmts = Capture(then_body);
+    StmtList else_stmts = else_body ? Capture(else_body) : StmtList{};
+    Emit(lang::If(std::move(cond), std::move(then_stmts),
+                  std::move(else_stmts)));
+  }
+
+  // Returns the program built so far. Non-destructive: statements are
+  // shared, so calling Build() repeatedly (or continuing to add statements
+  // afterwards) is safe and cheap.
+  Program Build() const {
+    MITOS_CHECK_EQ(scopes_.size(), 1u)
+        << "Build() called inside an open control-flow scope";
+    Program p;
+    p.stmts = scopes_.back();
+    return p;
+  }
+
+ private:
+  void Emit(StmtPtr stmt) { scopes_.back().push_back(std::move(stmt)); }
+
+  StmtList Capture(const std::function<void()>& body) {
+    MITOS_CHECK(body) << "null body callback";
+    scopes_.emplace_back();
+    body();
+    StmtList captured = std::move(scopes_.back());
+    scopes_.pop_back();
+    return captured;
+  }
+
+  std::vector<StmtList> scopes_;
+};
+
+}  // namespace mitos::lang
+
+#endif  // MITOS_LANG_BUILDER_H_

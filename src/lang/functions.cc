@@ -1,0 +1,68 @@
+#include "lang/functions.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace mitos::lang {
+namespace fns {
+
+UnaryFn PairWithOne() {
+  return {"pairWithOne",
+          [](const Datum& x) { return Datum::Pair(x, Datum::Int64(1)); }};
+}
+
+BinaryFn SumInt64() {
+  return {"sumInt64", [](const Datum& a, const Datum& b) {
+            return Datum::Int64(a.int64() + b.int64());
+          }};
+}
+
+BinaryFn SumDouble() {
+  return {"sumDouble", [](const Datum& a, const Datum& b) {
+            return Datum::Double(a.dbl() + b.dbl());
+          }};
+}
+
+UnaryFn Field(size_t i) {
+  return {"field" + std::to_string(i),
+          [i](const Datum& x) { return x.field(i); }};
+}
+
+UnaryFn Identity() {
+  return {"identity", [](const Datum& x) { return x; }};
+}
+
+UnaryFn AddInt64(int64_t delta) {
+  return {"addInt64(" + std::to_string(delta) + ")", [delta](const Datum& x) {
+            return Datum::Int64(x.int64() + delta);
+          }};
+}
+
+UnaryFn AbsDiffFields12() {
+  return {"absDiffFields12", [](const Datum& x) {
+            return Datum::Int64(std::abs(x.field(1).int64() -
+                                         x.field(2).int64()));
+          }};
+}
+
+UnaryFn ScaleDouble(double factor) {
+  return {"scaleDouble", [factor](const Datum& x) {
+            return Datum::Double(x.dbl() * factor);
+          }};
+}
+
+PredicateFn FieldEquals(size_t i, Datum value) {
+  return {"fieldEquals" + std::to_string(i),
+          [i, value](const Datum& x) { return x.field(i) == value; }};
+}
+
+PredicateFn Int64ModEquals(int64_t modulus, int64_t remainder) {
+  MITOS_CHECK_GT(modulus, 0);
+  return {"int64Mod", [modulus, remainder](const Datum& x) {
+            return x.int64() % modulus == remainder;
+          }};
+}
+
+}  // namespace fns
+}  // namespace mitos::lang

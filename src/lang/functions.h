@@ -1,0 +1,93 @@
+// Named user-function wrappers for bag operations.
+//
+// The paper's user programs pass Scala lambdas to bag operations (map,
+// filter, reduceByKey, ...). We wrap std::function with a name so that IR
+// dumps and dataflow visualizations stay readable; the function body itself
+// is opaque to the compiler, exactly as in the paper (only control flow is
+// inspected, never lambda bodies).
+#ifndef MITOS_LANG_FUNCTIONS_H_
+#define MITOS_LANG_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/datum.h"
+
+namespace mitos::lang {
+
+// Element -> element (map, key extraction).
+struct UnaryFn {
+  std::string name;
+  std::function<Datum(const Datum&)> fn;
+
+  bool valid() const { return static_cast<bool>(fn); }
+  Datum operator()(const Datum& x) const { return fn(x); }
+};
+
+// (element, element) -> element (reduce, reduceByKey combiners, join output).
+struct BinaryFn {
+  std::string name;
+  std::function<Datum(const Datum&, const Datum&)> fn;
+
+  bool valid() const { return static_cast<bool>(fn); }
+  Datum operator()(const Datum& a, const Datum& b) const { return fn(a, b); }
+};
+
+// Element -> bool (filter).
+struct PredicateFn {
+  std::string name;
+  std::function<bool(const Datum&)> fn;
+
+  bool valid() const { return static_cast<bool>(fn); }
+  bool operator()(const Datum& x) const { return fn(x); }
+};
+
+// Element -> elements (flatMap).
+struct FlatMapFn {
+  std::string name;
+  std::function<DatumVector(const Datum&)> fn;
+
+  bool valid() const { return static_cast<bool>(fn); }
+  DatumVector operator()(const Datum& x) const { return fn(x); }
+};
+
+// ----- Stock functions used by the paper's workloads and by tests -----
+namespace fns {
+
+// x -> (x, 1): the classic word-count/visit-count mapper.
+UnaryFn PairWithOne();
+
+// (a, b) -> a + b for int64s.
+BinaryFn SumInt64();
+
+// (a, b) -> a + b for doubles.
+BinaryFn SumDouble();
+
+// Pair/tuple field accessors: x -> x.field(i).
+UnaryFn Field(size_t i);
+
+// Identity.
+UnaryFn Identity();
+
+// x -> x + delta for int64s.
+UnaryFn AddInt64(int64_t delta);
+
+// (today, yesterday) tuple of (key, a, b) -> |a - b| as int64.
+// Matches the paper's `map((id,today,yesterday) => abs(today-yesterday))`.
+UnaryFn AbsDiffFields12();
+
+// x -> x * factor for doubles.
+UnaryFn ScaleDouble(double factor);
+
+// True iff x.field(i) == value.
+PredicateFn FieldEquals(size_t i, Datum value);
+
+// True iff int64 x % modulus == remainder.
+PredicateFn Int64ModEquals(int64_t modulus, int64_t remainder);
+
+}  // namespace fns
+
+}  // namespace mitos::lang
+
+#endif  // MITOS_LANG_FUNCTIONS_H_

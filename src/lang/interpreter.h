@@ -1,0 +1,83 @@
+// Sequential reference interpreter for lang::Programs.
+//
+// Executes a program with ordinary (non-parallel, non-simulated) semantics
+// against a SimFileSystem. This is the ground truth for differential tests:
+// every distributed executor (Mitos and the baselines) must produce the same
+// bags, because the paper's coordination mechanism promises that "the same
+// bags and same bag identifiers are created during the distributed execution
+// as they would be in a non-parallel execution" (Sec. 5.2).
+#ifndef MITOS_LANG_INTERPRETER_H_
+#define MITOS_LANG_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/datum.h"
+#include "common/status.h"
+#include "lang/ast.h"
+#include "sim/filesystem.h"
+
+namespace mitos::lang {
+
+struct InterpreterOptions {
+  // Aborts programs that loop more than this many total iterations
+  // (protection against accidental infinite loops in tests).
+  int64_t max_total_iterations = 10'000'000;
+};
+
+struct InterpreterStats {
+  int64_t loop_iterations = 0;   // total loop-body executions
+  int64_t elements_read = 0;     // elements read from files
+  int64_t elements_written = 0;  // elements written to files
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(sim::SimFileSystem* fs,
+                       InterpreterOptions options = {});
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  // Type-checks and runs `program`. File writes land in the file system
+  // passed to the constructor.
+  Status Run(const Program& program);
+
+  // Final variable environments (valid after a successful Run).
+  const std::map<std::string, Datum>& scalars() const { return scalars_; }
+  const std::map<std::string, DatumVector>& bags() const { return bags_; }
+  const InterpreterStats& stats() const { return stats_; }
+
+ private:
+  StatusOr<Datum> EvalScalar(const Expr& expr);
+  StatusOr<DatumVector> EvalBag(const Expr& expr);
+  Status RunStmts(const StmtList& stmts);
+  Status RunStmt(const Stmt& stmt);
+  // True when `expr` evaluates to a bag in the current environment.
+  bool IsBagExpr(const Expr& expr) const;
+  // Evaluates a loop/if condition: a scalar bool, or a one-element bool bag.
+  StatusOr<bool> EvalCondition(const Expr& expr);
+  // Evaluates a file name: a scalar string, or a one-element string bag.
+  StatusOr<std::string> EvalFilename(const Expr& expr);
+
+  sim::SimFileSystem* fs_;
+  InterpreterOptions options_;
+  std::map<std::string, Datum> scalars_;
+  std::map<std::string, DatumVector> bags_;
+  InterpreterStats stats_;
+};
+
+// Shared kernel: reduceByKey over (k, v) pairs, emitting (k, combined) in
+// first-seen key order. Used by the interpreter and (per partition) by the
+// distributed operator so both have identical per-key semantics.
+StatusOr<DatumVector> ReduceByKeyKernel(const DatumVector& input,
+                                        const BinaryFn& combine);
+
+// Shared kernel: hash join on field 0. Emits (k, build_v, probe_v) for every
+// match, in probe order (build matches in build-insertion order).
+DatumVector JoinKernel(const DatumVector& build, const DatumVector& probe);
+
+}  // namespace mitos::lang
+
+#endif  // MITOS_LANG_INTERPRETER_H_

@@ -1,0 +1,28 @@
+// Datum-level semantics of the language's scalar binary operators.
+//
+// Shared by the reference interpreter and by the Preparator
+// (ir/normalize.h), which synthesizes map/combine closures from scalar
+// expressions when wrapping scalars into one-element bags (paper Sec. 4.1).
+#ifndef MITOS_LANG_SCALAR_OPS_H_
+#define MITOS_LANG_SCALAR_OPS_H_
+
+#include "common/datum.h"
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace mitos::lang {
+
+// Applies `op` with the language's coercion rules:
+//   * arithmetic: int64 op int64 -> int64, otherwise double;
+//   * comparisons: == / != are value equality, orderings are numeric;
+//   * && / || require bools;
+//   * concat stringifies numeric operands.
+// Division/modulo by zero and kind mismatches yield InvalidArgument.
+StatusOr<Datum> ApplyBinOp(BinOpKind op, const Datum& a, const Datum& b);
+
+// Renders `d` the way concat does: bare for strings, ToString otherwise.
+std::string StringifyForConcat(const Datum& d);
+
+}  // namespace mitos::lang
+
+#endif  // MITOS_LANG_SCALAR_OPS_H_

@@ -1,0 +1,35 @@
+// Static checking of lang::Programs: scalar/bag typing and def-before-use.
+//
+// The source language distinguishes scalars (loop counters, conditions, file
+// names) from bags. This pass infers a type for every variable, rejects
+// mixed use, rejects reads of possibly-undefined variables (e.g. a variable
+// assigned in only one branch of an if and read after the join), and checks
+// operator arity rules (conditions must be scalars, map needs a bag, ...).
+//
+// Every executor (reference interpreter, Mitos, baselines) runs this check
+// first, so downstream passes may assume well-typed input.
+#ifndef MITOS_LANG_TYPE_CHECK_H_
+#define MITOS_LANG_TYPE_CHECK_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace mitos::lang {
+
+enum class VarType { kScalar, kBag };
+
+struct TypeCheckResult {
+  // Type of every variable assigned anywhere in the program.
+  std::map<std::string, VarType> var_types;
+};
+
+// Returns the inferred variable types, or an InvalidArgument status
+// describing the first problem found.
+StatusOr<TypeCheckResult> TypeCheck(const Program& program);
+
+}  // namespace mitos::lang
+
+#endif  // MITOS_LANG_TYPE_CHECK_H_

@@ -1,0 +1,27 @@
+// Umbrella header: everything a downstream user of Mitos-C++ needs.
+//
+//   #include "mitos.h"
+//
+//   mitos::lang::ProgramBuilder pb;            // write the program
+//   ...
+//   mitos::sim::SimFileSystem fs;              // stage inputs
+//   auto result = mitos::api::Run(             // run it
+//       mitos::api::EngineKind::kMitos, pb.Build(), &fs, {.machines = 24});
+//
+// Individual headers remain includable for finer-grained dependencies; see
+// README.md for the module map.
+#ifndef MITOS_MITOS_H_
+#define MITOS_MITOS_H_
+
+#include "api/engine.h"
+#include "common/datum.h"
+#include "common/status.h"
+#include "lang/ast.h"
+#include "lang/builder.h"
+#include "lang/functions.h"
+#include "lang/interpreter.h"
+#include "sim/filesystem.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+#endif  // MITOS_MITOS_H_

@@ -1,0 +1,274 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/dce.h"
+#include "ir/fusion.h"
+#include "ir/ssa.h"
+#include "ir/verify.h"
+#include "runtime/host.h"
+#include "runtime/translator.h"
+
+namespace mitos::runtime {
+
+std::string RunStats::ToString() const {
+  std::ostringstream out;
+  out << "time=" << total_seconds << "s jobs=" << jobs
+      << " decisions=" << decisions << " bags=" << bags
+      << " elements=" << elements << " net=" << cluster.network_bytes
+      << "B msgs=" << cluster.messages << " disk=" << cluster.disk_bytes
+      << "B cpu=" << cluster.cpu_seconds << "s";
+  return out.str();
+}
+
+namespace {
+
+// One job execution: owns hosts, managers, and the authority.
+class Job : public RuntimeContext {
+ public:
+  Job(sim::Simulator* sim, sim::Cluster* cluster, sim::SimFileSystem* fs,
+      const ir::Program& program, const dataflow::LogicalGraph& graph,
+      const ExecutorOptions& options)
+      : sim_(sim),
+        cluster_(cluster),
+        fs_(fs),
+        program_(program),
+        graph_(graph),
+        options_(options),
+        cfg_(program) {}
+
+  StatusOr<RunStats> Execute() {
+    const int machines = cluster_->num_machines();
+    sim::ClusterMetrics before = cluster_->metrics();
+    double t_start = sim_->now();
+
+    // Per-machine control flow managers over the shared path storage.
+    PathAuthority::Options auth_options;
+    auth_options.pipelining = options_.pipelining;
+    auth_options.decision_overhead = options_.decision_overhead;
+    auth_options.max_path_len = options_.max_path_len;
+
+    managers_.clear();
+    manager_ptrs_.clear();
+    for (int m = 0; m < machines; ++m) {
+      managers_.push_back(std::make_unique<ControlFlowManager>(&path_));
+      manager_ptrs_.push_back(managers_.back().get());
+    }
+    authority_ = std::make_unique<PathAuthority>(
+        &program_, cluster_, &path_, manager_ptrs_, auth_options,
+        [this](Status s) { Fail(std::move(s)); });
+
+    // Hosts: one per (node, instance).
+    hosts_.clear();
+    hosts_.resize(static_cast<size_t>(graph_.num_nodes()));
+    op_cpu_.assign(static_cast<size_t>(graph_.num_nodes()), 0.0);
+    for (const dataflow::LogicalNode& node : graph_.nodes) {
+      auto& instances = hosts_[static_cast<size_t>(node.id)];
+      for (int i = 0; i < node.parallelism; ++i) {
+        int machine = MachineOf(node.id, i);
+        instances.push_back(std::make_unique<BagOperatorHost>(
+            this, &graph_.node(node.id), i, machine,
+            manager_ptrs_[static_cast<size_t>(machine)]));
+      }
+    }
+    for (auto& instances : hosts_) {
+      for (auto& host : instances) host->Init();
+    }
+
+    // Job launch: the coordinator deploys tasks serially across machines.
+    double launch =
+        options_.launch_base + options_.launch_per_machine * machines;
+    sim_->ScheduleAfter(launch, [this] {
+      if (!failed()) authority_->Start(/*machine=*/0);
+    });
+
+    sim_->Run();
+
+    if (!status_.ok()) return status_;
+
+    // The job must have drained cleanly: path complete, all hosts idle.
+    if (!authority_->path().complete()) {
+      return Status::Internal("job did not complete: path " +
+                              authority_->path().ToString() + "\n" +
+                              StuckHosts());
+    }
+    std::string stuck = StuckHosts();
+    if (!stuck.empty()) {
+      return Status::Internal("job drained with unfinished operators:\n" +
+                              stuck);
+    }
+
+    RunStats stats;
+    stats.total_seconds = sim_->now() - t_start;
+    stats.launch_seconds = launch;
+    stats.jobs = 1;
+    stats.decisions = authority_->decisions();
+    stats.bags = bags_;
+    stats.elements = elements_;
+    stats.hoisted_reuses = reuses_;
+    stats.peak_buffered_bytes = peak_buffered_bytes_;
+    for (const dataflow::LogicalNode& node : graph_.nodes) {
+      double cpu = op_cpu_[static_cast<size_t>(node.id)];
+      if (cpu > 0) stats.operator_cpu[node.name] += cpu;
+    }
+    const sim::ClusterMetrics& after = cluster_->metrics();
+    stats.cluster.messages = after.messages - before.messages;
+    stats.cluster.network_bytes = after.network_bytes - before.network_bytes;
+    stats.cluster.local_bytes = after.local_bytes - before.local_bytes;
+    stats.cluster.disk_bytes = after.disk_bytes - before.disk_bytes;
+    stats.cluster.cpu_seconds = after.cpu_seconds - before.cpu_seconds;
+    return stats;
+  }
+
+  // ----- RuntimeContext -----
+  sim::Cluster* cluster() override { return cluster_; }
+  sim::SimFileSystem* fs() override { return fs_; }
+  const dataflow::LogicalGraph& graph() const override { return graph_; }
+  const ir::Cfg& cfg() const override { return cfg_; }
+  bool hoisting() const override { return options_.hoisting; }
+  bool blocking_shuffles() const override {
+    return options_.blocking_shuffles;
+  }
+
+  BagOperatorHost* host(dataflow::NodeId node, int instance) override {
+    return hosts_[static_cast<size_t>(node)][static_cast<size_t>(instance)]
+        .get();
+  }
+
+  int MachineOf(dataflow::NodeId node, int instance) const override {
+    const dataflow::LogicalNode& n = graph_.node(node);
+    if (n.parallelism == 1) {
+      // Spread singleton (control-flow spine) operators across machines.
+      return node % cluster_->num_machines();
+    }
+    return instance % cluster_->num_machines();
+  }
+
+  void OnDecision(ir::BlockId block, int path_len, bool value,
+                  int machine) override {
+    if (failed()) return;
+    authority_->OnDecision(block, path_len, value, machine);
+  }
+
+  void Fail(Status status) override {
+    if (status_.ok()) status_ = std::move(status);
+  }
+  bool failed() const override { return !status_.ok(); }
+
+  void BeginFileWrite(const std::string& filename, BagId bag) override {
+    auto it = file_writers_.find(filename);
+    if (it == file_writers_.end() || !(it->second == bag)) {
+      // First partition of this output bag: overwrite semantics.
+      fs_->Remove(filename);
+      file_writers_[filename] = bag;
+    }
+  }
+
+  void CountBag(int64_t elements_in) override {
+    ++bags_;
+    elements_ += elements_in;
+  }
+
+  void CountReuse() override { ++reuses_; }
+
+  void TrackMemory(int64_t delta_bytes) override {
+    buffered_bytes_ += delta_bytes;
+    peak_buffered_bytes_ = std::max(peak_buffered_bytes_, buffered_bytes_);
+  }
+  bool discard_spent_bags() const override {
+    return options_.discard_spent_bags;
+  }
+
+  void ChargeOpCpu(dataflow::NodeId node, double seconds) override {
+    op_cpu_[static_cast<size_t>(node)] += seconds;
+  }
+
+ private:
+  std::string StuckHosts() const {
+    std::string out;
+    int listed = 0;
+    for (const auto& instances : hosts_) {
+      for (const auto& host : instances) {
+        if (host->Idle()) continue;
+        if (++listed > 8) return out + "  ...\n";
+        out += "  " + host->DebugState() + "\n";
+      }
+    }
+    return out;
+  }
+
+  sim::Simulator* sim_;
+  sim::Cluster* cluster_;
+  sim::SimFileSystem* fs_;
+  const ir::Program& program_;
+  const dataflow::LogicalGraph& graph_;
+  ExecutorOptions options_;
+  ir::Cfg cfg_;
+  // The single true execution path; written by the authority, viewed (with
+  // per-machine lag) by every ControlFlowManager.
+  ExecutionPath path_;
+
+  std::vector<std::unique_ptr<ControlFlowManager>> managers_;
+  std::vector<ControlFlowManager*> manager_ptrs_;
+  std::unique_ptr<PathAuthority> authority_;
+  std::vector<std::vector<std::unique_ptr<BagOperatorHost>>> hosts_;
+
+  Status status_;
+  int64_t bags_ = 0;
+  int64_t elements_ = 0;
+  int64_t reuses_ = 0;
+  int64_t buffered_bytes_ = 0;
+  int64_t peak_buffered_bytes_ = 0;
+  std::vector<double> op_cpu_;
+  std::map<std::string, BagId> file_writers_;
+};
+
+}  // namespace
+
+StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
+                              sim::SimFileSystem* fs,
+                              const ir::Program& program,
+                              const dataflow::LogicalGraph& graph,
+                              const ExecutorOptions& options) {
+  Job job(sim, cluster, fs, program, graph, options);
+  return job.Execute();
+}
+
+MitosExecutor::MitosExecutor(sim::Simulator* sim, sim::Cluster* cluster,
+                             sim::SimFileSystem* fs, ExecutorOptions options)
+    : sim_(sim), cluster_(cluster), fs_(fs), options_(options) {}
+
+StatusOr<RunStats> MitosExecutor::Run(const lang::Program& program) {
+  StatusOr<ir::Program> ir_program = ir::CompileToIr(program);
+  if (!ir_program.ok()) return ir_program.status();
+  return RunIr(*ir_program);
+}
+
+StatusOr<RunStats> MitosExecutor::RunIr(const ir::Program& program) {
+  MITOS_RETURN_IF_ERROR(ir::Verify(program));
+  ir::Program optimized = program;
+  if (options_.dead_code_elimination) {
+    StatusOr<ir::DceResult> pruned = ir::EliminateDeadCode(optimized);
+    if (!pruned.ok()) return pruned.status();
+    optimized = std::move(pruned->program);
+    MITOS_RETURN_IF_ERROR(ir::Verify(optimized));
+  }
+  if (options_.operator_fusion) {
+    StatusOr<ir::FusionResult> fused = ir::FuseElementwise(optimized);
+    if (!fused.ok()) return fused.status();
+    optimized = std::move(fused->program);
+    MITOS_RETURN_IF_ERROR(ir::Verify(optimized));
+  }
+  StatusOr<TranslateResult> translated =
+      Translate(optimized, cluster_->num_machines());
+  if (!translated.ok()) return translated.status();
+  return ExecuteJob(sim_, cluster_, fs_, optimized, translated->graph,
+                    options_);
+}
+
+}  // namespace mitos::runtime

@@ -1,0 +1,108 @@
+// Job execution: assembles hosts, control flow managers, and the path
+// authority over a simulated cluster, runs a single (possibly cyclic)
+// dataflow job to completion, and reports statistics.
+//
+// MitosExecutor is the paper's full pipeline: imperative program →
+// Preparator → SSA → single dataflow job → coordinated distributed
+// execution. The same Job machinery also executes the straight-line
+// per-action jobs of the Spark baseline (baselines/spark.h).
+#ifndef MITOS_RUNTIME_EXECUTOR_H_
+#define MITOS_RUNTIME_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "dataflow/graph.h"
+#include "ir/ir.h"
+#include "lang/ast.h"
+#include "runtime/path.h"
+#include "sim/cluster.h"
+#include "sim/filesystem.h"
+#include "sim/simulator.h"
+
+namespace mitos::runtime {
+
+struct ExecutorOptions {
+  // Loop pipelining (paper Sec. 5.2 / 6.6). Off = superstep barriers.
+  bool pipelining = true;
+  // Loop-invariant hoisting (paper Sec. 5.3 / 6.5).
+  bool hoisting = true;
+  // Extra latency per control-flow decision (models e.g. Flink's per-step
+  // native-iteration overhead, FLINK-3322).
+  double decision_overhead = 0.0;
+  // Job deployment cost: base + per-machine (tasks deploy serially from the
+  // coordinator, which is why per-step job launch scales linearly with the
+  // machine count — paper Sec. 6.4).
+  double launch_base = 0.08;
+  double launch_per_machine = 0.045;
+  // Materialize shuffle outputs before transmitting (Spark-style stage
+  // execution). Streaming engines (Flink, Mitos) pipeline shuffles instead.
+  bool blocking_shuffles = false;
+  // Prune statements no sink or condition depends on before translation
+  // (dead loop Φs cost per-iteration coordination). Off = ablation.
+  bool dead_code_elimination = true;
+  // Discard cached input bags and gated output partitions the execution
+  // path proves dead (Sec. 5.2.4). Off = ablation (memory grows with the
+  // iteration count).
+  bool discard_spent_bags = true;
+  // Fuse same-block single-consumer elementwise chains into one operator
+  // (Flink/Spark-style chaining; ir/fusion.h). Opt-in: kept off by default
+  // so the dataflow graph matches the paper's one-node-per-assignment
+  // construction; the ablation bench measures its effect.
+  bool operator_fusion = false;
+  // Runaway-loop guard.
+  int max_path_len = 1'000'000;
+};
+
+struct RunStats {
+  double total_seconds = 0;   // virtual time from submission to completion
+  double launch_seconds = 0;  // of which job deployment
+  int jobs = 1;               // dataflow jobs launched (baselines launch many)
+  int decisions = 0;          // control flow decisions taken
+  int64_t bags = 0;           // output bags computed across all instances
+  int64_t elements = 0;       // elements fed into operators
+  int64_t hoisted_reuses = 0; // build-side states kept across steps (5.3)
+  int64_t peak_buffered_bytes = 0;  // max bytes cached across all hosts
+  // Busy-CPU seconds per logical operator (summed over instances), by the
+  // operator's SSA variable name. A cheap profiler for finding the
+  // bottleneck stage of a pipeline.
+  std::map<std::string, double> operator_cpu;
+  sim::ClusterMetrics cluster;  // deltas over this run
+
+  std::string ToString() const;
+};
+
+// Runs ONE dataflow job (graph + its IR program for control flow) on the
+// given cluster, starting at the simulator's current time and blocking (in
+// virtual time) until the job drains.
+StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
+                              sim::SimFileSystem* fs,
+                              const ir::Program& program,
+                              const dataflow::LogicalGraph& graph,
+                              const ExecutorOptions& options);
+
+// The full Mitos engine: compile (TypeCheck + Preparator + SSA + translate)
+// and execute as a single dataflow job.
+class MitosExecutor {
+ public:
+  MitosExecutor(sim::Simulator* sim, sim::Cluster* cluster,
+                sim::SimFileSystem* fs, ExecutorOptions options = {});
+
+  // Compiles and runs `program`; outputs land in the file system.
+  StatusOr<RunStats> Run(const lang::Program& program);
+
+  // Runs an already-compiled IR program.
+  StatusOr<RunStats> RunIr(const ir::Program& program);
+
+ private:
+  sim::Simulator* sim_;
+  sim::Cluster* cluster_;
+  sim::SimFileSystem* fs_;
+  ExecutorOptions options_;
+};
+
+}  // namespace mitos::runtime
+
+#endif  // MITOS_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,767 @@
+#include "runtime/host.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/spark_cache.h"
+
+namespace mitos::runtime {
+
+namespace {
+
+using dataflow::EdgeKind;
+using dataflow::NodeKind;
+using dataflow::ShuffleKey;
+
+// Fixed CPU charge for open/close/finish bookkeeping, in units of
+// per-element cost.
+constexpr double kBookkeepingElements = 5.0;
+
+}  // namespace
+
+BagOperatorHost::BagOperatorHost(RuntimeContext* ctx,
+                                 const dataflow::LogicalNode* node,
+                                 int instance, int machine,
+                                 ControlFlowManager* cfm)
+    : ctx_(ctx),
+      node_(node),
+      instance_(instance),
+      machine_(machine),
+      cfm_(cfm) {
+  kernel_ = dataflow::MakeOperator(*node);
+}
+
+bool BagOperatorHost::IsSpecial() const { return kernel_ == nullptr; }
+
+double BagOperatorHost::PerElementCost() const {
+  return ctx_->cluster()->config().cpu_per_element * node_->cost_factor;
+}
+
+void BagOperatorHost::Init() {
+  const dataflow::LogicalGraph& graph = ctx_->graph();
+
+  // Inputs with expected marker counts for this instance.
+  inputs_.clear();
+  for (const dataflow::EdgeRef& edge : node_->inputs) {
+    InputState state;
+    state.edge = edge;
+    const dataflow::LogicalNode& from = graph.node(edge.from);
+    state.producer_block = from.block;
+    switch (edge.kind) {
+      case EdgeKind::kForward:
+        state.expected_markers = instance_ < from.parallelism ? 1 : 0;
+        break;
+      case EdgeKind::kShuffle:
+        state.expected_markers = from.parallelism;
+        break;
+      case EdgeKind::kGather:
+        state.expected_markers = instance_ == 0 ? from.parallelism : 0;
+        break;
+      case EdgeKind::kBroadcast:
+        state.expected_markers = 1;
+        break;
+    }
+    inputs_.push_back(std::move(state));
+  }
+
+  // Out-edges: scan consumers referencing this node.
+  out_edges_.clear();
+  for (const dataflow::LogicalNode& consumer : graph.nodes) {
+    for (size_t i = 0; i < consumer.inputs.size(); ++i) {
+      const dataflow::EdgeRef& edge = consumer.inputs[i];
+      if (edge.from != node_->id) continue;
+      OutEdgeInfo info;
+      info.consumer = consumer.id;
+      info.input_index = static_cast<int>(i);
+      info.kind = edge.kind;
+      info.shuffle_key = edge.shuffle_key;
+      info.conditional = edge.conditional;
+      info.consumer_block = consumer.block;
+      info.consumer_par = consumer.parallelism;
+      out_edges_.push_back(info);
+    }
+  }
+
+  cfm_->AddListener(
+      [this](int pos, ir::BlockId block) { OnPathAppend(pos, block); });
+  cfm_->AddCompletionListener([this] { OnPathComplete(); });
+}
+
+// ----- path events -----
+
+void BagOperatorHost::OnPathAppend(int pos, ir::BlockId block) {
+  if (ctx_->failed()) return;
+  // Existing conditional sends first so a bag created at this position
+  // does not react to its own creation.
+  AdvancePendingSends(block);
+
+  // Create the new output bag BEFORE the eviction scan: its input choices
+  // take references that protect cached bags it still needs (a Φ created at
+  // this occurrence may choose a bag this very occurrence supersedes).
+  if (block == node_->block) {
+    CreateOutBag(pos + 1);
+  }
+
+  // Cached input bags from this producer block are superseded by the new
+  // occurrence (no future output bag will choose them; Sec. 5.2.3).
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i].producer_block != block) continue;
+    for (auto& [len, entry] : inputs_[i].bags) {
+      if (len < pos + 1) entry.superseded = true;
+    }
+    MaybeEvict(i);
+  }
+
+  TryFeed();
+}
+
+void BagOperatorHost::OnPathComplete() {
+  if (ctx_->failed()) return;
+  // No further block can occur: pending conditional sends are dead.
+  for (PendingSend& ps : pending_sends_) {
+    if (ps.state == PendingSend::State::kPending) {
+      ps.state = PendingSend::State::kDropped;
+      for (const DatumVector& chunk : ps.buffered) {
+        ctx_->TrackMemory(-static_cast<int64_t>(SerializedSize(chunk)));
+      }
+      ps.buffered.clear();
+    }
+  }
+  // Entries for unfinished bags stay (as kDropped) so later emissions still
+  // find their gating state and discard cleanly.
+  pending_sends_.remove_if([](const PendingSend& ps) {
+    return ps.bag_finished && (ps.done ||
+                               ps.state == PendingSend::State::kDropped);
+  });
+}
+
+int BagOperatorHost::ChooseInput(int i, int len) const {
+  const InputState& input = inputs_[static_cast<size_t>(i)];
+  int max_len = len;
+  // A Φ input produced later in the Φ's own block refers to the *previous*
+  // occurrence (the Φ conceptually executes at the top of its block).
+  if (node_->kind == NodeKind::kPhi &&
+      input.producer_block == node_->block) {
+    max_len = len - 1;
+  }
+  return cfm_->LongestPrefixEndingWith(input.producer_block, max_len);
+}
+
+void BagOperatorHost::CreateOutBag(int path_len) {
+  OutBag bag;
+  bag.path_len = path_len;
+  size_t n = inputs_.size();
+  bag.chosen.assign(n, 0);
+  bag.fed.assign(n, 0);
+  bag.closed.assign(n, false);
+  bag.reuse.assign(n, false);
+
+  if (node_->kind == NodeKind::kPhi) {
+    // Select the single input whose matching prefix is longest — the
+    // "latest assignment" in sequential semantics (Sec. 5.2.3).
+    int best_input = -1;
+    int best_len = 0;
+    for (size_t i = 0; i < n; ++i) {
+      int l = ChooseInput(static_cast<int>(i), path_len);
+      if (l > best_len) {
+        best_len = l;
+        best_input = static_cast<int>(i);
+      }
+    }
+    if (best_input < 0) {
+      ctx_->Fail(Status::Internal("Φ " + node_->name +
+                                  " has no available input bag at path "
+                                  "length " +
+                                  std::to_string(path_len)));
+      return;
+    }
+    bag.chosen[static_cast<size_t>(best_input)] = best_len;
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      int l = ChooseInput(static_cast<int>(i), path_len);
+      if (l == 0) {
+        ctx_->Fail(Status::Internal(
+            "operator " + node_->name + " input " + std::to_string(i) +
+            " has no available bag (definition should dominate use)"));
+        return;
+      }
+      bag.chosen[i] = l;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (bag.chosen[i] > 0) {
+      ++inputs_[i].bags[bag.chosen[i]].refs;  // creates entry if absent
+    }
+  }
+
+  // Conditional-output gating entries exist from creation so that even
+  // empty bags deliver their end-of-bag markers when the path triggers the
+  // edge (Sec. 5.2.4).
+  for (size_t e = 0; e < out_edges_.size(); ++e) {
+    if (!out_edges_[e].conditional) continue;
+    PendingSend ps;
+    ps.bag_len = path_len;
+    ps.edge_index = static_cast<int>(e);
+    pending_sends_.push_back(std::move(ps));
+  }
+
+  out_bags_.push_back(std::move(bag));
+}
+
+// ----- processing -----
+
+void BagOperatorHost::EnqueueWork(double cpu_seconds,
+                                  std::function<void()> action) {
+  ctx_->ChargeOpCpu(node_->id, cpu_seconds);
+  work_.push_back(WorkItem{cpu_seconds, std::move(action)});
+  Pump();
+}
+
+void BagOperatorHost::Pump() {
+  if (busy_ || work_.empty() || ctx_->failed()) return;
+  busy_ = true;
+  WorkItem item = std::move(work_.front());
+  work_.pop_front();
+  auto action = std::make_shared<std::function<void()>>(
+      std::move(item.action));
+  ctx_->cluster()->ExecCpu(machine_, item.cpu, [this, action] {
+    busy_ = false;
+    if (!ctx_->failed()) (*action)();
+    Pump();
+  });
+}
+
+void BagOperatorHost::TryFeed() {
+  if (ctx_->failed() || out_bags_.empty()) return;
+  OutBag& bag = out_bags_.front();
+  if (bag.finish_enqueued) return;
+
+  if (!bag.opened) {
+    bag.opened = true;
+    // Loop-invariant hoisting (Sec. 5.3): reuse state when the chosen bag
+    // id on a reusable input is unchanged since the previous output bag.
+    if (kernel_ && ctx_->hoisting() && has_prev_) {
+      for (size_t i = 0; i < inputs_.size(); ++i) {
+        bag.reuse[i] = kernel_->CanReuseInput(static_cast<int>(i)) &&
+                       bag.chosen[i] > 0 &&
+                       prev_chosen_[i] == bag.chosen[i];
+        if (bag.reuse[i]) ctx_->CountReuse();
+      }
+    }
+    std::vector<bool> reuse = bag.reuse;
+    EnqueueWork(kBookkeepingElements * PerElementCost(), [this, reuse] {
+      if (kernel_) {
+        for (size_t i = 0; i < reuse.size(); ++i) {
+          if (kernel_->CanReuseInput(static_cast<int>(i))) {
+            kernel_->SetReuseInput(static_cast<int>(i), reuse[i]);
+          }
+        }
+        kernel_->Open();
+      } else {
+        special_values_.clear();
+        special_data_.clear();
+      }
+    });
+  }
+
+  const int blocking = kernel_ ? kernel_->BlockingInput() : -1;
+  const int bag_len = bag.path_len;
+
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (bag.closed[i]) continue;
+    if (blocking >= 0 && static_cast<int>(i) != blocking &&
+        !bag.closed[static_cast<size_t>(blocking)]) {
+      continue;  // wait for the build side
+    }
+    if (bag.reuse[i] || bag.chosen[i] == 0) {
+      bag.closed[i] = true;
+      EnqueueWork(0, [this, i, bag_len] {
+        if (kernel_) {
+          kernel_->Close(static_cast<int>(i),
+                         [this, bag_len](DatumVector&& out) {
+                           EmitChunk(bag_len, std::move(out));
+                         });
+        }
+      });
+      continue;
+    }
+    InputBagEntry& entry = inputs_[i].bags[bag.chosen[i]];
+    const int chosen_len = bag.chosen[i];
+    while (bag.fed[i] < entry.chunks.size()) {
+      size_t idx = bag.fed[i]++;
+      size_t elements = entry.chunks[idx].size();
+      bag.elements_in += static_cast<int64_t>(elements);
+      double cpu = static_cast<double>(elements) * PerElementCost();
+      EnqueueWork(cpu, [this, i, chosen_len, idx, bag_len] {
+        const DatumVector& chunk =
+            inputs_[i].bags.at(chosen_len).chunks[idx];
+        auto emit = [this, bag_len](DatumVector&& out) {
+          EmitChunk(bag_len, std::move(out));
+        };
+        if (kernel_) {
+          kernel_->Push(static_cast<int>(i), chunk, emit);
+        } else {
+          SpecialPush(static_cast<int>(i), chunk);
+        }
+      });
+    }
+    if (entry.markers == inputs_[i].expected_markers &&
+        bag.fed[i] == entry.chunks.size()) {
+      bag.closed[i] = true;
+      EnqueueWork(0, [this, i, bag_len] {
+        if (kernel_) {
+          kernel_->Close(static_cast<int>(i),
+                         [this, bag_len](DatumVector&& out) {
+                           EmitChunk(bag_len, std::move(out));
+                         });
+        }
+      });
+    }
+  }
+
+  bool all_closed = true;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (!bag.closed[i]) all_closed = false;
+  }
+  if (all_closed && !bag.finish_enqueued) {
+    bag.finish_enqueued = true;
+    EnqueueFinish(bag);
+  }
+}
+
+void BagOperatorHost::EnqueueFinish(OutBag& bag) {
+  const int bag_len = bag.path_len;
+  double cpu = kBookkeepingElements * PerElementCost();
+  if (node_->kind == NodeKind::kBagLit) {
+    cpu += static_cast<double>(node_->literal.size()) * PerElementCost();
+  }
+  EnqueueWork(cpu, [this, bag_len] {
+    if (kernel_) {
+      kernel_->Finish([this, bag_len](DatumVector&& out) {
+        EmitChunk(bag_len, std::move(out));
+      });
+      FinalizeActiveBag();
+    } else {
+      SpecialFinish();
+    }
+  });
+}
+
+void BagOperatorHost::FlushShuffleBuffers(int bag_len) {
+  for (size_t e = 0; e < out_edges_.size(); ++e) {
+    auto it = shuffle_buffers_.find({bag_len, e});
+    if (it == shuffle_buffers_.end()) continue;
+    for (const DatumVector& chunk : it->second) {
+      SendOnEdge(e, bag_len, chunk);
+    }
+    shuffle_buffers_.erase(it);
+  }
+}
+
+void BagOperatorHost::FinalizeActiveBag() {
+  MITOS_CHECK(!out_bags_.empty());
+  OutBag& bag = out_bags_.front();
+  const int bag_len = bag.path_len;
+
+  if (ctx_->blocking_shuffles()) FlushShuffleBuffers(bag_len);
+
+  for (size_t e = 0; e < out_edges_.size(); ++e) {
+    if (!out_edges_[e].conditional) {
+      SendMarkerOnEdge(e, bag_len);
+      continue;
+    }
+    PendingSend* ps = FindPendingSend(bag_len, e);
+    MITOS_CHECK(ps != nullptr);
+    ps->bag_finished = true;
+    if (ps->state == PendingSend::State::kSending) {
+      SendMarkerOnEdge(e, bag_len);
+      ps->done = true;
+    }
+  }
+  pending_sends_.remove_if([](const PendingSend& ps) {
+    return ps.bag_finished && (ps.done ||
+                               ps.state == PendingSend::State::kDropped);
+  });
+
+  prev_chosen_ = bag.chosen;
+  has_prev_ = true;
+  ctx_->CountBag(bag.elements_in);
+  ReleaseAndPop();
+}
+
+void BagOperatorHost::ReleaseAndPop() {
+  OutBag& bag = out_bags_.front();
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (bag.chosen[i] > 0) {
+      auto it = inputs_[i].bags.find(bag.chosen[i]);
+      MITOS_CHECK(it != inputs_[i].bags.end());
+      --it->second.refs;
+      MaybeEvict(i);
+    }
+  }
+  out_bags_.pop_front();
+  TryFeed();
+}
+
+void BagOperatorHost::MaybeEvict(size_t input_index) {
+  if (!ctx_->discard_spent_bags()) return;
+  auto& bags = inputs_[input_index].bags;
+  for (auto it = bags.begin(); it != bags.end();) {
+    if (it->second.superseded && it->second.refs == 0) {
+      ctx_->TrackMemory(-it->second.bytes);
+      it = bags.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ----- deliveries -----
+
+void BagOperatorHost::DeliverChunk(int input_index, int bag_len,
+                                   DatumVector chunk) {
+  if (ctx_->failed()) return;
+  InputBagEntry& entry =
+      inputs_[static_cast<size_t>(input_index)].bags[bag_len];
+  int64_t bytes = static_cast<int64_t>(SerializedSize(chunk));
+  entry.bytes += bytes;
+  ctx_->TrackMemory(bytes);
+  entry.chunks.push_back(std::move(chunk));
+  TryFeed();
+}
+
+void BagOperatorHost::DeliverMarker(int input_index, int bag_len) {
+  if (ctx_->failed()) return;
+  InputBagEntry& entry =
+      inputs_[static_cast<size_t>(input_index)].bags[bag_len];
+  ++entry.markers;
+  MITOS_CHECK_LE(entry.markers,
+                 inputs_[static_cast<size_t>(input_index)].expected_markers);
+  TryFeed();
+}
+
+// ----- special (kernel-less) nodes -----
+
+void BagOperatorHost::SpecialPush(int input, const DatumVector& chunk) {
+  switch (node_->kind) {
+    case NodeKind::kCondition:
+    case NodeKind::kReadFile:
+      MITOS_CHECK_EQ(input, 0);
+      special_values_.insert(special_values_.end(), chunk.begin(),
+                             chunk.end());
+      break;
+    case NodeKind::kWriteFile:
+      if (input == 0) {
+        special_data_.insert(special_data_.end(), chunk.begin(),
+                             chunk.end());
+      } else {
+        special_values_.insert(special_values_.end(), chunk.begin(),
+                               chunk.end());
+      }
+      break;
+    default:
+      MITOS_UNREACHABLE();
+  }
+}
+
+void BagOperatorHost::SpecialFinish() {
+  OutBag& bag = out_bags_.front();
+  const int bag_len = bag.path_len;
+  switch (node_->kind) {
+    case NodeKind::kBagLit: {
+      DatumVector literal = node_->literal;
+      EmitChunk(bag_len, std::move(literal));
+      FinalizeActiveBag();
+      return;
+    }
+    case NodeKind::kCondition: {
+      if (special_values_.size() != 1 || !special_values_[0].is_bool()) {
+        ctx_->Fail(Status::InvalidArgument(
+            "condition " + node_->name + " expected a one-element bool bag"
+            ", got " + mitos::ToString(special_values_, 4)));
+        return;
+      }
+      bool value = special_values_[0].boolean();
+      ctx_->OnDecision(node_->block, bag_len, value, machine_);
+      FinalizeActiveBag();
+      return;
+    }
+    case NodeKind::kReadFile: {
+      if (special_values_.size() != 1 || !special_values_[0].is_string()) {
+        ctx_->Fail(Status::InvalidArgument(
+            "readFile " + node_->name + " expected a one-element string "
+            "filename bag, got " + mitos::ToString(special_values_, 4)));
+        return;
+      }
+      StartFileRead(special_values_[0].str());
+      return;
+    }
+    case NodeKind::kWriteFile: {
+      FinishFileWrite();
+      return;
+    }
+    default:
+      MITOS_UNREACHABLE();
+  }
+}
+
+void BagOperatorHost::StartFileRead(const std::string& filename) {
+  StatusOr<DatumVector> data = ctx_->fs()->ReadPartition(
+      filename, static_cast<size_t>(node_->parallelism),
+      static_cast<size_t>(instance_));
+  if (!data.ok()) {
+    ctx_->Fail(data.status());
+    return;
+  }
+  const int bag_len = out_bags_.front().path_len;
+  size_t bytes = std::max<size_t>(SerializedSize(*data), 1);
+  size_t chunk_elements = ctx_->cluster()->config().chunk_elements;
+  auto chunks = std::make_shared<std::vector<DatumVector>>();
+  for (size_t begin = 0; begin < data->size(); begin += chunk_elements) {
+    size_t end = std::min(begin + chunk_elements, data->size());
+    chunks->emplace_back(data->begin() + static_cast<long>(begin),
+                         data->begin() + static_cast<long>(end));
+  }
+  if (chunks->empty()) chunks->emplace_back();  // empty partition
+  int pieces = static_cast<int>(chunks->size());
+  special_async_ = true;
+  // Emit chunks at disk pace so downstream work overlaps with the read —
+  // this is one of the two overlaps behind loop pipelining. In-memory
+  // cached datasets (Spark RDD cache) read at memory speed.
+  ctx_->cluster()->DiskRead(
+      machine_, bytes, pieces,
+      [this, chunks, pieces, bag_len](int i) {
+        if (ctx_->failed()) return;
+        EmitChunk(bag_len, std::move((*chunks)[static_cast<size_t>(i)]));
+        if (i == pieces - 1) {
+          special_async_ = false;
+          FinalizeActiveBag();
+        }
+      },
+      IsCacheFile(filename));
+}
+
+void BagOperatorHost::FinishFileWrite() {
+  if (special_values_.size() != 1 || !special_values_[0].is_string()) {
+    ctx_->Fail(Status::InvalidArgument(
+        "writeFile " + node_->name + " expected a one-element string "
+        "filename bag, got " + mitos::ToString(special_values_, 4)));
+    return;
+  }
+  const std::string filename = special_values_[0].str();
+  const int bag_len = out_bags_.front().path_len;
+  ctx_->BeginFileWrite(filename, BagId{node_->id, bag_len});
+  auto data = std::make_shared<DatumVector>(std::move(special_data_));
+  special_data_.clear();
+  size_t bytes = std::max<size_t>(SerializedSize(*data), 1);
+  special_async_ = true;
+  ctx_->cluster()->DiskIo(
+      machine_, bytes,
+      [this, filename, data] {
+        if (ctx_->failed()) return;
+        ctx_->fs()->Append(filename, *data);
+        special_async_ = false;
+        FinalizeActiveBag();
+      },
+      IsCacheFile(filename));
+}
+
+// ----- emission -----
+
+void BagOperatorHost::EmitChunk(int bag_len, DatumVector&& chunk) {
+  if (chunk.empty()) return;
+  size_t max_elems = ctx_->cluster()->config().chunk_elements;
+  // Split oversized emissions so consumers pipeline at chunk granularity.
+  for (size_t begin = 0; begin < chunk.size(); begin += max_elems) {
+    size_t end = std::min(begin + max_elems, chunk.size());
+    DatumVector piece(chunk.begin() + static_cast<long>(begin),
+                      chunk.begin() + static_cast<long>(end));
+    for (size_t e = 0; e < out_edges_.size(); ++e) {
+      if (!out_edges_[e].conditional) {
+        if (ctx_->blocking_shuffles() &&
+            out_edges_[e].kind == EdgeKind::kShuffle) {
+          shuffle_buffers_[{bag_len, e}].push_back(piece);
+        } else {
+          SendOnEdge(e, bag_len, piece);
+        }
+        continue;
+      }
+      PendingSend* ps = FindPendingSend(bag_len, e);
+      MITOS_CHECK(ps != nullptr)
+          << node_->name << " emitting without gating state";
+      switch (ps->state) {
+        case PendingSend::State::kSending:
+          SendOnEdge(e, bag_len, piece);
+          break;
+        case PendingSend::State::kPending:
+          ctx_->TrackMemory(static_cast<int64_t>(SerializedSize(piece)));
+          ps->buffered.push_back(piece);
+          break;
+        case PendingSend::State::kDropped:
+          break;
+      }
+    }
+  }
+}
+
+void BagOperatorHost::SendOnEdge(size_t edge_index, int bag_len,
+                                 const DatumVector& chunk) {
+  const OutEdgeInfo& edge = out_edges_[edge_index];
+  switch (edge.kind) {
+    case EdgeKind::kForward:
+      SendChunkTo(edge, instance_, bag_len, chunk);
+      break;
+    case EdgeKind::kGather:
+      SendChunkTo(edge, 0, bag_len, chunk);
+      break;
+    case EdgeKind::kBroadcast:
+      for (int ci = 0; ci < edge.consumer_par; ++ci) {
+        SendChunkTo(edge, ci, bag_len, chunk);
+      }
+      break;
+    case EdgeKind::kShuffle: {
+      std::vector<DatumVector> parts(static_cast<size_t>(edge.consumer_par));
+      for (const Datum& element : chunk) {
+        size_t h;
+        if (edge.shuffle_key == ShuffleKey::kField0) {
+          MITOS_CHECK(element.is_tuple() && element.size() >= 1)
+              << "shuffle by key on non-tuple element " << element.ToString();
+          h = element.field(0).Hash();
+        } else {
+          h = element.Hash();
+        }
+        parts[h % static_cast<size_t>(edge.consumer_par)].push_back(element);
+      }
+      for (int ci = 0; ci < edge.consumer_par; ++ci) {
+        if (!parts[static_cast<size_t>(ci)].empty()) {
+          SendChunkTo(edge, ci, bag_len,
+                      parts[static_cast<size_t>(ci)]);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void BagOperatorHost::SendChunkTo(const OutEdgeInfo& edge,
+                                  int consumer_instance, int bag_len,
+                                  DatumVector chunk) {
+  size_t bytes = SerializedSize(chunk) +
+                 ctx_->cluster()->config().control_message_bytes;
+  int dst = ctx_->MachineOf(edge.consumer, consumer_instance);
+  BagOperatorHost* consumer = ctx_->host(edge.consumer, consumer_instance);
+  auto payload = std::make_shared<DatumVector>(std::move(chunk));
+  int input_index = edge.input_index;
+  ctx_->cluster()->Send(machine_, dst, bytes,
+                        [consumer, input_index, bag_len, payload] {
+                          consumer->DeliverChunk(input_index, bag_len,
+                                                 std::move(*payload));
+                        });
+}
+
+void BagOperatorHost::SendMarkerOnEdge(size_t edge_index, int bag_len) {
+  const OutEdgeInfo& edge = out_edges_[edge_index];
+  std::vector<int> dests;
+  switch (edge.kind) {
+    case EdgeKind::kForward:
+      dests = {instance_};
+      break;
+    case EdgeKind::kGather:
+      dests = {0};
+      break;
+    case EdgeKind::kBroadcast:
+    case EdgeKind::kShuffle:
+      for (int ci = 0; ci < edge.consumer_par; ++ci) dests.push_back(ci);
+      break;
+  }
+  size_t bytes = ctx_->cluster()->config().control_message_bytes;
+  for (int ci : dests) {
+    int dst = ctx_->MachineOf(edge.consumer, ci);
+    BagOperatorHost* consumer = ctx_->host(edge.consumer, ci);
+    int input_index = edge.input_index;
+    ctx_->cluster()->Send(machine_, dst, bytes,
+                          [consumer, input_index, bag_len] {
+                            consumer->DeliverMarker(input_index, bag_len);
+                          });
+  }
+}
+
+BagOperatorHost::PendingSend* BagOperatorHost::FindPendingSend(
+    int bag_len, size_t edge_index) {
+  for (PendingSend& ps : pending_sends_) {
+    if (ps.bag_len == bag_len &&
+        ps.edge_index == static_cast<int>(edge_index)) {
+      return &ps;
+    }
+  }
+  return nullptr;
+}
+
+void BagOperatorHost::AdvancePendingSends(ir::BlockId block) {
+  const ir::Cfg& cfg = ctx_->cfg();
+  for (PendingSend& ps : pending_sends_) {
+    if (ps.state != PendingSend::State::kPending) continue;
+    const OutEdgeInfo& edge = out_edges_[static_cast<size_t>(ps.edge_index)];
+    if (block == edge.consumer_block) {
+      // Transmit: the path reached the consumer before this operator's
+      // block re-occurred (Sec. 5.2.4).
+      ps.state = PendingSend::State::kSending;
+      for (DatumVector& chunk : ps.buffered) {
+        ctx_->TrackMemory(-static_cast<int64_t>(SerializedSize(chunk)));
+        SendOnEdge(static_cast<size_t>(ps.edge_index), ps.bag_len, chunk);
+      }
+      ps.buffered.clear();
+      if (ps.bag_finished) {
+        SendMarkerOnEdge(static_cast<size_t>(ps.edge_index), ps.bag_len);
+        ps.done = true;
+      }
+    } else if (block == node_->block ||
+               !cfg.CanReachAvoiding(block, edge.consumer_block,
+                                     node_->block)) {
+      // A newer bag supersedes this one on the edge, or the consumer can
+      // no longer be reached without passing this operator again: discard
+      // the partition (the paper's discard rule).
+      ps.state = PendingSend::State::kDropped;
+      for (const DatumVector& chunk : ps.buffered) {
+        ctx_->TrackMemory(-static_cast<int64_t>(SerializedSize(chunk)));
+      }
+      ps.buffered.clear();
+    }
+  }
+  pending_sends_.remove_if([](const PendingSend& ps) {
+    return ps.bag_finished && (ps.done ||
+                               ps.state == PendingSend::State::kDropped);
+  });
+}
+
+// ----- diagnostics -----
+
+bool BagOperatorHost::Idle() const {
+  return out_bags_.empty() && work_.empty() && !busy_ && !special_async_;
+}
+
+std::string BagOperatorHost::DebugState() const {
+  std::string s = node_->name + "[" + std::to_string(instance_) + "]";
+  s += " out_bags=" + std::to_string(out_bags_.size());
+  if (!out_bags_.empty()) {
+    const OutBag& bag = out_bags_.front();
+    s += " front(len=" + std::to_string(bag.path_len);
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+      s += ", in" + std::to_string(i) + "=" + std::to_string(bag.chosen[i]);
+      s += bag.closed[i] ? "closed" : "open";
+      auto it = inputs_[i].bags.find(bag.chosen[i]);
+      if (it != inputs_[i].bags.end()) {
+        s += "(" + std::to_string(it->second.chunks.size()) + "ch," +
+             std::to_string(it->second.markers) + "/" +
+             std::to_string(inputs_[i].expected_markers) + "mk)";
+      }
+    }
+    s += ")";
+  }
+  s += busy_ ? " busy" : "";
+  s += special_async_ ? " io" : "";
+  return s;
+}
+
+}  // namespace mitos::runtime

@@ -1,0 +1,244 @@
+// BagOperatorHost: the coordination wrapper around every physical operator
+// instance (paper Sec. 5, Fig. 2).
+//
+// The host implements the paper's runtime algorithm:
+//   * Output-bag choice (5.2.2): when the machine-local control flow
+//     manager learns that the execution path reached the operator's basic
+//     block, the host enqueues an output bag whose identifier is the
+//     current path prefix.
+//   * Input-bag choice (5.2.3): for each logical input, the chosen input
+//     bag is the one whose identifier is the longest prefix of the output
+//     bag's path ending with the producer's block. Φ-operators select the
+//     single input whose matching prefix is longest overall ("the latest
+//     assignment wins"); for a Φ-input produced *later in the same block*,
+//     the current occurrence is excluded so the previous iteration's value
+//     is taken.
+//   * Element separation (Challenge 1): every delivered chunk and marker
+//     carries its bag identifier; the host buffers per (input, bag).
+//   * Bag reuse (Challenge 2): received input bags are cached and may feed
+//     several output bags (e.g. an outer-loop bag consumed by every inner
+//     iteration). A cached bag is discarded once a newer bag from the same
+//     producer exists on the path and no queued output bag references it.
+//   * Path-ordered processing (Challenge 3): output bags are processed in
+//     execution-path order, never first-come-first-served.
+//   * Conditional outputs (5.2.4): data crossing basic blocks is held until
+//     the path reaches the consumer's block before reaching the producer's
+//     block again; a held bag is discarded as soon as the path reaches a
+//     block from which every route to the consumer passes the producer's
+//     block (ir::Cfg::CanReachAvoiding).
+//   * Loop pipelining: an output bag starts processing as soon as its
+//     inputs start arriving; the host's work queue serializes one
+//     instance's CPU but different operators (and steps) overlap freely.
+//   * Loop-invariant hoisting (5.3): when the chosen input bag id on a
+//     reusable input equals the previous output bag's choice, the host
+//     skips re-feeding and tells the kernel to keep its state.
+#ifndef MITOS_RUNTIME_HOST_H_
+#define MITOS_RUNTIME_HOST_H_
+
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/status.h"
+#include "dataflow/graph.h"
+#include "dataflow/operators.h"
+#include "ir/cfg.h"
+#include "runtime/path.h"
+#include "sim/cluster.h"
+#include "sim/filesystem.h"
+
+namespace mitos::runtime {
+
+class BagOperatorHost;
+
+// Services the executor provides to hosts (implemented by Job in
+// executor.cc; an interface keeps host.cc free of executor internals).
+class RuntimeContext {
+ public:
+  virtual ~RuntimeContext() = default;
+
+  virtual sim::Cluster* cluster() = 0;
+  virtual sim::SimFileSystem* fs() = 0;
+  virtual const dataflow::LogicalGraph& graph() const = 0;
+  virtual const ir::Cfg& cfg() const = 0;
+  virtual bool hoisting() const = 0;
+  virtual bool blocking_shuffles() const = 0;
+
+  virtual BagOperatorHost* host(dataflow::NodeId node, int instance) = 0;
+  virtual int MachineOf(dataflow::NodeId node, int instance) const = 0;
+
+  // Condition-node decision for the occurrence whose bag has `path_len`.
+  virtual void OnDecision(ir::BlockId block, int path_len, bool value,
+                          int machine) = 0;
+
+  // First error wins; the job drains and reports it.
+  virtual void Fail(Status status) = 0;
+  virtual bool failed() const = 0;
+
+  // Overwrite-semantics coordination for writeFile: clears `filename` the
+  // first time a given output bag writes to it (partitions then append).
+  virtual void BeginFileWrite(const std::string& filename, BagId bag) = 0;
+
+  virtual void CountBag(int64_t elements_in) = 0;
+  // An input's built state was kept across bags (loop-invariant hoisting).
+  virtual void CountReuse() = 0;
+  // Buffered-bytes accounting (input caches + gated output partitions);
+  // the executor tracks the global peak.
+  virtual void TrackMemory(int64_t delta_bytes) = 0;
+  // Per-logical-operator busy-CPU attribution (profiling).
+  virtual void ChargeOpCpu(dataflow::NodeId node, double seconds) = 0;
+  // When false, spent input bags are never evicted (ablation of the
+  // paper's Sec. 5.2.4 discard rule).
+  virtual bool discard_spent_bags() const = 0;
+};
+
+class BagOperatorHost {
+ public:
+  BagOperatorHost(RuntimeContext* ctx, const dataflow::LogicalNode* node,
+                  int instance, int machine, ControlFlowManager* cfm);
+
+  BagOperatorHost(const BagOperatorHost&) = delete;
+  BagOperatorHost& operator=(const BagOperatorHost&) = delete;
+
+  // Registers path listeners and precomputes routing tables. Called once
+  // after every host exists.
+  void Init();
+
+  // Network deliveries (invoked by producer hosts through the cluster).
+  void DeliverChunk(int input_index, int bag_len, DatumVector chunk);
+  void DeliverMarker(int input_index, int bag_len);
+
+  // True when the host has no queued or in-flight work (diagnostics).
+  bool Idle() const;
+  std::string DebugState() const;
+
+  const dataflow::LogicalNode& node() const { return *node_; }
+  int instance() const { return instance_; }
+  int machine() const { return machine_; }
+
+ private:
+  // ----- static routing info -----
+  struct OutEdgeInfo {
+    dataflow::NodeId consumer;
+    int input_index;
+    dataflow::EdgeKind kind;
+    dataflow::ShuffleKey shuffle_key;
+    bool conditional;
+    ir::BlockId consumer_block;
+    int consumer_par;
+  };
+
+  struct InputBagEntry {
+    std::vector<DatumVector> chunks;
+    int markers = 0;
+    int refs = 0;
+    bool superseded = false;
+    int64_t bytes = 0;  // buffered payload bytes (tracked globally)
+  };
+
+  struct InputState {
+    dataflow::EdgeRef edge;
+    ir::BlockId producer_block = ir::kNoBlock;
+    int expected_markers = 0;
+    std::map<int, InputBagEntry> bags;  // keyed by bag path length
+  };
+
+  struct OutBag {
+    int path_len = 0;
+    std::vector<int> chosen;   // per input: chosen bag length, 0 = none
+    std::vector<size_t> fed;   // chunks enqueued so far per input
+    std::vector<bool> closed;  // Close enqueued per input
+    std::vector<bool> reuse;   // hoisting: skip re-feeding this input
+    bool opened = false;
+    bool finish_enqueued = false;
+    int64_t elements_in = 0;
+  };
+
+  // Conditional-output gating state per (bag, conditional out-edge).
+  struct PendingSend {
+    int bag_len;
+    int edge_index;
+    enum class State { kPending, kSending, kDropped } state =
+        State::kPending;
+    std::vector<DatumVector> buffered;
+    bool bag_finished = false;
+    bool done = false;  // marker sent or dropped; entry removable
+  };
+
+  // ----- path events -----
+  void OnPathAppend(int pos, ir::BlockId block);
+  void OnPathComplete();
+  void CreateOutBag(int path_len);
+  // Longest-prefix rule (5.2.3) for input `i` of a bag with prefix `len`.
+  int ChooseInput(int i, int len) const;
+
+  // ----- processing -----
+  void TryFeed();
+  void EnqueueWork(double cpu_seconds, std::function<void()> action);
+  void Pump();
+  void EnqueueFinish(OutBag& bag);
+  void FinalizeActiveBag();
+  void ReleaseAndPop();
+
+  // ----- special (kernel-less) nodes -----
+  bool IsSpecial() const;
+  void SpecialPush(int input, const DatumVector& chunk);
+  void SpecialFinish();  // may complete asynchronously (disk I/O)
+  void StartFileRead(const std::string& filename);
+  void FinishFileWrite();
+
+  // ----- emission -----
+  void EmitChunk(int bag_len, DatumVector&& chunk);
+  void SendOnEdge(size_t edge_index, int bag_len, const DatumVector& chunk);
+  void SendChunkTo(const OutEdgeInfo& edge, int consumer_instance,
+                   int bag_len, DatumVector chunk);
+  void SendMarkerOnEdge(size_t edge_index, int bag_len);
+  void FlushShuffleBuffers(int bag_len);
+  void AdvancePendingSends(ir::BlockId block);
+  PendingSend* FindPendingSend(int bag_len, size_t edge_index);
+
+  void MaybeEvict(size_t input_index);
+
+  double PerElementCost() const;
+
+  RuntimeContext* ctx_;
+  const dataflow::LogicalNode* node_;
+  int instance_;
+  int machine_;
+  ControlFlowManager* cfm_;
+
+  std::unique_ptr<dataflow::BagOperator> kernel_;
+  std::vector<InputState> inputs_;
+  std::vector<OutEdgeInfo> out_edges_;
+
+  std::deque<OutBag> out_bags_;
+  std::list<PendingSend> pending_sends_;
+  // Spark-style blocking shuffles: chunks held until the bag finishes.
+  std::map<std::pair<int, size_t>, std::vector<DatumVector>>
+      shuffle_buffers_;
+
+  // Previous (finished) bag's input choices, for hoisting.
+  std::vector<int> prev_chosen_;
+  bool has_prev_ = false;
+
+  // Serialized work queue modelling the single-threaded operator instance.
+  struct WorkItem {
+    double cpu;
+    std::function<void()> action;
+  };
+  std::deque<WorkItem> work_;
+  bool busy_ = false;
+
+  // Special-node scratch (condition values, writeFile buffers, filenames).
+  DatumVector special_values_;
+  DatumVector special_data_;
+  bool special_async_ = false;  // async finish in flight (disk I/O)
+};
+
+}  // namespace mitos::runtime
+
+#endif  // MITOS_RUNTIME_HOST_H_

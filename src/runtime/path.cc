@@ -1,0 +1,142 @@
+#include "runtime/path.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace mitos::runtime {
+
+std::string ExecutionPath::ToString() const {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << blocks_[i];
+  }
+  out << (complete_ ? "] (complete)" : "]");
+  return out.str();
+}
+
+void ControlFlowManager::AdvanceTo(int new_len, bool complete) {
+  MITOS_CHECK(!advancing_) << "reentrant ControlFlowManager::AdvanceTo";
+  advancing_ = true;
+  while (known_len_ < std::min(new_len, path_->size())) {
+    int pos = known_len_++;
+    ir::BlockId block = path_->at(pos);
+    for (auto& listener : listeners_) listener(pos, block);
+  }
+  if (complete && !known_complete_ && known_len_ == path_->size()) {
+    known_complete_ = true;
+    for (auto& listener : completion_listeners_) listener();
+  }
+  advancing_ = false;
+}
+
+PathAuthority::PathAuthority(const ir::Program* program,
+                             sim::Cluster* cluster, ExecutionPath* path,
+                             std::vector<ControlFlowManager*> managers,
+                             Options options,
+                             std::function<void(Status)> on_error)
+    : program_(program),
+      cluster_(cluster),
+      managers_(std::move(managers)),
+      options_(options),
+      on_error_(std::move(on_error)),
+      path_(path) {
+  MITOS_CHECK(program != nullptr);
+  MITOS_CHECK(cluster != nullptr);
+  MITOS_CHECK(path != nullptr);
+}
+
+void PathAuthority::Start(int machine) {
+  MITOS_CHECK_EQ(path_->size(), 0);
+  AppendChain(program_->entry(), machine, /*initial=*/true);
+}
+
+void PathAuthority::OnDecision(ir::BlockId block, int at_len, bool value,
+                               int machine) {
+  if (path_->complete()) {
+    on_error_(Status::Internal("decision after path completion"));
+    return;
+  }
+  if (at_len != path_->size()) {
+    on_error_(Status::Internal(
+        "out-of-order control flow decision: path len " +
+        std::to_string(path_->size()) + ", decision at " +
+        std::to_string(at_len)));
+    return;
+  }
+  const ir::Terminator& term = program_->block(block).term;
+  MITOS_CHECK(term.kind == ir::Terminator::Kind::kBranch);
+  ++decisions_;
+  AppendChain(value ? term.target : term.target_else, machine);
+}
+
+void PathAuthority::AppendChain(ir::BlockId block, int machine,
+                                bool initial) {
+  // Append the decided block and every block that follows unconditionally;
+  // stop at a conditional branch (its condition node will decide later) or
+  // at program exit.
+  ir::BlockId current = block;
+  while (true) {
+    if (path_->size() >= options_.max_path_len) {
+      on_error_(Status::FailedPrecondition(
+          "execution path exceeded max_path_len (runaway loop?)"));
+      return;
+    }
+    path_->Append(current);
+    const ir::Terminator& term = program_->block(current).term;
+    if (term.kind == ir::Terminator::Kind::kJump) {
+      current = term.target;
+      continue;
+    }
+    if (term.kind == ir::Terminator::Kind::kExit) {
+      path_->MarkComplete();
+    }
+    break;
+  }
+  Broadcast(machine, initial);
+}
+
+void PathAuthority::Broadcast(int from_machine, bool initial) {
+  const int new_len = path_->size();
+  const bool complete = path_->complete();
+  sim::Simulator* sim = cluster_->sim();
+
+  auto do_broadcast = [this, new_len, complete, from_machine] {
+    for (int m = 0; m < static_cast<int>(managers_.size()); ++m) {
+      ControlFlowManager* manager = managers_[static_cast<size_t>(m)];
+      if (m == from_machine) {
+        // The local manager learns immediately.
+        manager->AdvanceTo(new_len, complete);
+        continue;
+      }
+      cluster_->Send(from_machine, m,
+                     cluster_->config().control_message_bytes,
+                     [manager, new_len, complete] {
+                       manager->AdvanceTo(new_len, complete);
+                     });
+    }
+  };
+
+  if (options_.pipelining || initial) {
+    if (options_.decision_overhead > 0 && !initial) {
+      sim->ScheduleAfter(options_.decision_overhead, do_broadcast);
+    } else {
+      do_broadcast();
+    }
+  } else {
+    // Superstep barrier: wait for global quiescence, then charge the
+    // per-step overhead, then release the decision.
+    double overhead = options_.decision_overhead;
+    sim->ScheduleWhenIdle([sim, overhead, do_broadcast] {
+      if (overhead > 0) {
+        sim->ScheduleAfter(overhead, do_broadcast);
+      } else {
+        do_broadcast();
+      }
+    });
+  }
+}
+
+}  // namespace mitos::runtime

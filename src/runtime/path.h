@@ -1,0 +1,175 @@
+// Bag identifiers, the execution path, and per-machine control flow
+// managers (paper Sec. 5.2.1).
+//
+// A bag identifier couples the logical operator that created the bag with
+// the execution path up to its creation. Because the execution path is a
+// single append-only sequence of basic blocks, a path prefix is fully
+// described by its *length* — so BagId is just (node, prefix length), and
+// the longest-prefix input-choice rule (Sec. 5.2.3) becomes a backwards
+// scan for the last occurrence of a block.
+//
+// The PathAuthority owns the true path. Condition-node instances report
+// decisions to it; it appends the chosen block (plus the chain of
+// unconditionally-following blocks) and broadcasts the new length to every
+// machine's ControlFlowManager over the simulated network — mirroring the
+// paper's TCP broadcast between control flow managers. Each machine thus
+// has a *lagged* view of the path; hosts react as their local manager
+// advances.
+#ifndef MITOS_RUNTIME_PATH_H_
+#define MITOS_RUNTIME_PATH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "dataflow/graph.h"
+#include "ir/ir.h"
+#include "sim/cluster.h"
+
+namespace mitos::runtime {
+
+// Identifier of one bag: the logical operator that computes it plus the
+// execution-path prefix (by length) at its creation (Sec. 5.2.1).
+struct BagId {
+  dataflow::NodeId node = -1;
+  int path_len = 0;
+
+  bool operator==(const BagId& other) const {
+    return node == other.node && path_len == other.path_len;
+  }
+  std::string ToString() const {
+    return "bag(node=" + std::to_string(node) +
+           ", len=" + std::to_string(path_len) + ")";
+  }
+};
+
+// The global execution path: an append-only sequence of basic blocks.
+class ExecutionPath {
+ public:
+  int size() const { return static_cast<int>(blocks_.size()); }
+  ir::BlockId at(int pos) const {
+    MITOS_CHECK_GE(pos, 0);
+    MITOS_CHECK_LT(pos, size());
+    return blocks_[static_cast<size_t>(pos)];
+  }
+  void Append(ir::BlockId block) { blocks_.push_back(block); }
+
+  bool complete() const { return complete_; }
+  void MarkComplete() { complete_ = true; }
+
+  // Length of the longest prefix with length <= max_len that ends with
+  // `block`; 0 if none (Sec. 5.2.3's input-choice rule).
+  int LongestPrefixEndingWith(ir::BlockId block, int max_len) const {
+    for (int l = std::min(max_len, size()); l >= 1; --l) {
+      if (blocks_[static_cast<size_t>(l - 1)] == block) return l;
+    }
+    return 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ir::BlockId> blocks_;
+  bool complete_ = false;
+};
+
+// Per-machine view of the execution path. The underlying storage is shared
+// (contents are identical everywhere); only the known length lags behind
+// the authority, by exactly the broadcast's network latency.
+class ControlFlowManager {
+ public:
+  explicit ControlFlowManager(const ExecutionPath* path) : path_(path) {}
+
+  int known_len() const { return known_len_; }
+  bool known_complete() const { return known_complete_; }
+  const ExecutionPath& path() const { return *path_; }
+
+  ir::BlockId block_at(int pos) const {
+    MITOS_CHECK_LT(pos, known_len_);
+    return path_->at(pos);
+  }
+
+  // Longest prefix <= max_len (and <= known length) ending with `block`.
+  int LongestPrefixEndingWith(ir::BlockId block, int max_len) const {
+    return path_->LongestPrefixEndingWith(block,
+                                          std::min(max_len, known_len_));
+  }
+
+  // `fn(pos, block)` fires once per newly-known position, in order.
+  void AddListener(std::function<void(int, ir::BlockId)> fn) {
+    listeners_.push_back(std::move(fn));
+  }
+  // Fires once when the path is known to be complete.
+  void AddCompletionListener(std::function<void()> fn) {
+    completion_listeners_.push_back(std::move(fn));
+  }
+
+  // Delivery from the authority. Messages may arrive out of order (they
+  // carry the target length); shorter-than-known deliveries are no-ops.
+  void AdvanceTo(int new_len, bool complete);
+
+ private:
+  const ExecutionPath* path_;
+  int known_len_ = 0;
+  bool known_complete_ = false;
+  bool advancing_ = false;
+  std::vector<std::function<void(int, ir::BlockId)>> listeners_;
+  std::vector<std::function<void()>> completion_listeners_;
+};
+
+// Owns the true execution path; serializes decisions and broadcasts.
+class PathAuthority {
+ public:
+  struct Options {
+    // When false, decision broadcasts wait for global quiescence (a
+    // superstep barrier) — this is Flink-sim / "Mitos (not pipelined)".
+    bool pipelining = true;
+    // Extra latency charged per control-flow decision (e.g. the per-step
+    // overhead of Flink's native iterations, FLINK-3322).
+    double decision_overhead = 0.0;
+    // Runaway-loop guard.
+    int max_path_len = 1'000'000;
+  };
+
+  // `path` is owned by the caller (the job) and shared with every
+  // ControlFlowManager; the authority is its only writer.
+  PathAuthority(const ir::Program* program, sim::Cluster* cluster,
+                ExecutionPath* path,
+                std::vector<ControlFlowManager*> managers, Options options,
+                std::function<void(Status)> on_error);
+
+  // Seeds the path with the entry block (plus its unconditional chain) and
+  // broadcasts. Called once, at job start, from machine `machine`.
+  void Start(int machine);
+
+  // A condition node (in block `block`, on machine `machine`) evaluated the
+  // occurrence whose bag has path length `at_len` and chose `value`.
+  // Decisions are inherently sequential: at_len must equal the current path
+  // length.
+  void OnDecision(ir::BlockId block, int at_len, bool value, int machine);
+
+  const ExecutionPath& path() const { return *path_; }
+  int decisions() const { return decisions_; }
+
+ private:
+  // Appends `block` and everything that unconditionally follows it; then
+  // broadcasts the new length (possibly after a barrier). `initial` marks
+  // the job-start seed of the path, which is not a superstep boundary:
+  // no barrier, no per-decision overhead.
+  void AppendChain(ir::BlockId block, int machine, bool initial = false);
+  void Broadcast(int from_machine, bool initial);
+
+  const ir::Program* program_;
+  sim::Cluster* cluster_;
+  std::vector<ControlFlowManager*> managers_;
+  Options options_;
+  std::function<void(Status)> on_error_;
+  ExecutionPath* path_;
+  int decisions_ = 0;
+};
+
+}  // namespace mitos::runtime
+
+#endif  // MITOS_RUNTIME_PATH_H_

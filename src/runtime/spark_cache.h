@@ -1,0 +1,21 @@
+// Naming convention for in-memory cached datasets (Spark-style RDD cache).
+//
+// The Spark baseline materializes intermediate bags into files named
+// "mem:<id>"; sources and sinks on such files are charged at memory
+// bandwidth instead of disk bandwidth (sim/cluster.h).
+#ifndef MITOS_RUNTIME_SPARK_CACHE_H_
+#define MITOS_RUNTIME_SPARK_CACHE_H_
+
+#include <string>
+
+namespace mitos::runtime {
+
+inline constexpr char kCacheFilePrefix[] = "mem:";
+
+inline bool IsCacheFile(const std::string& filename) {
+  return filename.rfind(kCacheFilePrefix, 0) == 0;
+}
+
+}  // namespace mitos::runtime
+
+#endif  // MITOS_RUNTIME_SPARK_CACHE_H_

@@ -1,0 +1,39 @@
+// Translation of the SSA IR into a single (cyclic) dataflow job
+// (paper Sec. 4.3).
+//
+// One dataflow node per assignment statement, one edge per variable
+// reference, a condition node per conditional terminator, and conditional
+// edges wherever producer and consumer live in different basic blocks.
+// Global reduce/count statements expand into a parallel pre-aggregation
+// node plus a parallelism-1 final node (the standard combiner pattern).
+//
+// Parallelism: wrapped-scalar ("singleton") operators get parallelism 1 —
+// they form the cheap control-flow spine whose decisions race ahead of the
+// heavy data path, which is what makes loop pipelining effective. Data
+// operators get one instance per machine.
+#ifndef MITOS_RUNTIME_TRANSLATOR_H_
+#define MITOS_RUNTIME_TRANSLATOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "dataflow/graph.h"
+#include "ir/ir.h"
+
+namespace mitos::runtime {
+
+struct TranslateResult {
+  dataflow::LogicalGraph graph;
+  // SSA variable id -> node producing it (final node for reduce/count).
+  std::map<ir::VarId, dataflow::NodeId> var_node;
+};
+
+// `data_parallelism` is the instance count for data operators (normally the
+// machine count).
+StatusOr<TranslateResult> Translate(const ir::Program& program,
+                                    int data_parallelism);
+
+}  // namespace mitos::runtime
+
+#endif  // MITOS_RUNTIME_TRANSLATOR_H_

@@ -1,0 +1,119 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mitos::sim {
+
+Cluster::Cluster(Simulator* sim, const ClusterConfig& config)
+    : sim_(sim), config_(config) {
+  MITOS_CHECK(sim != nullptr);
+  MITOS_CHECK_GT(config.num_machines, 0);
+  MITOS_CHECK_GT(config.cores_per_machine, 0);
+  size_t n = static_cast<size_t>(config.num_machines);
+  core_free_.assign(
+      n, std::vector<SimTime>(static_cast<size_t>(config.cores_per_machine),
+                              0.0));
+  nic_out_free_.assign(n, 0.0);
+  nic_in_free_.assign(n, 0.0);
+  disk_free_.assign(n, 0.0);
+  local_last_arrival_.assign(n, 0.0);
+}
+
+SimTime Cluster::AcquireCore(int machine, double duration) {
+  std::vector<SimTime>& cores = core_free_[static_cast<size_t>(machine)];
+  auto it = std::min_element(cores.begin(), cores.end());
+  SimTime start = std::max(sim_->now(), *it);
+  *it = start + duration;
+  return *it;
+}
+
+void Cluster::ExecCpu(int machine, double cpu_seconds,
+                      std::function<void()> done) {
+  MITOS_CHECK_GE(machine, 0);
+  MITOS_CHECK_LT(machine, num_machines());
+  MITOS_CHECK_GE(cpu_seconds, 0.0);
+  metrics_.cpu_seconds += cpu_seconds;
+  SimTime finish = AcquireCore(machine, cpu_seconds);
+  sim_->Schedule(finish, std::move(done));
+}
+
+void Cluster::Send(int src, int dst, size_t bytes,
+                   std::function<void()> done) {
+  MITOS_CHECK_GE(src, 0);
+  MITOS_CHECK_LT(src, num_machines());
+  MITOS_CHECK_GE(dst, 0);
+  MITOS_CHECK_LT(dst, num_machines());
+  if (src == dst) {
+    metrics_.local_bytes += static_cast<int64_t>(bytes);
+    SimTime arrive = sim_->now() + config_.local_latency +
+                     static_cast<double>(bytes) / config_.local_bandwidth;
+    // Deliveries must be FIFO per channel (a small end-of-bag marker must
+    // not overtake the data chunk sent before it).
+    SimTime& last = local_last_arrival_[static_cast<size_t>(src)];
+    arrive = std::max(arrive, last);
+    last = arrive;
+    sim_->Schedule(arrive, std::move(done));
+    return;
+  }
+  metrics_.messages += 1;
+  metrics_.network_bytes += static_cast<int64_t>(bytes);
+  double wire_time = static_cast<double>(bytes) / config_.net_bandwidth;
+  // Sender NIC occupancy, then latency, then receiver NIC occupancy.
+  SimTime& out_free = nic_out_free_[static_cast<size_t>(src)];
+  SimTime sent = std::max(sim_->now(), out_free) + wire_time;
+  out_free = sent;
+  SimTime& in_free = nic_in_free_[static_cast<size_t>(dst)];
+  SimTime arrive = std::max(sent + config_.net_latency, in_free);
+  in_free = arrive;
+  sim_->Schedule(arrive, std::move(done));
+}
+
+void Cluster::DiskIo(int machine, size_t bytes, std::function<void()> done,
+                     bool memory) {
+  MITOS_CHECK_GE(machine, 0);
+  MITOS_CHECK_LT(machine, num_machines());
+  if (memory) {
+    SimTime finish = sim_->now() +
+                     static_cast<double>(bytes) / config_.memory_bandwidth;
+    sim_->Schedule(finish, std::move(done));
+    return;
+  }
+  metrics_.disk_bytes += static_cast<int64_t>(bytes);
+  SimTime& free = disk_free_[static_cast<size_t>(machine)];
+  SimTime finish = std::max(sim_->now(), free) +
+                   static_cast<double>(bytes) / config_.disk_bandwidth;
+  free = finish;
+  sim_->Schedule(finish, std::move(done));
+}
+
+void Cluster::DiskRead(int machine, size_t bytes, int pieces,
+                       std::function<void(int)> on_progress, bool memory) {
+  MITOS_CHECK_GT(pieces, 0);
+  double bandwidth = config_.disk_bandwidth;
+  SimTime start = sim_->now();
+  if (memory) {
+    bandwidth = config_.memory_bandwidth;
+  } else {
+    metrics_.disk_bytes += static_cast<int64_t>(bytes);
+    SimTime& free = disk_free_[static_cast<size_t>(machine)];
+    start = std::max(sim_->now(), free);
+  }
+  double per_piece = static_cast<double>(bytes) / bandwidth / pieces;
+  // Capture on_progress by shared copy; schedule one event per piece at
+  // read pace so consumers overlap with the read.
+  auto progress =
+      std::make_shared<std::function<void(int)>>(std::move(on_progress));
+  for (int i = 0; i < pieces; ++i) {
+    SimTime t = start + per_piece * (i + 1);
+    sim_->Schedule(t, [progress, i] { (*progress)(i); });
+  }
+  if (!memory) {
+    disk_free_[static_cast<size_t>(machine)] = start + per_piece * pieces;
+  }
+}
+
+}  // namespace mitos::sim

@@ -1,0 +1,115 @@
+// Simulated cluster: machines with cores, NICs, and disks.
+//
+// Calibration targets the paper's testbed (Sec. 6.1): 26 machines, 2×8-core
+// Opteron 6128, Gigabit Ethernet, 4×1TB disks, HDFS. Absolute constants
+// matter less than their ratios — the evaluation shapes (job-launch
+// overhead linear in machine count, shuffle costs, pipelining overlap)
+// derive from the model structure.
+#ifndef MITOS_SIM_CLUSTER_H_
+#define MITOS_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mitos::sim {
+
+struct ClusterConfig {
+  int num_machines = 4;
+  int cores_per_machine = 16;
+
+  // Per-element CPU cost of one operator visit (seconds), multiplied by the
+  // operator's cost factor (hash builds cost more than maps). Calibrated to
+  // JVM dataflow engines (~0.5M element-visits/sec/core), which is what the
+  // paper's systems are.
+  double cpu_per_element = 1.5e-6;
+
+  // Network: per-message latency plus endpoint (NIC) occupancy at
+  // bytes/bandwidth. Gigabit Ethernet ~ 125 MB/s.
+  double net_latency = 0.4e-3;
+  double net_bandwidth = 125e6;
+
+  // Same-machine transfers (no NIC occupancy).
+  double local_latency = 15e-6;
+  double local_bandwidth = 8e9;
+
+  // Aggregate disk bandwidth per machine (the paper's nodes had 4 disks).
+  double disk_bandwidth = 300e6;
+
+  // In-memory dataset bandwidth (Spark-style RDD cache reads/writes).
+  double memory_bandwidth = 8e9;
+
+  // Fixed modelled size of control messages and chunk headers (bytes).
+  size_t control_message_bytes = 64;
+
+  // Elements per pipeline chunk.
+  size_t chunk_elements = 2048;
+};
+
+struct ClusterMetrics {
+  int64_t messages = 0;          // network messages (remote only)
+  int64_t network_bytes = 0;     // bytes over the (remote) network
+  int64_t local_bytes = 0;       // same-machine transfer bytes
+  int64_t disk_bytes = 0;
+  double cpu_seconds = 0;        // total busy CPU time across machines
+  int64_t elements_processed = 0;
+};
+
+// Resource model over the simulator. All operations are asynchronous:
+// callers pass a completion callback which runs at the modelled finish time.
+class Cluster {
+ public:
+  Cluster(Simulator* sim, const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_machines() const { return config_.num_machines; }
+  const ClusterConfig& config() const { return config_; }
+  Simulator* sim() { return sim_; }
+
+  // Occupies one core of `machine` for `cpu_seconds`, starting no earlier
+  // than now. `done` runs at completion.
+  void ExecCpu(int machine, double cpu_seconds, std::function<void()> done);
+
+  // Transfers `bytes` from `src` to `dst`. Remote transfers occupy both
+  // NICs and pay latency; local transfers pay only a small latency plus
+  // memory-bandwidth time. `done` runs at delivery.
+  void Send(int src, int dst, size_t bytes, std::function<void()> done);
+
+  // Occupies `machine`'s disk for bytes/disk_bandwidth. With `memory` set,
+  // models an in-memory dataset instead: memory bandwidth, no disk
+  // occupancy (Spark RDD cache).
+  void DiskIo(int machine, size_t bytes, std::function<void()> done,
+              bool memory = false);
+
+  // Like DiskIo but reports intermediate progress: `on_progress(i)` runs
+  // when the i-th of `pieces` equal slices has been read — sources use this
+  // to emit chunks at disk pace, which is what lets downstream operators
+  // overlap with reading (loop pipelining).
+  void DiskRead(int machine, size_t bytes, int pieces,
+                std::function<void(int)> on_progress, bool memory = false);
+
+  ClusterMetrics& metrics() { return metrics_; }
+  const ClusterMetrics& metrics() const { return metrics_; }
+
+ private:
+  // Earliest-available slot on a set of serial resources (cores).
+  SimTime AcquireCore(int machine, double duration);
+
+  Simulator* sim_;
+  ClusterConfig config_;
+  // core_free_[m][c]: time when core c of machine m becomes free.
+  std::vector<std::vector<SimTime>> core_free_;
+  std::vector<SimTime> nic_out_free_;
+  std::vector<SimTime> nic_in_free_;
+  std::vector<SimTime> disk_free_;
+  std::vector<SimTime> local_last_arrival_;  // FIFO clamp for loopback
+  ClusterMetrics metrics_;
+};
+
+}  // namespace mitos::sim
+
+#endif  // MITOS_SIM_CLUSTER_H_

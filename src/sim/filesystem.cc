@@ -1,0 +1,74 @@
+#include "sim/filesystem.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mitos::sim {
+
+std::pair<size_t, size_t> PartitionRange(size_t n, size_t parts,
+                                         size_t part) {
+  MITOS_CHECK_GT(parts, 0u);
+  MITOS_CHECK_LT(part, parts);
+  // First (n % parts) partitions get one extra element.
+  size_t base = n / parts;
+  size_t extra = n % parts;
+  size_t begin = part * base + (part < extra ? part : extra);
+  size_t len = base + (part < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void SimFileSystem::Write(const std::string& name, DatumVector data) {
+  File& f = files_[name];
+  f.bytes = SerializedSize(data);
+  f.data = std::move(data);
+}
+
+void SimFileSystem::Append(const std::string& name, const DatumVector& data) {
+  File& f = files_[name];
+  f.bytes += SerializedSize(data);
+  f.data.insert(f.data.end(), data.begin(), data.end());
+}
+
+bool SimFileSystem::Exists(const std::string& name) const {
+  return files_.find(name) != files_.end();
+}
+
+StatusOr<DatumVector> SimFileSystem::Read(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return it->second.data;
+}
+
+StatusOr<DatumVector> SimFileSystem::ReadPartition(const std::string& name,
+                                                   size_t parts,
+                                                   size_t part) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  auto [begin, end] = PartitionRange(it->second.data.size(), parts, part);
+  return DatumVector(it->second.data.begin() + begin,
+                     it->second.data.begin() + end);
+}
+
+size_t SimFileSystem::FileBytes(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.bytes;
+}
+
+size_t SimFileSystem::FileElements(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+std::vector<std::string> SimFileSystem::ListFiles() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mitos::sim

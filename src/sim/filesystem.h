@@ -1,0 +1,68 @@
+// SimFileSystem: the reproduction's stand-in for HDFS.
+//
+// A named file is an ordered vector of Datums. Files are shared by every
+// simulated machine (like a distributed file system); the *time* cost of
+// reading/writing is charged by the cluster model (sim/cluster.h), not here.
+// Sources read contiguous partitions so that P reader instances split a file
+// exactly the way parallel input splits do.
+#ifndef MITOS_SIM_FILESYSTEM_H_
+#define MITOS_SIM_FILESYSTEM_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/status.h"
+
+namespace mitos::sim {
+
+// Half-open element range [begin, end) of partition `part` out of `parts`
+// for a file of `n` elements. Ranges are contiguous and cover [0, n).
+std::pair<size_t, size_t> PartitionRange(size_t n, size_t parts, size_t part);
+
+class SimFileSystem {
+ public:
+  SimFileSystem() = default;
+
+  // Creates or overwrites `name`.
+  void Write(const std::string& name, DatumVector data);
+
+  // Appends to `name`, creating it if absent. Used by distributed sinks
+  // whose instances each contribute a partition.
+  void Append(const std::string& name, const DatumVector& data);
+
+  bool Exists(const std::string& name) const;
+
+  // Full contents; NotFound if absent.
+  StatusOr<DatumVector> Read(const std::string& name) const;
+
+  // Contents of one partition; NotFound if absent.
+  StatusOr<DatumVector> ReadPartition(const std::string& name, size_t parts,
+                                      size_t part) const;
+
+  // Modelled size in bytes (for the disk/network cost model); 0 if absent.
+  size_t FileBytes(const std::string& name) const;
+
+  // Number of elements; 0 if absent.
+  size_t FileElements(const std::string& name) const;
+
+  std::vector<std::string> ListFiles() const;
+
+  void Remove(const std::string& name) { files_.erase(name); }
+  void Clear() { files_.clear(); }
+
+ private:
+  struct File {
+    DatumVector data;
+    size_t bytes = 0;
+  };
+
+  std::map<std::string, File> files_;
+};
+
+}  // namespace mitos::sim
+
+#endif  // MITOS_SIM_FILESYSTEM_H_

@@ -1,0 +1,105 @@
+// Deterministic discrete-event simulator: the substrate replacing the
+// paper's physical 26-machine cluster.
+//
+// All engines (Mitos, the Spark/Flink/Naiad/TensorFlow baselines) execute
+// real operator code over real data, but *when* things happen is virtual
+// time, advanced by this event queue. Determinism: ties in time are broken
+// by insertion sequence number, so a given program + configuration always
+// produces the same schedule, byte counts, and results.
+#ifndef MITOS_SIM_SIMULATOR_H_
+#define MITOS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mitos::sim {
+
+// Virtual time in seconds.
+using SimTime = double;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `time` (>= now).
+  void Schedule(SimTime time, std::function<void()> fn) {
+    MITOS_CHECK_GE(time, now_);
+    queue_.push(Event{time, next_seq_++, std::move(fn)});
+  }
+
+  // Schedules `fn` after a relative delay.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Runs `fn` the next time the event queue drains completely. This is the
+  // simulator-level barrier primitive: superstep engines (Flink-sim,
+  // Mitos-without-pipelining) defer control-flow decisions until global
+  // quiescence with it. Callbacks fire one at a time: each runs only when
+  // everything it (transitively) scheduled has drained again.
+  void ScheduleWhenIdle(std::function<void()> fn) {
+    idle_callbacks_.push_back(std::move(fn));
+  }
+
+  // Processes events until both the queue and the idle-callback list are
+  // exhausted. Returns the final virtual time.
+  SimTime Run() {
+    while (true) {
+      if (!queue_.empty()) {
+        // const_cast: std::priority_queue exposes only const top(); moving
+        // the callback out before pop avoids a copy and is safe because the
+        // element is popped immediately.
+        Event& top = const_cast<Event&>(queue_.top());
+        MITOS_CHECK_GE(top.time, now_);
+        now_ = top.time;
+        std::function<void()> fn = std::move(top.fn);
+        queue_.pop();
+        ++events_processed_;
+        fn();
+      } else if (!idle_callbacks_.empty()) {
+        std::function<void()> fn = std::move(idle_callbacks_.front());
+        idle_callbacks_.erase(idle_callbacks_.begin());
+        ++barriers_fired_;
+        fn();
+      } else {
+        break;
+      }
+    }
+    return now_;
+  }
+
+  int64_t events_processed() const { return events_processed_; }
+  int64_t barriers_fired() const { return barriers_fired_; }
+  bool idle() const { return queue_.empty() && idle_callbacks_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<std::function<void()>> idle_callbacks_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  int64_t events_processed_ = 0;
+  int64_t barriers_fired_ = 0;
+};
+
+}  // namespace mitos::sim
+
+#endif  // MITOS_SIM_SIMULATOR_H_

@@ -1,0 +1,110 @@
+#include "workloads/generators.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mitos::workloads {
+
+void GenerateVisitLogs(sim::SimFileSystem* fs, const VisitLogSpec& spec) {
+  MITOS_CHECK_GT(spec.days, 0);
+  MITOS_CHECK_GT(spec.num_pages, 0);
+  Rng rng(spec.seed);
+  for (int day = 1; day <= spec.days; ++day) {
+    DatumVector entries;
+    entries.reserve(static_cast<size_t>(spec.entries_per_day));
+    for (int64_t i = 0; i < spec.entries_per_day; ++i) {
+      entries.push_back(Datum::Int64(static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(spec.num_pages)))));
+    }
+    fs->Write(spec.prefix + std::to_string(day), std::move(entries));
+  }
+}
+
+void GeneratePageTypes(sim::SimFileSystem* fs, const PageTypeSpec& spec) {
+  MITOS_CHECK_GT(spec.num_pages, 0);
+  MITOS_CHECK_GT(spec.num_types, 0);
+  Rng rng(spec.seed);
+  DatumVector rows;
+  rows.reserve(static_cast<size_t>(spec.num_pages));
+  std::string padding(static_cast<size_t>(spec.padding_bytes), 'x');
+  for (int64_t page = 0; page < spec.num_pages; ++page) {
+    int64_t type = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(spec.num_types)));
+    if (spec.padding_bytes > 0) {
+      rows.push_back(Datum::Tuple({Datum::Int64(page), Datum::Int64(type),
+                                   Datum::String(padding)}));
+    } else {
+      rows.push_back(Datum::Pair(Datum::Int64(page), Datum::Int64(type)));
+    }
+  }
+  fs->Write(spec.file, std::move(rows));
+}
+
+void GenerateGraph(sim::SimFileSystem* fs, const GraphSpec& spec) {
+  MITOS_CHECK_GT(spec.num_vertices, 0);
+  MITOS_CHECK_GE(spec.num_edges, spec.num_vertices)
+      << "need at least one outgoing edge per vertex";
+  Rng rng(spec.seed);
+  DatumVector vertices;
+  vertices.reserve(static_cast<size_t>(spec.num_vertices));
+  for (int64_t v = 0; v < spec.num_vertices; ++v) {
+    vertices.push_back(Datum::Int64(v));
+  }
+  fs->Write("vertices", std::move(vertices));
+
+  DatumVector edges;
+  edges.reserve(static_cast<size_t>(spec.num_edges));
+  // One guaranteed out-edge per vertex, the rest uniform.
+  for (int64_t v = 0; v < spec.num_vertices; ++v) {
+    int64_t dst = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(spec.num_vertices)));
+    edges.push_back(Datum::Pair(Datum::Int64(v), Datum::Int64(dst)));
+  }
+  for (int64_t e = spec.num_vertices; e < spec.num_edges; ++e) {
+    int64_t src = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(spec.num_vertices)));
+    int64_t dst = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(spec.num_vertices)));
+    edges.push_back(Datum::Pair(Datum::Int64(src), Datum::Int64(dst)));
+  }
+  fs->Write("edges", std::move(edges));
+}
+
+void GeneratePoints(sim::SimFileSystem* fs, const PointsSpec& spec) {
+  MITOS_CHECK_GT(spec.num_points, 0);
+  MITOS_CHECK_GT(spec.num_clusters, 0);
+  Rng rng(spec.seed);
+  // Blob centers on a coarse grid.
+  std::vector<std::pair<double, double>> centers;
+  for (int64_t c = 0; c < spec.num_clusters; ++c) {
+    centers.emplace_back(rng.NextDouble() * 100.0, rng.NextDouble() * 100.0);
+  }
+  DatumVector points;
+  points.reserve(static_cast<size_t>(spec.num_points));
+  for (int64_t p = 0; p < spec.num_points; ++p) {
+    const auto& [cx, cy] =
+        centers[static_cast<size_t>(rng.NextBelow(
+            static_cast<uint64_t>(spec.num_clusters)))];
+    // Uniform square noise around the blob center is enough structure.
+    double x = cx + (rng.NextDouble() - 0.5) * 10.0;
+    double y = cy + (rng.NextDouble() - 0.5) * 10.0;
+    points.push_back(Datum::Tuple(
+        {Datum::Int64(p), Datum::Double(x), Datum::Double(y)}));
+  }
+  fs->Write("points", std::move(points));
+
+  // Initial centroids near distinct blob centers (offset so the algorithm
+  // still has work to do) — random initialization tends to collapse
+  // clusters on toy data.
+  DatumVector centroids;
+  for (int64_t c = 0; c < spec.num_clusters; ++c) {
+    const auto& [cx, cy] = centers[static_cast<size_t>(c)];
+    centroids.push_back(Datum::Tuple(
+        {Datum::Int64(c), Datum::Double(cx + 3.0), Datum::Double(cy - 3.0)}));
+  }
+  fs->Write("centroids", std::move(centroids));
+}
+
+}  // namespace mitos::workloads

@@ -1,0 +1,63 @@
+// Synthetic dataset generators (the paper generated random inputs with
+// uniformly distributed visits, Sec. 6.1). All generators are seeded and
+// deterministic.
+#ifndef MITOS_WORKLOADS_GENERATORS_H_
+#define MITOS_WORKLOADS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/filesystem.h"
+
+namespace mitos::workloads {
+
+struct VisitLogSpec {
+  int days = 365;
+  int64_t entries_per_day = 10'000;
+  int64_t num_pages = 1'000;
+  std::string prefix = "pageVisitLog";
+  uint64_t seed = 42;
+};
+
+// Writes `prefix`1 .. `prefix`<days>, each a bag of uniformly random
+// page ids in [0, num_pages).
+void GenerateVisitLogs(sim::SimFileSystem* fs, const VisitLogSpec& spec);
+
+struct PageTypeSpec {
+  int64_t num_pages = 1'000;
+  int64_t num_types = 4;
+  std::string file = "pageTypes";
+  uint64_t seed = 7;
+  // Padding bytes per row (a string field), to scale the dataset's size
+  // independently of the page count — used by the Fig. 8 sweep.
+  int64_t padding_bytes = 0;
+};
+
+// Writes (page, type) pairs for every page (plus optional padding field:
+// (page, type, pad)). field(0)=page, field(1)=type always hold.
+void GeneratePageTypes(sim::SimFileSystem* fs, const PageTypeSpec& spec);
+
+struct GraphSpec {
+  int64_t num_vertices = 1'000;
+  int64_t num_edges = 10'000;
+  uint64_t seed = 11;
+};
+
+// Writes "vertices" (int64 ids 0..n-1) and "edges" ((src, dst) pairs,
+// uniformly random, self-loops allowed; every vertex gets at least one
+// outgoing edge so 1/out-degree is defined).
+void GenerateGraph(sim::SimFileSystem* fs, const GraphSpec& spec);
+
+struct PointsSpec {
+  int64_t num_points = 10'000;
+  int64_t num_clusters = 4;
+  uint64_t seed = 13;
+};
+
+// Writes "points" ((pid, x, y) around num_clusters Gaussian-ish blobs) and
+// "centroids" (num_clusters random initial centroids (cid, x, y)).
+void GeneratePoints(sim::SimFileSystem* fs, const PointsSpec& spec);
+
+}  // namespace mitos::workloads
+
+#endif  // MITOS_WORKLOADS_GENERATORS_H_

@@ -1,0 +1,69 @@
+// Canonical workload programs from the paper, expressed in the imperative
+// language. Shared by tests, examples, and the benchmark harness.
+#ifndef MITOS_WORKLOADS_PROGRAMS_H_
+#define MITOS_WORKLOADS_PROGRAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace mitos::workloads {
+
+// The paper's running example (Sec. 2): per-day visit counts over a year of
+// page-visit logs, optionally comparing consecutive days (the if inside the
+// loop) and optionally joining a loop-invariant pageTypes dataset.
+struct VisitCountOptions {
+  int days = 365;
+  // Compare consecutive days (join + abs-diff + sum + writeFile in an if).
+  bool with_diffs = true;
+  // Join the loop-invariant pageTypes dataset and keep type-0 pages only
+  // (paper Sec. 2 extension; exercises loop-invariant hoisting).
+  bool with_page_types = false;
+  // When with_diffs is false, write the raw counts per day instead.
+  std::string log_prefix = "pageVisitLog";
+  std::string page_types_file = "pageTypes";
+  std::string out_prefix = "diff";
+};
+
+lang::Program VisitCountProgram(const VisitCountOptions& options);
+
+// A trivial loop with minimal per-step data: isolates the per-iteration
+// coordination overhead (paper Sec. 6.4, Figure 7).
+lang::Program StepOverheadProgram(int steps);
+
+// PageRank over a static edge list — an iterative task whose per-step join
+// against the (loop-invariant) adjacency data exercises hoisting. Files:
+// "vertices" (int64 ids), "edges" (pairs (src, dst)). Writes "ranks".
+struct PageRankOptions {
+  int iterations = 10;
+  int64_t num_vertices = 0;  // required (for the 1/n terms)
+  double damping = 0.85;
+  // When > 0, iterate until the summed absolute rank change drops below
+  // this threshold (a double-valued, data-dependent loop condition) —
+  // `iterations` then acts as a safety cap.
+  double convergence_epsilon = 0;
+};
+
+lang::Program PageRankProgram(const PageRankOptions& options);
+
+// K-means over 2-d points with a fixed iteration count. Files: "points"
+// (tuples (pid, x, y)), "centroids" (tuples (cid, x, y)). Writes
+// "centroids_out". The point set is the loop-invariant join build side.
+struct KMeansOptions {
+  int iterations = 10;
+};
+
+lang::Program KMeansProgram(const KMeansOptions& options);
+
+// Connected components by label propagation (one of the paper's motivating
+// iterative graph tasks, Sec. 1) — iterates UNTIL CONVERGENCE: the loop
+// condition depends on data computed inside the loop (the number of labels
+// that changed), not on a fixed counter. The (undirected) adjacency is the
+// loop-invariant join build side. Files: "vertices", "edges". Writes
+// "components" ((vertex, component) pairs keyed by smallest member id).
+lang::Program ConnectedComponentsProgram();
+
+}  // namespace mitos::workloads
+
+#endif  // MITOS_WORKLOADS_PROGRAMS_H_

@@ -1,0 +1,118 @@
+// Determinism guarantees: a given (program, inputs, configuration) always
+// produces the same results, timings, and traffic, bit for bit. This is
+// what makes the benchmark harness reproducible and the differential test
+// suite trustworthy.
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::api {
+namespace {
+
+struct RunOutcome {
+  double total_seconds;
+  int64_t network_bytes;
+  int64_t messages;
+  double cpu_seconds;
+  int64_t bags;
+  std::map<std::string, DatumVector> files;
+};
+
+RunOutcome RunOnce(EngineKind engine, const lang::Program& program,
+                   const sim::SimFileSystem& inputs, int machines) {
+  sim::SimFileSystem fs = inputs;
+  auto result = Run(engine, program, &fs, {.machines = machines});
+  MITOS_CHECK(result.ok()) << result.status().ToString();
+  RunOutcome outcome;
+  outcome.total_seconds = result->stats.total_seconds;
+  outcome.network_bytes = result->stats.cluster.network_bytes;
+  outcome.messages = result->stats.cluster.messages;
+  outcome.cpu_seconds = result->stats.cluster.cpu_seconds;
+  outcome.bags = result->stats.bags;
+  for (const std::string& name : fs.ListFiles()) {
+    outcome.files[name] = *fs.Read(name);
+  }
+  return outcome;
+}
+
+void ExpectIdentical(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.total_seconds, b.total_seconds);  // exact, not approximate
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.cpu_seconds, b.cpu_seconds);
+  EXPECT_EQ(a.bags, b.bags);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (const auto& [name, data] : a.files) {
+    auto it = b.files.find(name);
+    ASSERT_TRUE(it != b.files.end()) << name;
+    // Exact element ORDER equality, not just multiset: the whole schedule
+    // must replay identically.
+    EXPECT_EQ(data, it->second) << name;
+  }
+}
+
+class DeterminismTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(DeterminismTest, RepeatedRunsAreBitIdentical) {
+  sim::SimFileSystem inputs;
+  workloads::GenerateVisitLogs(&inputs, {.days = 5, .entries_per_day = 500,
+                                         .num_pages = 50});
+  lang::Program program = workloads::VisitCountProgram({.days = 5});
+  RunOutcome first = RunOnce(GetParam(), program, inputs, 4);
+  RunOutcome second = RunOnce(GetParam(), program, inputs, 4);
+  ExpectIdentical(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DeterminismTest,
+    ::testing::Values(EngineKind::kMitos, EngineKind::kMitosNoPipelining,
+                      EngineKind::kMitosNoHoisting, EngineKind::kFlink,
+                      EngineKind::kSpark),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      std::string name = EngineKindName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(DeterminismTest, GeneratorsAreSeedStable) {
+  sim::SimFileSystem a, b;
+  workloads::GenerateVisitLogs(&a, {.days = 3, .entries_per_day = 100,
+                                    .num_pages = 10, .seed = 99});
+  workloads::GenerateVisitLogs(&b, {.days = 3, .entries_per_day = 100,
+                                    .num_pages = 10, .seed = 99});
+  for (const std::string& name : a.ListFiles()) {
+    EXPECT_EQ(*a.Read(name), *b.Read(name));
+  }
+  sim::SimFileSystem c;
+  workloads::GenerateVisitLogs(&c, {.days = 3, .entries_per_day = 100,
+                                    .num_pages = 10, .seed = 100});
+  EXPECT_NE(*a.Read("pageVisitLog1"), *c.Read("pageVisitLog1"));
+}
+
+TEST(DeterminismTest, MachineCountChangesScheduleButNotResults) {
+  sim::SimFileSystem inputs;
+  workloads::GenerateVisitLogs(&inputs, {.days = 4, .entries_per_day = 300,
+                                         .num_pages = 30});
+  lang::Program program = workloads::VisitCountProgram({.days = 4});
+  RunOutcome m2 = RunOnce(EngineKind::kMitos, program, inputs, 2);
+  RunOutcome m8 = RunOnce(EngineKind::kMitos, program, inputs, 8);
+  // Different parallelism, same logical outputs per file (as multisets —
+  // partition order differs).
+  ASSERT_EQ(m2.files.size(), m8.files.size());
+  for (auto& [name, data] : m2.files) {
+    DatumVector a = data;
+    DatumVector b = m8.files.at(name);
+    std::sort(a.begin(), a.end(),
+              [](const Datum& x, const Datum& y) { return x < y; });
+    std::sort(b.begin(), b.end(),
+              [](const Datum& x, const Datum& y) { return x < y; });
+    EXPECT_EQ(a, b) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mitos::api

@@ -1,0 +1,167 @@
+// Parameterized sweep: every canonical workload agrees with the reference
+// interpreter under Mitos across a range of machine counts.
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::api {
+namespace {
+
+enum class Workload {
+  kVisitCountSimple,
+  kVisitCountDiffs,
+  kVisitCountPageTypes,
+  kPageRank,
+  kKMeans,
+  kConnectedComponents,
+};
+
+const char* WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kVisitCountSimple: return "VisitCountSimple";
+    case Workload::kVisitCountDiffs: return "VisitCountDiffs";
+    case Workload::kVisitCountPageTypes: return "VisitCountPageTypes";
+    case Workload::kPageRank: return "PageRank";
+    case Workload::kKMeans: return "KMeans";
+    case Workload::kConnectedComponents: return "ConnectedComponents";
+  }
+  return "?";
+}
+
+struct Case {
+  Workload workload;
+  int machines;
+};
+
+lang::Program MakeProgram(Workload w, sim::SimFileSystem* inputs) {
+  switch (w) {
+    case Workload::kVisitCountSimple:
+      workloads::GenerateVisitLogs(inputs, {.days = 4,
+                                            .entries_per_day = 300,
+                                            .num_pages = 25});
+      return workloads::VisitCountProgram({.days = 4, .with_diffs = false});
+    case Workload::kVisitCountDiffs:
+      workloads::GenerateVisitLogs(inputs, {.days = 4,
+                                            .entries_per_day = 300,
+                                            .num_pages = 25});
+      return workloads::VisitCountProgram({.days = 4});
+    case Workload::kVisitCountPageTypes:
+      workloads::GenerateVisitLogs(inputs, {.days = 3,
+                                            .entries_per_day = 300,
+                                            .num_pages = 30});
+      workloads::GeneratePageTypes(inputs, {.num_pages = 30,
+                                            .num_types = 3});
+      return workloads::VisitCountProgram({.days = 3,
+                                           .with_page_types = true});
+    case Workload::kPageRank:
+      workloads::GenerateGraph(inputs, {.num_vertices = 50,
+                                        .num_edges = 250});
+      return workloads::PageRankProgram({.iterations = 4,
+                                         .num_vertices = 50});
+    case Workload::kKMeans:
+      workloads::GeneratePoints(inputs, {.num_points = 120,
+                                         .num_clusters = 3});
+      return workloads::KMeansProgram({.iterations = 3});
+    case Workload::kConnectedComponents:
+      workloads::GenerateGraph(inputs, {.num_vertices = 30,
+                                        .num_edges = 45});
+      return workloads::ConnectedComponentsProgram();
+  }
+  MITOS_UNREACHABLE();
+  return {};
+}
+
+// Output files holding double-valued aggregates (which reduce in a
+// different order when distributed) need keyed approximate comparison;
+// keys are unique in these files, unlike in the raw inputs.
+const char* ApproxCompareFile(Workload w) {
+  if (w == Workload::kPageRank) return "ranks";
+  if (w == Workload::kKMeans) return "centroids_out";
+  return nullptr;
+}
+
+bool ApproxEqual(const Datum& a, const Datum& b) {
+  if (a.kind() != b.kind()) return false;
+  if (a.is_double()) {
+    double x = a.dbl(), y = b.dbl();
+    return std::abs(x - y) <= 1e-9 * (1.0 + std::abs(x) + std::abs(y));
+  }
+  if (a.is_tuple()) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!ApproxEqual(a.field(i), b.field(i))) return false;
+    }
+    return true;
+  }
+  return a == b;
+}
+
+class WorkloadSweepTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadSweepTest, MitosMatchesReference) {
+  const Case& c = GetParam();
+  sim::SimFileSystem inputs;
+  lang::Program program = MakeProgram(c.workload, &inputs);
+
+  sim::SimFileSystem fs_ref = inputs;
+  auto ref = ::mitos::api::Run(EngineKind::kReference, program, &fs_ref);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  sim::SimFileSystem fs = inputs;
+  auto result = ::mitos::api::Run(EngineKind::kMitos, program, &fs,
+                    {.machines = c.machines});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.jobs, 1);
+
+  ASSERT_EQ(fs_ref.ListFiles(), fs.ListFiles());
+  for (const std::string& name : fs_ref.ListFiles()) {
+    DatumVector expected = *fs_ref.Read(name);
+    DatumVector actual = *fs.Read(name);
+    ASSERT_EQ(expected.size(), actual.size()) << name;
+    const char* approx_file = ApproxCompareFile(c.workload);
+    if (approx_file != nullptr && name == approx_file) {
+      std::map<Datum, Datum> by_key;
+      for (const Datum& e : expected) by_key[e.field(0)] = e;
+      for (const Datum& a : actual) {
+        auto it = by_key.find(a.field(0));
+        ASSERT_TRUE(it != by_key.end()) << name;
+        EXPECT_TRUE(ApproxEqual(it->second, a))
+            << name << ": " << it->second.ToString() << " vs "
+            << a.ToString();
+      }
+    } else {
+      std::sort(expected.begin(), expected.end(),
+                [](const Datum& x, const Datum& y) { return x < y; });
+      std::sort(actual.begin(), actual.end(),
+                [](const Datum& x, const Datum& y) { return x < y; });
+      EXPECT_EQ(expected, actual) << name;
+    }
+  }
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (Workload w : {Workload::kVisitCountSimple, Workload::kVisitCountDiffs,
+                     Workload::kVisitCountPageTypes, Workload::kPageRank,
+                     Workload::kKMeans, Workload::kConnectedComponents}) {
+    for (int machines : {1, 2, 5, 9}) {
+      cases.push_back({w, machines});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSweepTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(WorkloadName(info.param.workload)) + "_m" +
+             std::to_string(info.param.machines);
+    });
+
+}  // namespace
+}  // namespace mitos::api

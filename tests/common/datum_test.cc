@@ -1,0 +1,138 @@
+#include "common/datum.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace mitos {
+namespace {
+
+TEST(DatumTest, KindsAndAccessors) {
+  EXPECT_TRUE(Datum().is_null());
+  EXPECT_EQ(Datum::Int64(42).int64(), 42);
+  EXPECT_DOUBLE_EQ(Datum::Double(1.5).dbl(), 1.5);
+  EXPECT_TRUE(Datum::Bool(true).boolean());
+  EXPECT_EQ(Datum::String("abc").str(), "abc");
+
+  Datum t = Datum::Tuple({Datum::Int64(1), Datum::String("x")});
+  ASSERT_TRUE(t.is_tuple());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.field(0).int64(), 1);
+  EXPECT_EQ(t.field(1).str(), "x");
+}
+
+TEST(DatumTest, PairIsTwoFieldTuple) {
+  Datum p = Datum::Pair(Datum::Int64(7), Datum::Int64(1));
+  ASSERT_TRUE(p.is_tuple());
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.field(0).int64(), 7);
+  EXPECT_EQ(p.field(1).int64(), 1);
+}
+
+TEST(DatumTest, EqualityIsValueBased) {
+  EXPECT_EQ(Datum::Int64(3), Datum::Int64(3));
+  EXPECT_NE(Datum::Int64(3), Datum::Int64(4));
+  // No numeric coercion across kinds.
+  EXPECT_NE(Datum::Int64(3), Datum::Double(3.0));
+  EXPECT_EQ(Datum::Tuple({Datum::Int64(1), Datum::Int64(2)}),
+            Datum::Tuple({Datum::Int64(1), Datum::Int64(2)}));
+  EXPECT_NE(Datum::Tuple({Datum::Int64(1)}),
+            Datum::Tuple({Datum::Int64(1), Datum::Int64(2)}));
+  EXPECT_EQ(Datum(), Datum());
+}
+
+TEST(DatumTest, OrderingIsTotalAndKindMajor) {
+  DatumVector values = {
+      Datum::Tuple({Datum::Int64(2)}),
+      Datum::String("b"),
+      Datum::Int64(5),
+      Datum(),
+      Datum::Bool(false),
+      Datum::Double(0.5),
+      Datum::Int64(-1),
+      Datum::String("a"),
+  };
+  std::sort(values.begin(), values.end(),
+            [](const Datum& a, const Datum& b) { return a < b; });
+  // Null < int64s < double < bool < strings < tuple.
+  EXPECT_TRUE(values[0].is_null());
+  EXPECT_EQ(values[1].int64(), -1);
+  EXPECT_EQ(values[2].int64(), 5);
+  EXPECT_TRUE(values[3].is_double());
+  EXPECT_TRUE(values[4].is_bool());
+  EXPECT_EQ(values[5].str(), "a");
+  EXPECT_EQ(values[6].str(), "b");
+  EXPECT_TRUE(values[7].is_tuple());
+}
+
+TEST(DatumTest, TupleOrderingIsLexicographic) {
+  Datum a = Datum::Tuple({Datum::Int64(1), Datum::Int64(9)});
+  Datum b = Datum::Tuple({Datum::Int64(2), Datum::Int64(0)});
+  Datum c = Datum::Tuple({Datum::Int64(1)});
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(c < a);  // shorter prefix sorts first
+}
+
+TEST(DatumTest, HashConsistentWithEquality) {
+  Datum a = Datum::Tuple({Datum::Int64(1), Datum::String("k")});
+  Datum b = Datum::Tuple({Datum::Int64(1), Datum::String("k")});
+  EXPECT_EQ(a.Hash(), b.Hash());
+
+  std::unordered_set<Datum, DatumHash, DatumEq> set;
+  set.insert(a);
+  set.insert(b);
+  EXPECT_EQ(set.size(), 1u);
+  set.insert(Datum::Int64(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DatumTest, HashSpreadsIntegers) {
+  // Neighbouring int keys should not collide pairwise (sanity for the
+  // shuffle partitioner).
+  std::unordered_set<size_t> hashes;
+  for (int64_t i = 0; i < 1000; ++i) {
+    hashes.insert(Datum::Int64(i).Hash());
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(DatumTest, SerializedSizeModel) {
+  EXPECT_EQ(Datum::Int64(1).SerializedSize(), 8u);
+  EXPECT_EQ(Datum::Double(1.0).SerializedSize(), 8u);
+  EXPECT_EQ(Datum::Bool(true).SerializedSize(), 1u);
+  EXPECT_EQ(Datum::String("abcd").SerializedSize(), 8u);  // 4 header + 4
+  // Tuple: 4-byte header + fields.
+  EXPECT_EQ(Datum::Pair(Datum::Int64(1), Datum::Int64(2)).SerializedSize(),
+            4u + 16u);
+  DatumVector v = {Datum::Int64(1), Datum::Int64(2)};
+  EXPECT_EQ(SerializedSize(v), 16u);
+}
+
+TEST(DatumTest, ToStringRendering) {
+  EXPECT_EQ(Datum::Int64(42).ToString(), "42");
+  EXPECT_EQ(Datum::String("x").ToString(), "\"x\"");
+  EXPECT_EQ(Datum::Bool(false).ToString(), "false");
+  EXPECT_EQ(Datum::Pair(Datum::Int64(1), Datum::String("a")).ToString(),
+            "(1, \"a\")");
+  EXPECT_EQ(Datum().ToString(), "null");
+}
+
+TEST(DatumTest, AsNumberCoercesIntAndDouble) {
+  EXPECT_DOUBLE_EQ(Datum::Int64(3).AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(Datum::Double(2.5).AsNumber(), 2.5);
+}
+
+TEST(DatumTest, CopiesAreIndependentAndCheap) {
+  Datum t = Datum::Tuple({Datum::Int64(1), Datum::Int64(2)});
+  Datum copy = t;
+  EXPECT_EQ(copy, t);
+  // Tuples share immutable storage, so copies compare equal and stay valid
+  // after the source is reassigned.
+  t = Datum::Int64(0);
+  EXPECT_EQ(copy.field(1).int64(), 2);
+}
+
+}  // namespace
+}  // namespace mitos

@@ -1,0 +1,205 @@
+#include "dataflow/operators.h"
+
+#include <gtest/gtest.h>
+
+namespace mitos::dataflow {
+namespace {
+
+DatumVector Ints(std::initializer_list<int64_t> values) {
+  DatumVector out;
+  for (int64_t v : values) out.push_back(Datum::Int64(v));
+  return out;
+}
+
+// Drives one output bag through a kernel and collects emissions.
+DatumVector RunBag(BagOperator& op,
+                   const std::vector<std::pair<int, DatumVector>>& pushes,
+                   int num_inputs = 1) {
+  DatumVector collected;
+  BagOperator::EmitFn emit = [&](DatumVector&& chunk) {
+    collected.insert(collected.end(), chunk.begin(), chunk.end());
+  };
+  op.Open();
+  for (const auto& [input, chunk] : pushes) {
+    op.Push(input, chunk, emit);
+  }
+  for (int i = 0; i < num_inputs; ++i) op.Close(i, emit);
+  op.Finish(emit);
+  return collected;
+}
+
+TEST(OperatorsTest, MapTransformsEveryElement) {
+  MapOp op(lang::fns::AddInt64(5));
+  DatumVector out = RunBag(op, {{0, Ints({1, 2})}, {0, Ints({3})}});
+  EXPECT_EQ(out, Ints({6, 7, 8}));
+}
+
+TEST(OperatorsTest, FilterKeepsMatching) {
+  FilterOp op(lang::fns::Int64ModEquals(2, 1));
+  DatumVector out = RunBag(op, {{0, Ints({1, 2, 3, 4, 5})}});
+  EXPECT_EQ(out, Ints({1, 3, 5}));
+}
+
+TEST(OperatorsTest, FlatMapExpands) {
+  FlatMapOp op({"explode", [](const Datum& x) {
+                  DatumVector v;
+                  for (int64_t i = 0; i < x.int64(); ++i) {
+                    v.push_back(Datum::Int64(i));
+                  }
+                  return v;
+                }});
+  DatumVector out = RunBag(op, {{0, Ints({2, 0, 3})}});
+  EXPECT_EQ(out, Ints({0, 1, 0, 1, 2}));
+}
+
+TEST(OperatorsTest, ReduceByKeyAggregatesAcrossChunks) {
+  ReduceByKeyOp op(lang::fns::SumInt64());
+  DatumVector out = RunBag(
+      op, {{0, {Datum::Pair(Datum::Int64(1), Datum::Int64(10))}},
+           {0, {Datum::Pair(Datum::Int64(2), Datum::Int64(5)),
+                Datum::Pair(Datum::Int64(1), Datum::Int64(1))}}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Datum::Pair(Datum::Int64(1), Datum::Int64(11)));
+  EXPECT_EQ(out[1], Datum::Pair(Datum::Int64(2), Datum::Int64(5)));
+}
+
+TEST(OperatorsTest, ReduceByKeyResetsBetweenBags) {
+  ReduceByKeyOp op(lang::fns::SumInt64());
+  RunBag(op, {{0, {Datum::Pair(Datum::Int64(1), Datum::Int64(10))}}});
+  DatumVector out =
+      RunBag(op, {{0, {Datum::Pair(Datum::Int64(1), Datum::Int64(2))}}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].field(1).int64(), 2);  // not 12: state was dropped
+}
+
+TEST(OperatorsTest, ReduceEmitsNothingOnEmptyInput) {
+  ReduceOp op(lang::fns::SumInt64());
+  EXPECT_TRUE(RunBag(op, {}).empty());
+}
+
+TEST(OperatorsTest, ReduceFolds) {
+  ReduceOp op(lang::fns::SumInt64());
+  DatumVector out = RunBag(op, {{0, Ints({1, 2})}, {0, Ints({3})}});
+  EXPECT_EQ(out, Ints({6}));
+}
+
+TEST(OperatorsTest, CountEmitsZeroForEmpty) {
+  CountOp op;
+  EXPECT_EQ(RunBag(op, {}), Ints({0}));
+}
+
+TEST(OperatorsTest, JoinBuildThenProbe) {
+  JoinOp op;
+  DatumVector out = RunBag(
+      op,
+      {{0, {Datum::Pair(Datum::Int64(1), Datum::String("a"))}},
+       {1, {Datum::Pair(Datum::Int64(1), Datum::Int64(10)),
+            Datum::Pair(Datum::Int64(2), Datum::Int64(20))}}},
+      /*num_inputs=*/2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Datum::Tuple({Datum::Int64(1), Datum::String("a"),
+                                  Datum::Int64(10)}));
+}
+
+TEST(OperatorsTest, JoinBlockingInputIsBuildSide) {
+  JoinOp op;
+  EXPECT_EQ(op.BlockingInput(), 0);
+  EXPECT_TRUE(op.CanReuseInput(0));
+  EXPECT_FALSE(op.CanReuseInput(1));
+}
+
+TEST(OperatorsTest, JoinReusesBuildStateWhenAsked) {
+  JoinOp op;
+  // Bag 1: build {1: a}, probe nothing.
+  RunBag(op, {{0, {Datum::Pair(Datum::Int64(1), Datum::String("a"))}}},
+         /*num_inputs=*/2);
+  // Bag 2: reuse the build side, probe key 1 — must still match.
+  op.SetReuseInput(0, true);
+  DatumVector collected;
+  BagOperator::EmitFn emit = [&](DatumVector&& chunk) {
+    collected.insert(collected.end(), chunk.begin(), chunk.end());
+  };
+  op.Open();
+  op.Push(1, {Datum::Pair(Datum::Int64(1), Datum::Int64(7))}, emit);
+  op.Finish(emit);
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].field(1).str(), "a");
+}
+
+TEST(OperatorsTest, JoinDropsBuildStateWithoutReuse) {
+  JoinOp op;
+  RunBag(op, {{0, {Datum::Pair(Datum::Int64(1), Datum::String("a"))}}},
+         /*num_inputs=*/2);
+  op.SetReuseInput(0, false);
+  DatumVector collected;
+  BagOperator::EmitFn emit = [&](DatumVector&& chunk) {
+    collected.insert(collected.end(), chunk.begin(), chunk.end());
+  };
+  op.Open();
+  op.Push(1, {Datum::Pair(Datum::Int64(1), Datum::Int64(7))}, emit);
+  op.Finish(emit);
+  EXPECT_TRUE(collected.empty());
+}
+
+TEST(OperatorsTest, JoinMultiMatchEmitsAllBuildValues) {
+  JoinOp op;
+  DatumVector out = RunBag(
+      op,
+      {{0, {Datum::Pair(Datum::Int64(1), Datum::String("a")),
+            Datum::Pair(Datum::Int64(1), Datum::String("b"))}},
+       {1, {Datum::Pair(Datum::Int64(1), Datum::Int64(9))}}},
+      /*num_inputs=*/2);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(OperatorsTest, UnionForwardsBothInputs) {
+  UnionOp op;
+  DatumVector out = RunBag(op, {{0, Ints({1})}, {1, Ints({2})},
+                                {0, Ints({3})}},
+                           /*num_inputs=*/2);
+  EXPECT_EQ(out, Ints({1, 2, 3}));
+}
+
+TEST(OperatorsTest, DistinctDeduplicatesWithinBag) {
+  DistinctOp op;
+  DatumVector out = RunBag(op, {{0, Ints({1, 2, 1})}, {0, Ints({2, 3})}});
+  EXPECT_EQ(out, Ints({1, 2, 3}));
+  // And resets between bags.
+  DatumVector again = RunBag(op, {{0, Ints({1})}});
+  EXPECT_EQ(again, Ints({1}));
+}
+
+TEST(OperatorsTest, Combine2AppliesFunction) {
+  Combine2Op op(lang::fns::SumInt64());
+  DatumVector out = RunBag(op, {{0, Ints({4})}, {1, Ints({5})}},
+                           /*num_inputs=*/2);
+  EXPECT_EQ(out, Ints({9}));
+}
+
+TEST(OperatorsTest, Combine2EmitsNothingWhenAnInputIsEmpty) {
+  Combine2Op op(lang::fns::SumInt64());
+  DatumVector out = RunBag(op, {{0, Ints({4})}}, /*num_inputs=*/2);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(OperatorsTest, PhiForwardsSelectedInput) {
+  PhiOp op;
+  DatumVector out = RunBag(op, {{1, Ints({7, 8})}}, /*num_inputs=*/2);
+  EXPECT_EQ(out, Ints({7, 8}));
+}
+
+TEST(OperatorsTest, MakeOperatorDispatch) {
+  LogicalNode node;
+  node.kind = NodeKind::kMap;
+  node.unary = lang::fns::Identity();
+  EXPECT_NE(MakeOperator(node), nullptr);
+  node.kind = NodeKind::kReadFile;
+  EXPECT_EQ(MakeOperator(node), nullptr);  // host-handled
+  node.kind = NodeKind::kCondition;
+  EXPECT_EQ(MakeOperator(node), nullptr);
+  node.kind = NodeKind::kJoin;
+  EXPECT_NE(MakeOperator(node), nullptr);
+}
+
+}  // namespace
+}  // namespace mitos::dataflow

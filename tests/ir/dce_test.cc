@@ -1,0 +1,126 @@
+#include "ir/dce.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/ssa.h"
+#include "ir/verify.h"
+#include "lang/builder.h"
+
+namespace mitos::ir {
+namespace {
+
+int TotalStmts(const Program& p) {
+  int n = 0;
+  for (const BasicBlock& b : p.blocks) n += static_cast<int>(b.stmts.size());
+  return n;
+}
+
+int CountOps(const Program& p, OpKind op) {
+  int n = 0;
+  for (const BasicBlock& b : p.blocks) {
+    for (const Stmt& s : b.stmts) {
+      if (s.op == op) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(DceTest, RemovesUnobservedComputation) {
+  lang::ProgramBuilder pb;
+  pb.Assign("used", lang::BagLit({Datum::Int64(1)}));
+  pb.Assign("dead", lang::Map(lang::Var("used"), lang::fns::AddInt64(1)));
+  pb.Assign("deader", lang::Map(lang::Var("dead"), lang::fns::AddInt64(1)));
+  pb.WriteFile(lang::Var("used"), lang::LitString("out"));
+  auto ir = CompileToIr(pb.Build());
+  ASSERT_TRUE(ir.ok());
+  auto result = EliminateDeadCode(*ir);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // dead + deader go; used + the wrapped filename stay.
+  EXPECT_EQ(result->removed_stmts, 2);
+  EXPECT_TRUE(Verify(result->program).ok())
+      << Verify(result->program).ToString();
+  EXPECT_EQ(CountOps(result->program, OpKind::kWriteFile), 1);
+}
+
+TEST(DceTest, KeepsConditionChains) {
+  lang::ProgramBuilder pb;
+  pb.Assign("i", lang::LitInt(0));
+  pb.While(lang::Lt(lang::Var("i"), lang::LitInt(3)), [&] {
+    pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1)));
+  });
+  auto ir = CompileToIr(pb.Build());
+  ASSERT_TRUE(ir.ok());
+  auto result = EliminateDeadCode(*ir);
+  ASSERT_TRUE(result.ok());
+  // The whole program is the condition chain: nothing removable except
+  // possibly nothing at all.
+  EXPECT_TRUE(Verify(result->program).ok());
+  // The loop must still branch on a condition computed from i.
+  bool found_branch = false;
+  for (const BasicBlock& b : result->program.blocks) {
+    if (b.term.kind == Terminator::Kind::kBranch) found_branch = true;
+  }
+  EXPECT_TRUE(found_branch);
+}
+
+TEST(DceTest, RemovesDeadLoopPhis) {
+  // `unused` is loop-carried but never observed: its Φ and updates go.
+  lang::ProgramBuilder pb;
+  pb.Assign("unused", lang::BagLit({Datum::Int64(0)}));
+  pb.Assign("kept", lang::BagLit({Datum::Int64(0)}));
+  pb.Assign("i", lang::LitInt(0));
+  pb.While(lang::Lt(lang::Var("i"), lang::LitInt(3)), [&] {
+    pb.Assign("unused", lang::Map(lang::Var("unused"),
+                                  lang::fns::AddInt64(1)));
+    pb.Assign("kept", lang::Map(lang::Var("kept"), lang::fns::AddInt64(1)));
+    pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1)));
+  });
+  pb.WriteFile(lang::Var("kept"), lang::LitString("out"));
+  auto ir = CompileToIr(pb.Build());
+  ASSERT_TRUE(ir.ok());
+  int phis_before = CountOps(*ir, OpKind::kPhi);
+  auto result = EliminateDeadCode(*ir);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Verify(result->program).ok());
+  EXPECT_LT(CountOps(result->program, OpKind::kPhi), phis_before);
+  EXPECT_GE(result->removed_stmts, 3);  // unused's init, Φ, and update
+}
+
+TEST(DceTest, NoopOnFullyLiveProgram) {
+  lang::ProgramBuilder pb;
+  pb.Assign("a", lang::BagLit({Datum::Int64(1)}));
+  pb.Assign("b", lang::Map(lang::Var("a"), lang::fns::AddInt64(1)));
+  pb.WriteFile(lang::Var("b"), lang::LitString("out"));
+  auto ir = CompileToIr(pb.Build());
+  ASSERT_TRUE(ir.ok());
+  int before = TotalStmts(*ir);
+  auto result = EliminateDeadCode(*ir);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->removed_stmts, 0);
+  EXPECT_EQ(TotalStmts(result->program), before);
+}
+
+TEST(DceTest, ProgramWithNoSinksKeepsOnlyControlFlow) {
+  lang::ProgramBuilder pb;
+  pb.Assign("a", lang::BagLit({Datum::Int64(1)}));
+  pb.Assign("i", lang::LitInt(0));
+  pb.While(lang::Lt(lang::Var("i"), lang::LitInt(2)), [&] {
+    pb.Assign("a", lang::Map(lang::Var("a"), lang::fns::AddInt64(1)));
+    pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1)));
+  });
+  auto ir = CompileToIr(pb.Build());
+  ASSERT_TRUE(ir.ok());
+  auto result = EliminateDeadCode(*ir);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Verify(result->program).ok());
+  // The bag `a` is unobserved: all of its statements are gone.
+  for (const BasicBlock& b : result->program.blocks) {
+    for (const Stmt& s : b.stmts) {
+      EXPECT_NE(result->program.var(s.result).name.rfind("a", 0), 0u)
+          << "statement for 'a' survived";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mitos::ir

@@ -1,0 +1,134 @@
+#include "ir/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/ssa.h"
+#include "lang/builder.h"
+
+namespace mitos::ir {
+namespace {
+
+// Compiles a known-good program, then lets tests break it.
+Program GoodProgram() {
+  lang::ProgramBuilder pb;
+  pb.Assign("x", lang::LitInt(0));
+  pb.DoWhile([&] { pb.Assign("x", lang::Add(lang::Var("x"), lang::LitInt(1))); },
+             lang::Lt(lang::Var("x"), lang::LitInt(3)));
+  pb.WriteFile(lang::FromScalar(lang::Var("x")), lang::LitString("out"));
+  auto ir = CompileToIr(pb.Build());
+  MITOS_CHECK(ir.ok());
+  return std::move(ir).value();
+}
+
+TEST(VerifyTest, AcceptsCompilerOutput) {
+  Program p = GoodProgram();
+  EXPECT_TRUE(Verify(p).ok()) << Verify(p).ToString();
+}
+
+TEST(VerifyTest, RejectsInvalidJumpTarget) {
+  Program p = GoodProgram();
+  for (BasicBlock& b : p.blocks) {
+    if (b.term.kind == Terminator::Kind::kJump) {
+      b.term.target = 99;
+      break;
+    }
+  }
+  EXPECT_FALSE(Verify(p).ok());
+}
+
+TEST(VerifyTest, RejectsDoubleDefinition) {
+  Program p = GoodProgram();
+  // Duplicate the first defining statement.
+  Stmt copy = p.blocks[0].stmts[0];
+  p.blocks[0].stmts.push_back(copy);
+  EXPECT_FALSE(Verify(p).ok());
+}
+
+TEST(VerifyTest, RejectsDefSiteMismatch) {
+  Program p = GoodProgram();
+  p.vars[static_cast<size_t>(p.blocks[0].stmts[0].result)].def_index = 7;
+  EXPECT_FALSE(Verify(p).ok());
+}
+
+TEST(VerifyTest, RejectsArityViolation) {
+  Program p = GoodProgram();
+  for (BasicBlock& b : p.blocks) {
+    for (Stmt& s : b.stmts) {
+      if (s.op == OpKind::kMap) {
+        s.inputs.push_back(s.inputs[0]);  // map with 2 inputs
+        EXPECT_FALSE(Verify(p).ok());
+        return;
+      }
+    }
+  }
+  FAIL() << "no map statement found";
+}
+
+TEST(VerifyTest, RejectsUseBeforeDefInSameBlock) {
+  Program p = GoodProgram();
+  // Swap the first two statements of a block where the second uses the
+  // first.
+  for (BasicBlock& b : p.blocks) {
+    if (b.stmts.size() >= 2 && !b.stmts[1].inputs.empty() &&
+        b.stmts[1].inputs[0] == b.stmts[0].result) {
+      std::swap(b.stmts[0], b.stmts[1]);
+      // Fix up recorded def sites so only the ordering is broken.
+      for (size_t i = 0; i < b.stmts.size(); ++i) {
+        if (b.stmts[i].result != kNoVar) {
+          p.vars[static_cast<size_t>(b.stmts[i].result)].def_index =
+              static_cast<int>(i);
+        }
+      }
+      EXPECT_FALSE(Verify(p).ok());
+      return;
+    }
+  }
+  GTEST_SKIP() << "no suitable statement pair";
+}
+
+TEST(VerifyTest, RejectsPhiWithOneInput) {
+  Program p = GoodProgram();
+  for (BasicBlock& b : p.blocks) {
+    for (Stmt& s : b.stmts) {
+      if (s.op == OpKind::kPhi) {
+        s.inputs.resize(1);
+        EXPECT_FALSE(Verify(p).ok());
+        return;
+      }
+    }
+  }
+  FAIL() << "no phi found";
+}
+
+TEST(VerifyTest, RejectsNonSingletonLiteralBranchCondition) {
+  Program p = GoodProgram();
+  // Find the branch, redirect its condition to a fresh 2-element literal.
+  Stmt lit;
+  lit.op = OpKind::kBagLit;
+  lit.bag_lit = {Datum::Bool(true), Datum::Bool(false)};
+  VarInfo info;
+  info.name = "badcond";
+  info.def_block = 0;
+  info.def_index = static_cast<int>(p.blocks[0].stmts.size());
+  info.singleton = false;
+  lit.result = static_cast<VarId>(p.vars.size());
+  p.vars.push_back(info);
+  p.blocks[0].stmts.push_back(lit);
+  bool patched = false;
+  for (BasicBlock& b : p.blocks) {
+    if (b.term.kind == Terminator::Kind::kBranch) {
+      b.term.cond = lit.result;
+      patched = true;
+    }
+  }
+  ASSERT_TRUE(patched);
+  EXPECT_FALSE(Verify(p).ok());
+}
+
+TEST(VerifyTest, RejectsEmptyProgram) {
+  Program p;
+  EXPECT_FALSE(Verify(p).ok());
+}
+
+}  // namespace
+}  // namespace mitos::ir

@@ -1,0 +1,295 @@
+// White-box tests of BagOperatorHost's coordination rules through a mock
+// RuntimeContext and hand-built graphs: the longest-prefix input choice
+// (Sec. 5.2.3) including the Φ same-block adjustment, conditional-output
+// gating and discard (Sec. 5.2.4), and cache eviction.
+#include <gtest/gtest.h>
+
+#include "runtime/host.h"
+
+namespace mitos::runtime {
+namespace {
+
+using dataflow::EdgeKind;
+using dataflow::EdgeRef;
+using dataflow::LogicalGraph;
+using dataflow::LogicalNode;
+using dataflow::NodeKind;
+using dataflow::ShuffleKey;
+
+// A loop CFG: 0 (entry) -> 1 (body, branch back or out) -> 2 (exit).
+ir::Program LoopProgram() {
+  ir::Program p;
+  // One bool condition variable, defined in block 1.
+  ir::VarInfo cond;
+  cond.name = "c";
+  cond.def_block = 1;
+  cond.def_index = 0;
+  cond.singleton = true;
+  p.vars.push_back(cond);
+
+  ir::BasicBlock entry;
+  entry.label = "entry";
+  entry.term = {ir::Terminator::Kind::kJump, 1, ir::kNoBlock, ir::kNoVar};
+  p.blocks.push_back(entry);
+
+  ir::BasicBlock body;
+  body.label = "body";
+  ir::Stmt def;
+  def.result = 0;
+  def.op = ir::OpKind::kBagLit;
+  def.bag_lit = {Datum::Bool(true)};
+  body.stmts.push_back(def);
+  body.term = {ir::Terminator::Kind::kBranch, 1, 2, 0};
+  p.blocks.push_back(body);
+
+  ir::BasicBlock after;
+  after.label = "after";
+  after.term = {ir::Terminator::Kind::kExit, ir::kNoBlock, ir::kNoBlock,
+                ir::kNoVar};
+  p.blocks.push_back(after);
+  return p;
+}
+
+class MockContext : public RuntimeContext {
+ public:
+  MockContext(const LogicalGraph* graph, const ir::Program* program)
+      : graph_(graph), cfg_(*program) {
+    cluster_config_.num_machines = 1;
+    cluster_ = std::make_unique<sim::Cluster>(&sim_, cluster_config_);
+  }
+
+  sim::Cluster* cluster() override { return cluster_.get(); }
+  sim::SimFileSystem* fs() override { return &fs_; }
+  const dataflow::LogicalGraph& graph() const override { return *graph_; }
+  const ir::Cfg& cfg() const override { return cfg_; }
+  bool hoisting() const override { return true; }
+  bool blocking_shuffles() const override { return false; }
+  bool discard_spent_bags() const override { return true; }
+  BagOperatorHost* host(dataflow::NodeId node, int instance) override {
+    return hosts_.at(static_cast<size_t>(node))[static_cast<size_t>(
+        instance)];
+  }
+  int MachineOf(dataflow::NodeId, int) const override { return 0; }
+  void OnDecision(ir::BlockId block, int path_len, bool value,
+                  int) override {
+    decisions.push_back({block, path_len, value});
+  }
+  void Fail(Status status) override {
+    if (error.ok()) error = std::move(status);
+  }
+  bool failed() const override { return !error.ok(); }
+  void BeginFileWrite(const std::string&, BagId) override {}
+  void CountBag(int64_t) override { ++bags; }
+  void CountReuse() override { ++reuses; }
+  void TrackMemory(int64_t delta) override { memory += delta; }
+  void ChargeOpCpu(dataflow::NodeId, double) override {}
+
+  struct Decision {
+    ir::BlockId block;
+    int path_len;
+    bool value;
+  };
+
+  sim::Simulator sim_;
+  sim::ClusterConfig cluster_config_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  sim::SimFileSystem fs_;
+  const LogicalGraph* graph_;
+  ir::Cfg cfg_;
+  std::vector<std::vector<BagOperatorHost*>> hosts_;
+  std::vector<Decision> decisions;
+  Status error;
+  int bags = 0;
+  int reuses = 0;
+  int64_t memory = 0;
+};
+
+// Fixture: a Φ in the loop body with inputs from the entry block (init)
+// and from later in the same body block (the loop update) — the exact
+// same-block back-edge shape of a single-block do-while body.
+class PhiChoiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = LoopProgram();
+
+    // node 0: init (bagLit, block 0); node 1: Φ (block 1);
+    // node 2: update (map, block 1, consumes Φ).
+    LogicalNode init;
+    init.id = 0;
+    init.kind = NodeKind::kBagLit;
+    init.name = "init";
+    init.block = 0;
+    init.parallelism = 1;
+    init.literal = {Datum::Int64(0)};
+    graph_.nodes.push_back(init);
+
+    LogicalNode phi;
+    phi.id = 1;
+    phi.kind = NodeKind::kPhi;
+    phi.name = "phi";
+    phi.block = 1;
+    phi.parallelism = 1;
+    phi.inputs.push_back(
+        EdgeRef{0, 0, EdgeKind::kForward, ShuffleKey::kField0, true});
+    phi.inputs.push_back(
+        EdgeRef{2, 1, EdgeKind::kForward, ShuffleKey::kField0, false});
+    graph_.nodes.push_back(phi);
+
+    LogicalNode update;
+    update.id = 2;
+    update.kind = NodeKind::kMap;
+    update.name = "update";
+    update.block = 1;
+    update.parallelism = 1;
+    update.unary = lang::fns::AddInt64(1);
+    update.inputs.push_back(
+        EdgeRef{1, 0, EdgeKind::kForward, ShuffleKey::kField0, false});
+    graph_.nodes.push_back(update);
+
+    ctx_ = std::make_unique<MockContext>(&graph_, &program_);
+    path_ = std::make_unique<ExecutionPath>();
+    cfm_ = std::make_unique<ControlFlowManager>(path_.get());
+    for (dataflow::NodeId n = 0; n < graph_.num_nodes(); ++n) {
+      owned_.push_back(std::make_unique<BagOperatorHost>(
+          ctx_.get(), &graph_.node(n), 0, 0, cfm_.get()));
+      ctx_->hosts_.push_back({owned_.back().get()});
+    }
+    for (auto& host : owned_) host->Init();
+  }
+
+  void Advance(ir::BlockId block, bool complete = false) {
+    path_->Append(block);
+    if (complete) path_->MarkComplete();
+    cfm_->AdvanceTo(path_->size(), complete);
+    ctx_->sim_.Run();
+  }
+
+  ir::Program program_;
+  LogicalGraph graph_;
+  std::unique_ptr<MockContext> ctx_;
+  std::unique_ptr<ExecutionPath> path_;
+  std::unique_ptr<ControlFlowManager> cfm_;
+  std::vector<std::unique_ptr<BagOperatorHost>> owned_;
+};
+
+TEST_F(PhiChoiceTest, SameBlockBackEdgeTakesPreviousOccurrence) {
+  // Iteration 1: path [0, 1] — Φ must take the init input (the update of
+  // the same occurrence does not exist yet).
+  Advance(0);
+  Advance(1);
+  ASSERT_TRUE(ctx_->error.ok()) << ctx_->error.ToString();
+  // init + Φ + update each completed one bag.
+  EXPECT_EQ(ctx_->bags, 3);
+
+  // Iteration 2: path [0, 1, 1] — Φ must take the update's bag from the
+  // PREVIOUS occurrence (max_len = L-1 rule), not its own. Only Φ and the
+  // update run again (init's block does not re-occur).
+  Advance(1);
+  ASSERT_TRUE(ctx_->error.ok()) << ctx_->error.ToString();
+  EXPECT_EQ(ctx_->bags, 5);
+
+  // Exit. All hosts idle, nothing stuck.
+  Advance(2, /*complete=*/true);
+  for (auto& host : owned_) {
+    EXPECT_TRUE(host->Idle()) << host->DebugState();
+  }
+  // The update host saw 0 then 0+1: memory released after eviction.
+  EXPECT_TRUE(ctx_->error.ok());
+}
+
+TEST_F(PhiChoiceTest, SpentBagsAreEvictedAsThePathMovesOn) {
+  Advance(0);
+  Advance(1);
+  int64_t after_one = ctx_->memory;
+  for (int i = 0; i < 10; ++i) Advance(1);
+  Advance(2, /*complete=*/true);
+  // Buffered memory does not accumulate across iterations (discard rule +
+  // eviction): final footprint is bounded by a couple of live bags.
+  EXPECT_LE(ctx_->memory, after_one * 3 + 64);
+  for (auto& host : owned_) {
+    EXPECT_TRUE(host->Idle()) << host->DebugState();
+  }
+}
+
+// Conditional gating: a producer in the loop body feeding a consumer in
+// the after-block transmits only the LAST iteration's bag; earlier bags
+// are discarded when the body block re-occurs.
+class ConditionalGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = LoopProgram();
+
+    LogicalNode producer;  // bagLit in the body
+    producer.id = 0;
+    producer.kind = NodeKind::kBagLit;
+    producer.name = "producer";
+    producer.block = 1;
+    producer.parallelism = 1;
+    producer.literal = {Datum::Int64(7)};
+    graph_.nodes.push_back(producer);
+
+    LogicalNode consumer;  // map in the after-block
+    consumer.id = 1;
+    consumer.kind = NodeKind::kMap;
+    consumer.name = "consumer";
+    consumer.block = 2;
+    consumer.parallelism = 1;
+    consumer.unary = lang::fns::Identity();
+    consumer.inputs.push_back(
+        EdgeRef{0, 0, EdgeKind::kForward, ShuffleKey::kField0, true});
+    graph_.nodes.push_back(consumer);
+
+    ctx_ = std::make_unique<MockContext>(&graph_, &program_);
+    path_ = std::make_unique<ExecutionPath>();
+    cfm_ = std::make_unique<ControlFlowManager>(path_.get());
+    for (dataflow::NodeId n = 0; n < graph_.num_nodes(); ++n) {
+      owned_.push_back(std::make_unique<BagOperatorHost>(
+          ctx_.get(), &graph_.node(n), 0, 0, cfm_.get()));
+      ctx_->hosts_.push_back({owned_.back().get()});
+    }
+    for (auto& host : owned_) host->Init();
+  }
+
+  void Advance(ir::BlockId block, bool complete = false) {
+    path_->Append(block);
+    if (complete) path_->MarkComplete();
+    cfm_->AdvanceTo(path_->size(), complete);
+    ctx_->sim_.Run();
+  }
+
+  ir::Program program_;
+  LogicalGraph graph_;
+  std::unique_ptr<MockContext> ctx_;
+  std::unique_ptr<ExecutionPath> path_;
+  std::unique_ptr<ControlFlowManager> cfm_;
+  std::vector<std::unique_ptr<BagOperatorHost>> owned_;
+};
+
+TEST_F(ConditionalGateTest, OnlyLastIterationsBagReachesTheConsumer) {
+  Advance(0);
+  Advance(1);  // iteration 1: producer bag 1 gated
+  Advance(1);  // iteration 2: bag 1 discarded (body re-occurred), bag 2 gated
+  Advance(1);  // iteration 3
+  EXPECT_EQ(ctx_->bags, 3);  // three producer bags, consumer none yet
+  Advance(2, /*complete=*/true);  // bag 3 transmits; consumer runs once
+  EXPECT_EQ(ctx_->bags, 4);
+  for (auto& host : owned_) {
+    EXPECT_TRUE(host->Idle()) << host->DebugState();
+  }
+  EXPECT_TRUE(ctx_->error.ok()) << ctx_->error.ToString();
+}
+
+TEST_F(ConditionalGateTest, LoopSkippedEntirely) {
+  // Path goes straight to the exit-side block without the body ever
+  // occurring... the consumer in block 2 then has no available input and
+  // would be a compiler bug — verify the host reports it instead of
+  // hanging.
+  Advance(0);
+  Advance(2, /*complete=*/true);
+  EXPECT_FALSE(ctx_->error.ok());
+  EXPECT_NE(ctx_->error.message().find("no available bag"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mitos::runtime

@@ -1,0 +1,159 @@
+#include "sim/cluster.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mitos::sim {
+namespace {
+
+ClusterConfig TestConfig() {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.cores_per_machine = 2;
+  config.net_latency = 0.001;
+  config.net_bandwidth = 1e6;  // 1 MB/s: easy math
+  config.local_latency = 0.0001;
+  config.local_bandwidth = 1e8;
+  config.disk_bandwidth = 1e6;
+  return config;
+}
+
+TEST(ClusterTest, CpuOccupiesCores) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  std::vector<double> done;
+  // 3 tasks of 1s on a 2-core machine: two run in parallel, the third
+  // waits for a core.
+  for (int i = 0; i < 3; ++i) {
+    cluster.ExecCpu(0, 1.0, [&] { done.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.0);
+  EXPECT_DOUBLE_EQ(done[2], 2.0);
+  EXPECT_DOUBLE_EQ(cluster.metrics().cpu_seconds, 3.0);
+}
+
+TEST(ClusterTest, MachinesHaveIndependentCores) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  std::vector<double> done;
+  cluster.ExecCpu(0, 1.0, [&] { done.push_back(sim.now()); });
+  cluster.ExecCpu(1, 1.0, [&] { done.push_back(sim.now()); });
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(ClusterTest, RemoteSendPaysLatencyAndBandwidth) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  double arrived = 0;
+  cluster.Send(0, 1, 1000, [&] { arrived = sim.now(); });
+  sim.Run();
+  // 1000B / 1MB/s = 1ms wire + 1ms latency.
+  EXPECT_NEAR(arrived, 0.002, 1e-9);
+  EXPECT_EQ(cluster.metrics().messages, 1);
+  EXPECT_EQ(cluster.metrics().network_bytes, 1000);
+}
+
+TEST(ClusterTest, SenderNicSerializesTransfers) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  std::vector<double> arrivals;
+  cluster.Send(0, 1, 1000, [&] { arrivals.push_back(sim.now()); });
+  cluster.Send(0, 1, 1000, [&] { arrivals.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Second transfer starts after the first leaves the NIC.
+  EXPECT_NEAR(arrivals[0], 0.002, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.003, 1e-9);
+}
+
+TEST(ClusterTest, DeliveriesAreFifoPerChannel) {
+  // A big chunk followed by a tiny marker: the marker must not overtake,
+  // remotely or locally.
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  std::vector<int> order;
+  cluster.Send(0, 1, 100'000, [&] { order.push_back(1); });
+  cluster.Send(0, 1, 8, [&] { order.push_back(2); });
+  cluster.Send(0, 0, 100'000, [&] { order.push_back(3); });
+  cluster.Send(0, 0, 8, [&] { order.push_back(4); });
+  sim.Run();
+  auto pos = [&](int x) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == x) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(3), pos(4));
+}
+
+TEST(ClusterTest, LocalSendIsCheap) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  double arrived = 0;
+  cluster.Send(1, 1, 1000, [&] { arrived = sim.now(); });
+  sim.Run();
+  EXPECT_LT(arrived, 0.001);
+  EXPECT_EQ(cluster.metrics().messages, 0);  // loopback is not a message
+  EXPECT_EQ(cluster.metrics().local_bytes, 1000);
+}
+
+TEST(ClusterTest, DiskSerializesPerMachine) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  std::vector<double> done;
+  cluster.DiskIo(0, 1000, [&] { done.push_back(sim.now()); });
+  cluster.DiskIo(0, 1000, [&] { done.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 0.001, 1e-9);
+  EXPECT_NEAR(done[1], 0.002, 1e-9);
+  EXPECT_EQ(cluster.metrics().disk_bytes, 2000);
+}
+
+TEST(ClusterTest, DiskReadReportsPacedProgress) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  std::vector<std::pair<int, double>> progress;
+  cluster.DiskRead(0, 4000, 4,
+                   [&](int i) { progress.emplace_back(i, sim.now()); });
+  sim.Run();
+  ASSERT_EQ(progress.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(progress[static_cast<size_t>(i)].first, i);
+    EXPECT_NEAR(progress[static_cast<size_t>(i)].second, 0.001 * (i + 1),
+                1e-9);
+  }
+}
+
+TEST(ClusterTest, MemoryIoSkipsDiskAccounting) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  double done = -1;
+  cluster.DiskIo(0, 8'000'000, [&] { done = sim.now(); }, /*memory=*/true);
+  sim.Run();
+  // 8 MB at 8 GB/s = 1 ms, and no disk bytes recorded.
+  EXPECT_NEAR(done, 0.001, 1e-9);
+  EXPECT_EQ(cluster.metrics().disk_bytes, 0);
+}
+
+TEST(ClusterTest, MemoryReadDoesNotBlockDisk) {
+  Simulator sim;
+  auto config = TestConfig();
+  Cluster cluster(&sim, config);
+  double disk_done = -1;
+  cluster.DiskRead(0, 1000, 1, [&](int) { disk_done = sim.now(); },
+                   /*memory=*/true);
+  cluster.DiskIo(0, 1000, [&] { disk_done = sim.now(); });
+  sim.Run();
+  // The disk op completes at 1ms as if the memory read never existed.
+  EXPECT_NEAR(disk_done, 0.001, 1e-9);
+}
+
+}  // namespace
+}  // namespace mitos::sim

@@ -1,0 +1,106 @@
+#include "sim/filesystem.h"
+
+#include <gtest/gtest.h>
+
+namespace mitos::sim {
+namespace {
+
+DatumVector Ints(std::initializer_list<int64_t> values) {
+  DatumVector out;
+  for (int64_t v : values) out.push_back(Datum::Int64(v));
+  return out;
+}
+
+TEST(PartitionRangeTest, EvenSplit) {
+  EXPECT_EQ(PartitionRange(10, 2, 0), (std::pair<size_t, size_t>{0, 5}));
+  EXPECT_EQ(PartitionRange(10, 2, 1), (std::pair<size_t, size_t>{5, 10}));
+}
+
+TEST(PartitionRangeTest, UnevenSplitFrontLoaded) {
+  // 10 elements over 3 parts: 4, 3, 3.
+  EXPECT_EQ(PartitionRange(10, 3, 0), (std::pair<size_t, size_t>{0, 4}));
+  EXPECT_EQ(PartitionRange(10, 3, 1), (std::pair<size_t, size_t>{4, 7}));
+  EXPECT_EQ(PartitionRange(10, 3, 2), (std::pair<size_t, size_t>{7, 10}));
+}
+
+TEST(PartitionRangeTest, MorePartsThanElements) {
+  EXPECT_EQ(PartitionRange(2, 4, 0), (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_EQ(PartitionRange(2, 4, 1), (std::pair<size_t, size_t>{1, 2}));
+  EXPECT_EQ(PartitionRange(2, 4, 2), (std::pair<size_t, size_t>{2, 2}));
+  EXPECT_EQ(PartitionRange(2, 4, 3), (std::pair<size_t, size_t>{2, 2}));
+}
+
+TEST(PartitionRangeTest, CoversAllElementsExactlyOnce) {
+  for (size_t n : {0u, 1u, 7u, 100u, 101u}) {
+    for (size_t parts : {1u, 2u, 3u, 8u}) {
+      size_t expected_begin = 0;
+      for (size_t p = 0; p < parts; ++p) {
+        auto [begin, end] = PartitionRange(n, parts, p);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(begin, end);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(SimFileSystemTest, WriteReadRoundTrip) {
+  SimFileSystem fs;
+  EXPECT_FALSE(fs.Exists("a"));
+  fs.Write("a", Ints({1, 2, 3}));
+  EXPECT_TRUE(fs.Exists("a"));
+  auto data = fs.Read("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Ints({1, 2, 3}));
+}
+
+TEST(SimFileSystemTest, ReadMissingIsNotFound) {
+  SimFileSystem fs;
+  auto data = fs.Read("nope");
+  EXPECT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SimFileSystemTest, WriteOverwrites) {
+  SimFileSystem fs;
+  fs.Write("a", Ints({1, 2, 3}));
+  fs.Write("a", Ints({9}));
+  EXPECT_EQ(fs.FileElements("a"), 1u);
+  EXPECT_EQ(fs.FileBytes("a"), 8u);
+}
+
+TEST(SimFileSystemTest, AppendAccumulates) {
+  SimFileSystem fs;
+  fs.Append("a", Ints({1}));
+  fs.Append("a", Ints({2, 3}));
+  auto data = fs.Read("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Ints({1, 2, 3}));
+  EXPECT_EQ(fs.FileBytes("a"), 24u);
+}
+
+TEST(SimFileSystemTest, ReadPartitionMatchesRange) {
+  SimFileSystem fs;
+  fs.Write("a", Ints({10, 20, 30, 40, 50}));
+  auto part = fs.ReadPartition("a", 2, 1);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(*part, Ints({40, 50}));
+}
+
+TEST(SimFileSystemTest, ListFilesSorted) {
+  SimFileSystem fs;
+  fs.Write("b", {});
+  fs.Write("a", {});
+  EXPECT_EQ(fs.ListFiles(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SimFileSystemTest, FileBytesTracksSerializedSize) {
+  SimFileSystem fs;
+  fs.Write("s", {Datum::String("abcd")});
+  EXPECT_EQ(fs.FileBytes("s"), 8u);
+  EXPECT_EQ(fs.FileBytes("missing"), 0u);
+}
+
+}  // namespace
+}  // namespace mitos::sim

@@ -1,0 +1,107 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mitos::sim {
+namespace {
+
+TEST(SimulatorTest, ProcessesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1.0, [&] {
+    order.push_back(1);
+    sim.ScheduleAfter(0.5, [&] { order.push_back(2); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(SimulatorTest, IdleCallbackRunsAfterQueueDrains) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleWhenIdle([&] { order.push_back(99); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 99}));
+}
+
+TEST(SimulatorTest, IdleCallbacksFireOneQuiescenceAtATime) {
+  // The second idle callback must wait until everything the first one
+  // scheduled has drained — this is the superstep-barrier semantics.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleWhenIdle([&] {
+    order.push_back(1);
+    sim.ScheduleAfter(1.0, [&] { order.push_back(2); });
+  });
+  sim.ScheduleWhenIdle([&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, IdleCallbackMayScheduleIdleCallback) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleWhenIdle([&] {
+    order.push_back(1);
+    sim.ScheduleWhenIdle([&] { order.push_back(2); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, CountsEventsAndBarriers) {
+  Simulator sim;
+  sim.Schedule(1.0, [] {});
+  sim.Schedule(2.0, [] {});
+  sim.ScheduleWhenIdle([] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 2);
+  EXPECT_EQ(sim.barriers_fired(), 1);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, RunIsRestartable) {
+  // Drivers (the Spark baseline) call Run() once per job; time accumulates.
+  Simulator sim;
+  sim.Schedule(1.0, [] {});
+  EXPECT_DOUBLE_EQ(sim.Run(), 1.0);
+  sim.ScheduleAfter(2.0, [] {});
+  EXPECT_DOUBLE_EQ(sim.Run(), 3.0);
+}
+
+TEST(SimulatorDeathTest, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.Schedule(5.0, [&] {
+    EXPECT_DEATH(sim.Schedule(1.0, [] {}), "Check failed");
+  });
+  sim.Run();
+}
+
+}  // namespace
+}  // namespace mitos::sim

@@ -1,0 +1,106 @@
+#include "workloads/generators.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mitos::workloads {
+namespace {
+
+TEST(GeneratorsTest, VisitLogsShapeAndRange) {
+  sim::SimFileSystem fs;
+  GenerateVisitLogs(&fs, {.days = 3, .entries_per_day = 500,
+                          .num_pages = 20});
+  for (int day = 1; day <= 3; ++day) {
+    auto data = fs.Read("pageVisitLog" + std::to_string(day));
+    ASSERT_TRUE(data.ok());
+    ASSERT_EQ(data->size(), 500u);
+    for (const Datum& d : *data) {
+      ASSERT_TRUE(d.is_int64());
+      EXPECT_GE(d.int64(), 0);
+      EXPECT_LT(d.int64(), 20);
+    }
+  }
+  EXPECT_FALSE(fs.Exists("pageVisitLog4"));
+}
+
+TEST(GeneratorsTest, VisitLogsRoughlyUniform) {
+  // The paper generates visits uniformly distributed (Sec. 6.1).
+  sim::SimFileSystem fs;
+  GenerateVisitLogs(&fs, {.days = 1, .entries_per_day = 100'000,
+                          .num_pages = 10});
+  auto data = fs.Read("pageVisitLog1");
+  std::vector<int> counts(10, 0);
+  for (const Datum& d : *data) ++counts[static_cast<size_t>(d.int64())];
+  for (int c : counts) {
+    EXPECT_GT(c, 9'000);
+    EXPECT_LT(c, 11'000);
+  }
+}
+
+TEST(GeneratorsTest, PageTypesCoverEveryPageOnce) {
+  sim::SimFileSystem fs;
+  GeneratePageTypes(&fs, {.num_pages = 50, .num_types = 4});
+  auto data = fs.Read("pageTypes");
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->size(), 50u);
+  std::set<int64_t> pages;
+  for (const Datum& row : *data) {
+    pages.insert(row.field(0).int64());
+    EXPECT_GE(row.field(1).int64(), 0);
+    EXPECT_LT(row.field(1).int64(), 4);
+  }
+  EXPECT_EQ(pages.size(), 50u);
+}
+
+TEST(GeneratorsTest, PageTypePaddingScalesRowBytes) {
+  sim::SimFileSystem plain, padded;
+  GeneratePageTypes(&plain, {.num_pages = 100, .num_types = 2});
+  GeneratePageTypes(&padded, {.num_pages = 100, .num_types = 2,
+                              .padding_bytes = 180});
+  EXPECT_GT(padded.FileBytes("pageTypes"),
+            plain.FileBytes("pageTypes") + 100 * 170);
+  // Key/type fields stay in place.
+  auto row = (*padded.Read("pageTypes"))[0];
+  EXPECT_TRUE(row.field(0).is_int64());
+  EXPECT_TRUE(row.field(1).is_int64());
+}
+
+TEST(GeneratorsTest, GraphHasOutEdgeForEveryVertex) {
+  sim::SimFileSystem fs;
+  GenerateGraph(&fs, {.num_vertices = 40, .num_edges = 120});
+  auto vertices = fs.Read("vertices");
+  auto edges = fs.Read("edges");
+  ASSERT_EQ(vertices->size(), 40u);
+  ASSERT_EQ(edges->size(), 120u);
+  std::set<int64_t> sources;
+  for (const Datum& e : *edges) {
+    sources.insert(e.field(0).int64());
+    EXPECT_GE(e.field(1).int64(), 0);
+    EXPECT_LT(e.field(1).int64(), 40);
+  }
+  // Every vertex has at least one outgoing edge (so 1/out-degree exists).
+  EXPECT_EQ(sources.size(), 40u);
+}
+
+TEST(GeneratorsTest, PointsAndCentroidsShape) {
+  sim::SimFileSystem fs;
+  GeneratePoints(&fs, {.num_points = 200, .num_clusters = 5});
+  auto points = fs.Read("points");
+  auto centroids = fs.Read("centroids");
+  ASSERT_EQ(points->size(), 200u);
+  ASSERT_EQ(centroids->size(), 5u);
+  std::set<int64_t> ids;
+  for (const Datum& p : *points) {
+    ASSERT_EQ(p.size(), 3u);
+    ids.insert(p.field(0).int64());
+  }
+  EXPECT_EQ(ids.size(), 200u);  // unique point ids
+  for (const Datum& c : *centroids) {
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_TRUE(c.field(1).is_double());
+  }
+}
+
+}  // namespace
+}  // namespace mitos::workloads

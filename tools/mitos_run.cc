@@ -1,0 +1,191 @@
+// mitos_run: run a textual Mitos program from the command line.
+//
+//   mitos_run examples/scripts/visit_count.mitos
+//       --engine=mitos --machines=8 --gen-visits=10,5000,100
+//
+// Flags:
+//   --engine=<reference|mitos|mitos-nopipe|mitos-nohoist|flink|
+//             flink-jobs|spark|naiad|tensorflow>   (default mitos)
+//   --machines=N                                   (default 4)
+//   --gen-visits=days,entriesPerDay,numPages       synthesize visit logs
+//   --gen-types=numPages,numTypes                  synthesize pageTypes
+//   --gen-graph=vertices,edges                     synthesize a graph
+//   --gen-points=points,clusters                   synthesize k-means input
+//   --dump-ir                                      print the SSA IR
+//   --dump-dot                                     print the dataflow (dot)
+//   --show-files                                   print produced files
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ir/ssa.h"
+#include "lang/parser.h"
+#include "mitos.h"
+#include "runtime/translator.h"
+
+namespace {
+
+using namespace mitos;
+
+bool ParseInts(const std::string& value, std::vector<int64_t>* out) {
+  std::stringstream stream(value);
+  std::string piece;
+  while (std::getline(stream, piece, ',')) {
+    try {
+      out->push_back(std::stoll(piece));
+    } catch (...) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "mitos_run: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script_path;
+  std::string engine_name = "mitos";
+  int machines = 4;
+  bool dump_ir = false, dump_dot = false, show_files = false;
+  bool profile = false;
+  sim::SimFileSystem fs;
+  std::vector<std::string> input_files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--engine=", 0) == 0) {
+      engine_name = value_of("--engine=");
+    } else if (arg.rfind("--machines=", 0) == 0) {
+      machines = std::atoi(value_of("--machines=").c_str());
+    } else if (arg.rfind("--gen-visits=", 0) == 0) {
+      std::vector<int64_t> v;
+      if (!ParseInts(value_of("--gen-visits="), &v) || v.size() != 3) {
+        return Fail("--gen-visits expects days,entriesPerDay,numPages");
+      }
+      workloads::GenerateVisitLogs(&fs, {.days = static_cast<int>(v[0]),
+                                         .entries_per_day = v[1],
+                                         .num_pages = v[2]});
+    } else if (arg.rfind("--gen-types=", 0) == 0) {
+      std::vector<int64_t> v;
+      if (!ParseInts(value_of("--gen-types="), &v) || v.size() != 2) {
+        return Fail("--gen-types expects numPages,numTypes");
+      }
+      workloads::GeneratePageTypes(&fs, {.num_pages = v[0],
+                                         .num_types = v[1]});
+    } else if (arg.rfind("--gen-graph=", 0) == 0) {
+      std::vector<int64_t> v;
+      if (!ParseInts(value_of("--gen-graph="), &v) || v.size() != 2) {
+        return Fail("--gen-graph expects vertices,edges");
+      }
+      workloads::GenerateGraph(&fs, {.num_vertices = v[0],
+                                     .num_edges = v[1]});
+    } else if (arg.rfind("--gen-points=", 0) == 0) {
+      std::vector<int64_t> v;
+      if (!ParseInts(value_of("--gen-points="), &v) || v.size() != 2) {
+        return Fail("--gen-points expects points,clusters");
+      }
+      workloads::GeneratePoints(&fs, {.num_points = v[0],
+                                      .num_clusters = v[1]});
+    } else if (arg == "--dump-ir") {
+      dump_ir = true;
+    } else if (arg == "--dump-dot") {
+      dump_dot = true;
+    } else if (arg == "--show-files") {
+      show_files = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Fail("unknown flag: " + arg);
+    } else {
+      script_path = arg;
+    }
+  }
+  if (script_path.empty()) {
+    return Fail("usage: mitos_run <script.mitos> [flags]  (see header)");
+  }
+  input_files = fs.ListFiles();
+
+  std::ifstream file(script_path);
+  if (!file) return Fail("cannot open " + script_path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  auto program = lang::Parse(buffer.str());
+  if (!program.ok()) {
+    return Fail("parse error: " + program.status().ToString());
+  }
+
+  if (dump_ir || dump_dot) {
+    auto ir = ir::CompileToIr(*program);
+    if (!ir.ok()) return Fail("compile error: " + ir.status().ToString());
+    if (dump_ir) std::printf("%s\n", ir::ToString(*ir).c_str());
+    if (dump_dot) {
+      auto translated = runtime::Translate(*ir, machines);
+      if (!translated.ok()) {
+        return Fail("translate error: " + translated.status().ToString());
+      }
+      std::printf("%s\n", dataflow::ToDot(translated->graph).c_str());
+    }
+  }
+
+  api::EngineKind engine;
+  if (engine_name == "reference") engine = api::EngineKind::kReference;
+  else if (engine_name == "mitos") engine = api::EngineKind::kMitos;
+  else if (engine_name == "mitos-nopipe")
+    engine = api::EngineKind::kMitosNoPipelining;
+  else if (engine_name == "mitos-nohoist")
+    engine = api::EngineKind::kMitosNoHoisting;
+  else if (engine_name == "flink") engine = api::EngineKind::kFlink;
+  else if (engine_name == "flink-jobs")
+    engine = api::EngineKind::kFlinkSeparateJobs;
+  else if (engine_name == "spark") engine = api::EngineKind::kSpark;
+  else if (engine_name == "naiad") engine = api::EngineKind::kNaiad;
+  else if (engine_name == "tensorflow")
+    engine = api::EngineKind::kTensorFlow;
+  else return Fail("unknown engine: " + engine_name);
+
+  auto result = api::Run(engine, *program, &fs, {.machines = machines});
+  if (!result.ok()) {
+    return Fail("run error: " + result.status().ToString());
+  }
+  std::printf("engine:   %s (%d machines)\n", api::EngineKindName(engine),
+              machines);
+  std::printf("stats:    %s\n", result->stats.ToString().c_str());
+  if (profile) {
+    std::vector<std::pair<double, std::string>> rows;
+    for (const auto& [name, cpu] : result->stats.operator_cpu) {
+      rows.emplace_back(cpu, name);
+    }
+    std::sort(rows.rbegin(), rows.rend());
+    std::printf("operator CPU profile (top 12):\n");
+    for (size_t i = 0; i < rows.size() && i < 12; ++i) {
+      std::printf("  %10.4fs  %s\n", rows[i].first, rows[i].second.c_str());
+    }
+  }
+  if (show_files) {
+    std::printf("files:\n");
+    for (const std::string& name : fs.ListFiles()) {
+      bool is_input = false;
+      for (const std::string& in : input_files) {
+        if (in == name) is_input = true;
+      }
+      if (is_input) continue;
+      auto data = fs.Read(name);
+      std::printf("  %s (%zu elements): %s\n", name.c_str(), data->size(),
+                  mitos::ToString(*data, 8).c_str());
+    }
+  }
+  return 0;
+}
