@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_imperative_vs_functional"
+  "../bench/fig1_imperative_vs_functional.pdb"
+  "CMakeFiles/fig1_imperative_vs_functional.dir/fig1_imperative_vs_functional.cc.o"
+  "CMakeFiles/fig1_imperative_vs_functional.dir/fig1_imperative_vs_functional.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_imperative_vs_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_imperative_vs_functional.
+# This may be replaced when dependencies are built.

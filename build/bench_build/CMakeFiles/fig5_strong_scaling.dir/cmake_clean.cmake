@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_strong_scaling"
+  "../bench/fig5_strong_scaling.pdb"
+  "CMakeFiles/fig5_strong_scaling.dir/fig5_strong_scaling.cc.o"
+  "CMakeFiles/fig5_strong_scaling.dir/fig5_strong_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

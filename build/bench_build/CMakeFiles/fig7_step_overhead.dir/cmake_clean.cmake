@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_step_overhead"
+  "../bench/fig7_step_overhead.pdb"
+  "CMakeFiles/fig7_step_overhead.dir/fig7_step_overhead.cc.o"
+  "CMakeFiles/fig7_step_overhead.dir/fig7_step_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_step_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_loop_invariant"
+  "../bench/fig8_loop_invariant.pdb"
+  "CMakeFiles/fig8_loop_invariant.dir/fig8_loop_invariant.cc.o"
+  "CMakeFiles/fig8_loop_invariant.dir/fig8_loop_invariant.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_loop_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

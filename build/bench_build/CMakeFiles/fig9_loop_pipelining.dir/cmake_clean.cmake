@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_loop_pipelining"
+  "../bench/fig9_loop_pipelining.pdb"
+  "CMakeFiles/fig9_loop_pipelining.dir/fig9_loop_pipelining.cc.o"
+  "CMakeFiles/fig9_loop_pipelining.dir/fig9_loop_pipelining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_loop_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

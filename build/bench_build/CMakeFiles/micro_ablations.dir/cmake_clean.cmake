@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ablations"
+  "../bench/micro_ablations.pdb"
+  "CMakeFiles/micro_ablations.dir/micro_ablations.cc.o"
+  "CMakeFiles/micro_ablations.dir/micro_ablations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_loops.dir/nested_loops.cpp.o"
+  "CMakeFiles/nested_loops.dir/nested_loops.cpp.o.d"
+  "nested_loops"
+  "nested_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

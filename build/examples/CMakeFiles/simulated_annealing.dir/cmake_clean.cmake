@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_annealing.dir/simulated_annealing.cpp.o"
+  "CMakeFiles/simulated_annealing.dir/simulated_annealing.cpp.o.d"
+  "simulated_annealing"
+  "simulated_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visit_count_diff.dir/visit_count_diff.cpp.o"
+  "CMakeFiles/visit_count_diff.dir/visit_count_diff.cpp.o.d"
+  "visit_count_diff"
+  "visit_count_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visit_count_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/engine.cc" "src/CMakeFiles/mitos.dir/api/engine.cc.o" "gcc" "src/CMakeFiles/mitos.dir/api/engine.cc.o.d"
+  "/root/repo/src/baselines/flink.cc" "src/CMakeFiles/mitos.dir/baselines/flink.cc.o" "gcc" "src/CMakeFiles/mitos.dir/baselines/flink.cc.o.d"
+  "/root/repo/src/baselines/spark.cc" "src/CMakeFiles/mitos.dir/baselines/spark.cc.o" "gcc" "src/CMakeFiles/mitos.dir/baselines/spark.cc.o.d"
+  "/root/repo/src/common/datum.cc" "src/CMakeFiles/mitos.dir/common/datum.cc.o" "gcc" "src/CMakeFiles/mitos.dir/common/datum.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mitos.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mitos.dir/common/status.cc.o.d"
+  "/root/repo/src/dataflow/graph.cc" "src/CMakeFiles/mitos.dir/dataflow/graph.cc.o" "gcc" "src/CMakeFiles/mitos.dir/dataflow/graph.cc.o.d"
+  "/root/repo/src/dataflow/operators.cc" "src/CMakeFiles/mitos.dir/dataflow/operators.cc.o" "gcc" "src/CMakeFiles/mitos.dir/dataflow/operators.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/CMakeFiles/mitos.dir/ir/cfg.cc.o" "gcc" "src/CMakeFiles/mitos.dir/ir/cfg.cc.o.d"
+  "/root/repo/src/ir/dce.cc" "src/CMakeFiles/mitos.dir/ir/dce.cc.o" "gcc" "src/CMakeFiles/mitos.dir/ir/dce.cc.o.d"
+  "/root/repo/src/ir/fusion.cc" "src/CMakeFiles/mitos.dir/ir/fusion.cc.o" "gcc" "src/CMakeFiles/mitos.dir/ir/fusion.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/CMakeFiles/mitos.dir/ir/ir.cc.o" "gcc" "src/CMakeFiles/mitos.dir/ir/ir.cc.o.d"
+  "/root/repo/src/ir/normalize.cc" "src/CMakeFiles/mitos.dir/ir/normalize.cc.o" "gcc" "src/CMakeFiles/mitos.dir/ir/normalize.cc.o.d"
+  "/root/repo/src/ir/ssa.cc" "src/CMakeFiles/mitos.dir/ir/ssa.cc.o" "gcc" "src/CMakeFiles/mitos.dir/ir/ssa.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/CMakeFiles/mitos.dir/ir/verify.cc.o" "gcc" "src/CMakeFiles/mitos.dir/ir/verify.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/mitos.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/mitos.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/functions.cc" "src/CMakeFiles/mitos.dir/lang/functions.cc.o" "gcc" "src/CMakeFiles/mitos.dir/lang/functions.cc.o.d"
+  "/root/repo/src/lang/interpreter.cc" "src/CMakeFiles/mitos.dir/lang/interpreter.cc.o" "gcc" "src/CMakeFiles/mitos.dir/lang/interpreter.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/mitos.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/mitos.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/scalar_ops.cc" "src/CMakeFiles/mitos.dir/lang/scalar_ops.cc.o" "gcc" "src/CMakeFiles/mitos.dir/lang/scalar_ops.cc.o.d"
+  "/root/repo/src/lang/type_check.cc" "src/CMakeFiles/mitos.dir/lang/type_check.cc.o" "gcc" "src/CMakeFiles/mitos.dir/lang/type_check.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/CMakeFiles/mitos.dir/runtime/executor.cc.o" "gcc" "src/CMakeFiles/mitos.dir/runtime/executor.cc.o.d"
+  "/root/repo/src/runtime/host.cc" "src/CMakeFiles/mitos.dir/runtime/host.cc.o" "gcc" "src/CMakeFiles/mitos.dir/runtime/host.cc.o.d"
+  "/root/repo/src/runtime/path.cc" "src/CMakeFiles/mitos.dir/runtime/path.cc.o" "gcc" "src/CMakeFiles/mitos.dir/runtime/path.cc.o.d"
+  "/root/repo/src/runtime/translator.cc" "src/CMakeFiles/mitos.dir/runtime/translator.cc.o" "gcc" "src/CMakeFiles/mitos.dir/runtime/translator.cc.o.d"
+  "/root/repo/src/sim/cluster.cc" "src/CMakeFiles/mitos.dir/sim/cluster.cc.o" "gcc" "src/CMakeFiles/mitos.dir/sim/cluster.cc.o.d"
+  "/root/repo/src/sim/filesystem.cc" "src/CMakeFiles/mitos.dir/sim/filesystem.cc.o" "gcc" "src/CMakeFiles/mitos.dir/sim/filesystem.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/CMakeFiles/mitos.dir/workloads/generators.cc.o" "gcc" "src/CMakeFiles/mitos.dir/workloads/generators.cc.o.d"
+  "/root/repo/src/workloads/programs.cc" "src/CMakeFiles/mitos.dir/workloads/programs.cc.o" "gcc" "src/CMakeFiles/mitos.dir/workloads/programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api/determinism_test.cc" "tests/CMakeFiles/mitos_tests.dir/api/determinism_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/api/determinism_test.cc.o.d"
+  "/root/repo/tests/api/engine_test.cc" "tests/CMakeFiles/mitos_tests.dir/api/engine_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/api/engine_test.cc.o.d"
+  "/root/repo/tests/api/random_program_test.cc" "tests/CMakeFiles/mitos_tests.dir/api/random_program_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/api/random_program_test.cc.o.d"
+  "/root/repo/tests/api/workload_sweep_test.cc" "tests/CMakeFiles/mitos_tests.dir/api/workload_sweep_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/api/workload_sweep_test.cc.o.d"
+  "/root/repo/tests/baselines/flink_test.cc" "tests/CMakeFiles/mitos_tests.dir/baselines/flink_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/baselines/flink_test.cc.o.d"
+  "/root/repo/tests/baselines/spark_test.cc" "tests/CMakeFiles/mitos_tests.dir/baselines/spark_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/baselines/spark_test.cc.o.d"
+  "/root/repo/tests/common/datum_test.cc" "tests/CMakeFiles/mitos_tests.dir/common/datum_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/common/datum_test.cc.o.d"
+  "/root/repo/tests/dataflow/graph_test.cc" "tests/CMakeFiles/mitos_tests.dir/dataflow/graph_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/dataflow/graph_test.cc.o.d"
+  "/root/repo/tests/dataflow/operators_test.cc" "tests/CMakeFiles/mitos_tests.dir/dataflow/operators_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/dataflow/operators_test.cc.o.d"
+  "/root/repo/tests/ir/cfg_test.cc" "tests/CMakeFiles/mitos_tests.dir/ir/cfg_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/ir/cfg_test.cc.o.d"
+  "/root/repo/tests/ir/dce_test.cc" "tests/CMakeFiles/mitos_tests.dir/ir/dce_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/ir/dce_test.cc.o.d"
+  "/root/repo/tests/ir/fusion_test.cc" "tests/CMakeFiles/mitos_tests.dir/ir/fusion_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/ir/fusion_test.cc.o.d"
+  "/root/repo/tests/ir/normalize_test.cc" "tests/CMakeFiles/mitos_tests.dir/ir/normalize_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/ir/normalize_test.cc.o.d"
+  "/root/repo/tests/ir/ssa_test.cc" "tests/CMakeFiles/mitos_tests.dir/ir/ssa_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/ir/ssa_test.cc.o.d"
+  "/root/repo/tests/ir/verify_test.cc" "tests/CMakeFiles/mitos_tests.dir/ir/verify_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/ir/verify_test.cc.o.d"
+  "/root/repo/tests/lang/ast_test.cc" "tests/CMakeFiles/mitos_tests.dir/lang/ast_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/lang/ast_test.cc.o.d"
+  "/root/repo/tests/lang/interpreter_test.cc" "tests/CMakeFiles/mitos_tests.dir/lang/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/lang/interpreter_test.cc.o.d"
+  "/root/repo/tests/lang/parser_test.cc" "tests/CMakeFiles/mitos_tests.dir/lang/parser_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/lang/parser_test.cc.o.d"
+  "/root/repo/tests/lang/type_check_test.cc" "tests/CMakeFiles/mitos_tests.dir/lang/type_check_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/lang/type_check_test.cc.o.d"
+  "/root/repo/tests/runtime/challenges_test.cc" "tests/CMakeFiles/mitos_tests.dir/runtime/challenges_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/runtime/challenges_test.cc.o.d"
+  "/root/repo/tests/runtime/errors_test.cc" "tests/CMakeFiles/mitos_tests.dir/runtime/errors_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/runtime/errors_test.cc.o.d"
+  "/root/repo/tests/runtime/executor_test.cc" "tests/CMakeFiles/mitos_tests.dir/runtime/executor_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/runtime/executor_test.cc.o.d"
+  "/root/repo/tests/runtime/host_test.cc" "tests/CMakeFiles/mitos_tests.dir/runtime/host_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/runtime/host_test.cc.o.d"
+  "/root/repo/tests/runtime/memory_test.cc" "tests/CMakeFiles/mitos_tests.dir/runtime/memory_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/runtime/memory_test.cc.o.d"
+  "/root/repo/tests/runtime/path_test.cc" "tests/CMakeFiles/mitos_tests.dir/runtime/path_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/runtime/path_test.cc.o.d"
+  "/root/repo/tests/runtime/translator_test.cc" "tests/CMakeFiles/mitos_tests.dir/runtime/translator_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/runtime/translator_test.cc.o.d"
+  "/root/repo/tests/sim/cluster_test.cc" "tests/CMakeFiles/mitos_tests.dir/sim/cluster_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/sim/cluster_test.cc.o.d"
+  "/root/repo/tests/sim/filesystem_test.cc" "tests/CMakeFiles/mitos_tests.dir/sim/filesystem_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/sim/filesystem_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/mitos_tests.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/workloads/generators_test.cc" "tests/CMakeFiles/mitos_tests.dir/workloads/generators_test.cc.o" "gcc" "tests/CMakeFiles/mitos_tests.dir/workloads/generators_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mitos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mitos_tests[1]_include.cmake")
+add_test(cli_visit_count "/root/repo/build/tools/mitos_run" "/root/repo/examples/scripts/visit_count.mitos" "--gen-visits=10,500,20" "--machines=3" "--show-files")
+set_tests_properties(cli_visit_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_convergence_loop_spark "/root/repo/build/tools/mitos_run" "/root/repo/examples/scripts/word_count_loop.mitos" "--engine=spark" "--machines=2")
+set_tests_properties(cli_convergence_loop_spark PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_dump_ir "/root/repo/build/tools/mitos_run" "/root/repo/examples/scripts/visit_count.mitos" "--gen-visits=10,50,5" "--dump-ir" "--dump-dot")
+set_tests_properties(cli_dump_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitos_run.dir/mitos_run.cc.o"
+  "CMakeFiles/mitos_run.dir/mitos_run.cc.o.d"
+  "mitos_run"
+  "mitos_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitos_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
