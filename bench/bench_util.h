@@ -12,14 +12,38 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "sim/filesystem.h"
 
 namespace mitos::bench {
+
+// Destination for per-run metrics dumps; empty means disabled.
+inline std::string& MetricsOutPath() {
+  static std::string path;
+  return path;
+}
+
+// Benchmarks accept one optional flag: --metrics-out=FILE. When set, every
+// RunOrDie invocation appends one JSON line {"run", "engine", "metrics"} to
+// FILE (JSON Lines — one object per benchmark run).
+inline void ParseBenchArgs(int argc, char** argv) {
+  constexpr const char kPrefix[] = "--metrics-out=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(kPrefix, 0) == 0) {
+      MetricsOutPath() = arg.substr(sizeof(kPrefix) - 1);
+      std::ofstream(MetricsOutPath(), std::ios::trunc);  // start fresh
+    } else {
+      std::fprintf(stderr, "ignoring unknown flag: %s\n", arg.c_str());
+    }
+  }
+}
 
 // Cluster configured like the paper's testbed, with element scaling.
 inline api::RunConfig MakeConfig(int machines, double element_scale) {
@@ -46,9 +70,23 @@ inline runtime::RunStats RunOrDie(api::EngineKind engine,
                                   const sim::SimFileSystem& inputs,
                                   const api::RunConfig& config) {
   sim::SimFileSystem fs = inputs;
-  auto result = api::Run(engine, program, &fs, config);
+  obs::MetricsRegistry metrics;
+  api::RunConfig run_config = config;
+  if (!MetricsOutPath().empty()) run_config.metrics = &metrics;
+  auto result = api::Run(engine, program, &fs, run_config);
   MITOS_CHECK(result.ok()) << api::EngineKindName(engine) << ": "
                            << result.status().ToString();
+  if (!MetricsOutPath().empty()) {
+    static int run_index = 0;
+    std::string json = metrics.ToJson();
+    while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) {
+      json.pop_back();
+    }
+    std::ofstream out(MetricsOutPath(), std::ios::app);
+    out << "{\"run\": " << run_index++ << ", \"engine\": \""
+        << api::EngineKindName(engine) << "\", \"metrics\": " << json
+        << "}\n";
+  }
   return result->stats;
 }
 

@@ -74,7 +74,8 @@ void Main() {
 }  // namespace
 }  // namespace mitos::bench
 
-int main() {
+int main(int argc, char** argv) {
+  mitos::bench::ParseBenchArgs(argc, argv);
   mitos::bench::Main();
   return 0;
 }

@@ -147,7 +147,8 @@ void ChunkSizeAblation() {
 }  // namespace
 }  // namespace mitos::bench
 
-int main() {
+int main(int argc, char** argv) {
+  mitos::bench::ParseBenchArgs(argc, argv);
   mitos::bench::DeadCodeAblation();
   mitos::bench::DiscardRuleAblation();
   mitos::bench::FusionAblation();

@@ -2,10 +2,61 @@
 
 #include "baselines/flink.h"
 #include "baselines/spark.h"
+#include "common/logging.h"
 #include "lang/interpreter.h"
 #include "sim/simulator.h"
 
 namespace mitos::api {
+
+namespace {
+
+// Stamps MITOS_LOG / MITOS_VLOG lines with this run's virtual time.
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const sim::Simulator* sim) : sim_(sim) {
+    internal_logging::AttachLogClock(sim, [](const void* ctx) {
+      return static_cast<const sim::Simulator*>(ctx)->now();
+    });
+  }
+  ~ScopedLogClock() { internal_logging::DetachLogClock(sim_); }
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+ private:
+  const sim::Simulator* sim_;
+};
+
+// Run-level observability epilogue shared by every engine: the run span
+// plus summary gauges mirroring RunStats.
+void RecordRunSummary(const RunConfig& config, EngineKind engine,
+                      double end_time, const runtime::RunStats& stats) {
+  if (config.trace != nullptr) {
+    config.trace->Span(obs::kEnginePid,
+                       config.trace->Lane(obs::kEnginePid, "run"),
+                       EngineKindName(engine), "run", 0.0, end_time,
+                       {{"engine", EngineKindName(engine)},
+                        {"machines", config.machines},
+                        {"jobs", stats.jobs},
+                        {"decisions", stats.decisions}});
+  }
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry* mr = config.metrics;
+    mr->Set("total_seconds", stats.total_seconds);
+    mr->Set("launch_seconds", stats.launch_seconds);
+    mr->Set("peak_buffered_bytes",
+            static_cast<double>(stats.peak_buffered_bytes));
+    mr->Set("network_bytes", static_cast<double>(stats.cluster.network_bytes));
+    mr->Set("local_bytes", static_cast<double>(stats.cluster.local_bytes));
+    mr->Set("disk_bytes", static_cast<double>(stats.cluster.disk_bytes));
+    mr->Set("messages", static_cast<double>(stats.cluster.messages));
+    mr->Set("cpu_seconds", stats.cluster.cpu_seconds);
+    for (const auto& [name, cpu] : stats.operator_cpu) {
+      mr->Set("operator_cpu/" + name, cpu);
+    }
+  }
+}
+
+}  // namespace
 
 const char* EngineKindName(EngineKind kind) {
   switch (kind) {
@@ -39,7 +90,15 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
   sim::ClusterConfig cluster_config = config.cluster;
   cluster_config.num_machines = config.machines;
   sim::Cluster cluster(&sim, cluster_config);
+  // Observability: resource spans are recorded by the cluster itself, so
+  // attaching here covers every engine (including the multi-job baselines).
+  cluster.set_trace(config.trace);
+  ScopedLogClock log_clock(&sim);
+  MITOS_VLOG(1) << "run: engine=" << EngineKindName(engine)
+                << " machines=" << config.machines;
 
+  StatusOr<runtime::RunStats> stats =
+      Status::Internal("unknown engine");
   switch (engine) {
     case EngineKind::kMitos:
     case EngineKind::kMitosNoPipelining:
@@ -51,11 +110,11 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
       options.launch_per_machine = config.mitos_launch_per_machine;
       options.max_path_len = config.max_path_len;
       options.operator_fusion = config.mitos_operator_fusion;
+      options.trace = config.trace;
+      options.metrics = config.metrics;
       runtime::MitosExecutor executor(&sim, &cluster, fs, options);
-      StatusOr<runtime::RunStats> stats = executor.Run(program);
-      if (!stats.ok()) return stats.status();
-      result.stats = *stats;
-      return result;
+      stats = executor.Run(program);
+      break;
     }
     case EngineKind::kFlink:
     case EngineKind::kNaiad:
@@ -66,11 +125,9 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
           engine == EngineKind::kFlink ? config.flink_step_overhead
           : engine == EngineKind::kNaiad ? config.naiad_step_overhead
                                          : config.tensorflow_step_overhead;
-      StatusOr<runtime::RunStats> stats =
-          baselines::RunFlinkSim(&sim, &cluster, fs, program, options);
-      if (!stats.ok()) return stats.status();
-      result.stats = *stats;
-      return result;
+      options.metrics = config.metrics;
+      stats = baselines::RunFlinkSim(&sim, &cluster, fs, program, options);
+      break;
     }
     case EngineKind::kSpark:
     case EngineKind::kFlinkSeparateJobs: {
@@ -82,16 +139,18 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
         options.launch_base = config.flink_jobs_launch_base;
         options.launch_per_machine = config.flink_jobs_launch_per_machine;
       }
+      options.metrics = config.metrics;
       baselines::SparkDriver driver(&sim, &cluster, fs, options);
-      StatusOr<runtime::RunStats> stats = driver.Run(program);
-      if (!stats.ok()) return stats.status();
-      result.stats = *stats;
-      return result;
+      stats = driver.Run(program);
+      break;
     }
     case EngineKind::kReference:
-      break;  // handled above
+      return Status::Internal("unreachable: reference handled above");
   }
-  return Status::Internal("unknown engine");
+  if (!stats.ok()) return stats.status();
+  result.stats = *stats;
+  RecordRunSummary(config, engine, sim.now(), result.stats);
+  return result;
 }
 
 }  // namespace mitos::api

@@ -15,6 +15,8 @@
 
 #include "common/status.h"
 #include "lang/ast.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 #include "sim/cluster.h"
 #include "sim/filesystem.h"
@@ -66,6 +68,16 @@ struct RunConfig {
   // Elementwise operator fusion for the Mitos engines (ir/fusion.h).
   bool mitos_operator_fusion = false;
   int max_path_len = 1'000'000;
+
+  // Observability (src/obs/). Both optional and caller-owned: attach a
+  // TraceRecorder to capture per-operator/per-resource spans and
+  // control-flow instants in virtual time (export with
+  // TraceRecorder::ToJson — Chrome trace-event format), and a
+  // MetricsRegistry for counters/gauges/histograms plus the per-step
+  // timeline. Null (default) keeps the whole layer disabled at zero cost:
+  // the run's virtual time and RunStats are identical either way.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RunResult {

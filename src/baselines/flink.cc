@@ -80,6 +80,7 @@ StatusOr<runtime::RunStats> RunFlinkSim(sim::Simulator* sim,
   exec.pipelining = false;  // superstep barrier between iterations
   exec.hoisting = true;     // Flink supports loop-invariant hoisting
   exec.decision_overhead = options.step_overhead;
+  exec.metrics = options.metrics;
   runtime::MitosExecutor executor(sim, cluster, fs, exec);
   return executor.Run(program);
 }

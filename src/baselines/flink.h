@@ -39,6 +39,9 @@ struct FlinkOptions {
   // reports "Flink" numbers for Visit Count despite the restrictions, and
   // keeps the comparison about *performance* (barrier vs pipelining).
   bool strict = false;
+  // Optional metrics registry (src/obs/); tracing rides on the recorder
+  // attached to the cluster.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Runs `program` as one barriered native-iteration job.

@@ -429,6 +429,7 @@ Status SparkDriver::RunJob(const Lineage& action,
   runtime::ExecutorOptions exec_options;
   exec_options.launch_base = options_.launch_base;
   exec_options.launch_per_machine = options_.launch_per_machine;
+  exec_options.metrics = options_.metrics;
   // Spark executes jobs as stages: shuffle outputs materialize before the
   // next stage starts.
   exec_options.blocking_shuffles = true;

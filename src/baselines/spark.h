@@ -38,6 +38,9 @@ struct SparkOptions {
   double launch_per_machine = 0.115;
   // Guard against runaway driver loops.
   int64_t max_driver_iterations = 10'000'000;
+  // Optional metrics registry (src/obs/); tracing rides on the recorder
+  // attached to the cluster.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class SparkDriver {

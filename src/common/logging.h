@@ -1,8 +1,19 @@
-// Minimal logging and invariant-checking utilities for Mitos.
+// Logging and invariant-checking utilities for Mitos.
 //
 // Following Google style we do not use exceptions in core paths. Invariant
 // violations abort with a readable message; recoverable errors use
 // mitos::Status (see status.h).
+//
+// Leveled diagnostics (all env-gated, default silent except WARNING+):
+//   MITOS_LOG(INFO) << "...";     severities INFO, WARNING, ERROR, FATAL
+//   MITOS_VLOG(2)   << "...";     verbose logging at level n
+// Environment:
+//   MITOS_LOG_LEVEL=info|warning|error|fatal (or 0-3): minimum severity
+//       printed. Default: warning. FATAL always prints and aborts.
+//   MITOS_VLOG=N: print MITOS_VLOG(n) for n <= N. Default 0 (off).
+// When a simulator is attached (sim registers its clock via
+// AttachLogClock; api::Run does this for every engine run), log lines are
+// stamped with the *virtual* time, e.g. "[MITOS I 1.204s]".
 #ifndef MITOS_COMMON_LOGGING_H_
 #define MITOS_COMMON_LOGGING_H_
 
@@ -13,6 +24,39 @@
 
 namespace mitos {
 namespace internal_logging {
+
+// Severity values are macro-pasted: MITOS_LOG(INFO) -> kINFO.
+enum Severity { kINFO = 0, kWARNING = 1, kERROR = 2, kFATAL = 3 };
+
+// Minimum severity printed by MITOS_LOG, cached from MITOS_LOG_LEVEL.
+int MinLogLevel();
+// Verbosity for MITOS_VLOG, cached from MITOS_VLOG.
+int VlogVerbosity();
+
+// Virtual-clock hook: when attached, log lines carry virtual seconds.
+// `now` must be a capture-free callable; `ctx` identifies the owner so a
+// stale detach (from a different simulator) is a no-op.
+void AttachLogClock(const void* ctx, double (*now)(const void*));
+void DetachLogClock(const void* ctx);
+// True when a clock is attached; *seconds receives the current virtual
+// time.
+bool VirtualNow(double* seconds);
+
+// Accumulates one log line and writes it to stderr when destroyed;
+// aborts for kFATAL.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, Severity severity);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  Severity severity_;
+};
 
 // Accumulates a message and aborts the process when destroyed. Used as the
 // right-hand side of the MITOS_CHECK macros; never instantiate directly.
@@ -66,5 +110,33 @@ struct Voidify {
 // Marks unreachable code paths.
 #define MITOS_UNREACHABLE() \
   MITOS_CHECK(false) << "unreachable code reached"
+
+// True when a MITOS_LOG(severity) statement would print.
+#define MITOS_LOG_IS_ON(severity)                 \
+  (::mitos::internal_logging::k##severity >=     \
+   ::mitos::internal_logging::MinLogLevel())
+
+// Leveled logging: MITOS_LOG(INFO) << "msg". The stream expression is not
+// evaluated when the severity is below the threshold.
+#define MITOS_LOG(severity)                                                 \
+  !MITOS_LOG_IS_ON(severity)                                                \
+      ? (void)0                                                             \
+      : ::mitos::internal_logging::Voidify() &                              \
+            ::mitos::internal_logging::LogMessage(                          \
+                __FILE__, __LINE__,                                         \
+                ::mitos::internal_logging::k##severity)                     \
+                .stream()
+
+#define MITOS_VLOG_IS_ON(n) \
+  ((n) <= ::mitos::internal_logging::VlogVerbosity())
+
+// Verbose logging: MITOS_VLOG(2) << "msg", printed when MITOS_VLOG >= 2.
+#define MITOS_VLOG(n)                                                       \
+  !MITOS_VLOG_IS_ON(n)                                                      \
+      ? (void)0                                                             \
+      : ::mitos::internal_logging::Voidify() &                              \
+            ::mitos::internal_logging::LogMessage(                          \
+                __FILE__, __LINE__, ::mitos::internal_logging::kINFO)       \
+                .stream()
 
 #endif  // MITOS_COMMON_LOGGING_H_

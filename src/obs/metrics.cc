@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace mitos::obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void HistogramData::Observe(double value) {
+  if (count == 0 || value < min) min = value;
+  if (count == 0 || value > max) max = value;
+  ++count;
+  sum += value;
+  double bound = kFirstBound;
+  int i = 0;
+  while (i < kNumBuckets - 1 && value > bound) {
+    bound *= 2;
+    ++i;
+  }
+  ++buckets[static_cast<size_t>(i)];
+}
+
+void MetricsRegistry::Inc(const std::string& name, int64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Set(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  histograms_[name].Observe(value);
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const HistogramData* MetricsRegistry::histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":";
+    AppendDouble(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"sum\":";
+    AppendDouble(&out, h.sum);
+    out += ",\"min\":";
+    AppendDouble(&out, h.min);
+    out += ",\"max\":";
+    AppendDouble(&out, h.max);
+    // Sparse bucket encoding: [bucket_index, count] pairs.
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < HistogramData::kNumBuckets; ++i) {
+      int64_t n = h.buckets[static_cast<size_t>(i)];
+      if (n == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[' + std::to_string(i) + ',' + std::to_string(n) + ']';
+    }
+    out += "]}";
+  }
+  out += "},\"steps\":[";
+  first = true;
+  for (const StepRecord& s : steps_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"index\":" + std::to_string(s.index) +
+           ",\"block\":" + std::to_string(s.block) +
+           ",\"value\":" + (s.value ? "true" : "false") +
+           ",\"path_len\":" + std::to_string(s.path_len) +
+           ",\"decision_time\":";
+    AppendDouble(&out, s.decision_time);
+    out += ",\"broadcast_time\":";
+    AppendDouble(&out, s.broadcast_time);
+    out += ",\"barrier_wait\":";
+    AppendDouble(&out, s.barrier_wait);
+    out += ",\"launch_seconds\":";
+    AppendDouble(&out, s.launch_seconds);
+    out += ",\"elements\":" + std::to_string(s.elements) +
+           ",\"net_bytes\":" + std::to_string(s.net_bytes) +
+           ",\"disk_bytes\":" + std::to_string(s.disk_bytes) + '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string MetricsRegistry::StepTableToString() const {
+  std::string out =
+      "  step block branch  decision_t      wait  elements  net_bytes "
+      "disk_bytes\n";
+  char buf[160];
+  for (const StepRecord& s : steps_) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %4d %5d %6s %10.4fs %8.4fs %9lld %10lld %10lld\n",
+                  s.index, s.block, s.value ? "true" : "false",
+                  s.decision_time, s.barrier_wait,
+                  static_cast<long long>(s.elements),
+                  static_cast<long long>(s.net_bytes),
+                  static_cast<long long>(s.disk_bytes));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mitos::obs

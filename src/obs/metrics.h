@@ -1,0 +1,94 @@
+// MetricsRegistry: counters, gauges, histograms, and the per-step
+// control-flow timeline, populated during a run and exportable as JSON.
+//
+// Like the TraceRecorder this is purely observational — recording never
+// charges virtual time — and call sites hold a nullable pointer, so the
+// disabled path costs one branch.
+//
+// The per-step timeline is the tabular twin of the trace's "step" spans:
+// one record per control-flow decision with the decided block, the chosen
+// branch, barrier-wait/broadcast latency, and the elements/bytes the
+// cluster moved during the step. It quantifies the paper's Fig. 7 claim
+// (per-step coordination overhead) and whether pipelining overlapped steps.
+#ifndef MITOS_OBS_METRICS_H_
+#define MITOS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mitos::obs {
+
+// Fixed-boundary histogram: doubling buckets starting at kFirstBound.
+// Tracks count/sum/min/max exactly; the buckets give the shape.
+struct HistogramData {
+  static constexpr int kNumBuckets = 44;
+  static constexpr double kFirstBound = 1e-9;
+
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  // buckets[i] counts values <= kFirstBound * 2^i; the last bucket is a
+  // catch-all for anything larger.
+  std::vector<int64_t> buckets = std::vector<int64_t>(kNumBuckets, 0);
+
+  void Observe(double value);
+  double mean() const { return count == 0 ? 0 : sum / count; }
+};
+
+// One control-flow step: a decision, its broadcast, and what moved.
+struct StepRecord {
+  int index = 0;        // 0-based decision index
+  int block = 0;        // the block whose terminator decided
+  bool value = false;   // branch taken
+  int path_len = 0;     // execution-path length after the append
+  double decision_time = 0;   // virtual time the condition node fired
+  double broadcast_time = 0;  // virtual time the new length was broadcast
+  double barrier_wait = 0;    // broadcast - decision (barrier + overhead)
+  double launch_seconds = 0;  // per-step job launch (per-job engines)
+  int64_t elements = 0;       // operator input elements during the step
+  int64_t net_bytes = 0;      // network bytes moved during the step
+  int64_t disk_bytes = 0;     // disk bytes moved during the step
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Inc(const std::string& name, int64_t delta = 1);
+  void Set(const std::string& name, double value);
+  void Observe(const std::string& name, double value);
+  void AddStep(const StepRecord& step) { steps_.push_back(step); }
+
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  const HistogramData* histogram(const std::string& name) const;
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, HistogramData>& histograms() const {
+    return histograms_;
+  }
+  const std::vector<StepRecord>& steps() const { return steps_; }
+
+  // {"counters":{…},"gauges":{…},"histograms":{…},"steps":[…]} — sorted
+  // keys, fixed number formatting: byte-deterministic.
+  std::string ToJson() const;
+
+  // Human-readable per-step table (used by mitos_run --profile).
+  std::string StepTableToString() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> histograms_;
+  std::vector<StepRecord> steps_;
+};
+
+}  // namespace mitos::obs
+
+#endif  // MITOS_OBS_METRICS_H_

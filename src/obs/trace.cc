@@ -1,0 +1,197 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace mitos::obs {
+
+namespace {
+
+// JSON string escaping (control characters, quotes, backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Microsecond timestamps with nanosecond resolution; fixed-point printf
+// formatting keeps the export byte-deterministic.
+void AppendMicros(std::string* out, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+void AppendArgs(std::string* out, const TraceArgs& args) {
+  *out += "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) *out += ',';
+    const TraceArg& a = args[i];
+    *out += '"';
+    *out += JsonEscape(a.key);
+    *out += "\":";
+    switch (a.kind) {
+      case TraceArg::Kind::kInt:
+        *out += std::to_string(a.int_value);
+        break;
+      case TraceArg::Kind::kDouble:
+        AppendDouble(out, a.double_value);
+        break;
+      case TraceArg::Kind::kString:
+        *out += '"';
+        *out += JsonEscape(a.string_value);
+        *out += '"';
+        break;
+    }
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+int TraceRecorder::Lane(int pid, const std::string& name) {
+  auto key = std::make_pair(pid, name);
+  auto it = lanes_.find(key);
+  if (it != lanes_.end()) return it->second;
+  int tid = next_tid_[pid]++;
+  lanes_.emplace(std::move(key), tid);
+  lane_names_[{pid, tid}] = name;
+  return tid;
+}
+
+void TraceRecorder::SetProcessName(int pid, const std::string& name) {
+  process_names_[pid] = name;
+}
+
+void TraceRecorder::Span(int pid, int tid, std::string name, const char* cat,
+                         double t_start, double t_end, TraceArgs args) {
+  TraceEvent event;
+  event.phase = 'X';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts = t_start;
+  event.dur = t_end >= t_start ? t_end - t_start : 0;
+  event.name = std::move(name);
+  event.cat = cat;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Instant(int pid, int tid, std::string name,
+                            const char* cat, double t, TraceArgs args) {
+  TraceEvent event;
+  event.phase = 'i';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts = t;
+  event.name = std::move(name);
+  event.cat = cat;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Counter(int pid, std::string name, double t,
+                            double value) {
+  TraceEvent event;
+  event.phase = 'C';
+  event.pid = pid;
+  event.tid = 0;
+  event.ts = t;
+  event.name = std::move(name);
+  event.cat = "counter";
+  event.args.emplace_back("value", value);
+  events_.push_back(std::move(event));
+}
+
+int64_t TraceRecorder::CountEvents(char phase, const char* cat) const {
+  int64_t n = 0;
+  std::string want = cat == nullptr ? "" : cat;
+  for (const TraceEvent& e : events_) {
+    if (phase != 0 && e.phase != phase) continue;
+    if (!want.empty() && want != e.cat) continue;
+    ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto separator = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata first: process and thread names (sorted — std::map order).
+  for (const auto& [pid, name] : process_names_) {
+    separator();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+           JsonEscape(name) + "\"}}";
+  }
+  for (const auto& [key, name] : lane_names_) {
+    separator();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+           ",\"tid\":" + std::to_string(key.second) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           JsonEscape(name) + "\"}}";
+    // Preserve registration order as the display order.
+    separator();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+           ",\"tid\":" + std::to_string(key.second) +
+           ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+           std::to_string(key.second) + "}}";
+  }
+
+  for (const TraceEvent& e : events_) {
+    separator();
+    out += "{\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":" + std::to_string(e.pid) +
+           ",\"tid\":" + std::to_string(e.tid) + ",\"ts\":";
+    AppendMicros(&out, e.ts);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(&out, e.dur);
+    }
+    if (e.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out += ",\"name\":\"" + JsonEscape(e.name) + "\"";
+    if (e.cat != nullptr && e.cat[0] != '\0') {
+      out += ",\"cat\":\"" + JsonEscape(e.cat) + "\"";
+    }
+    out += ',';
+    AppendArgs(&out, e.args);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace mitos::obs

@@ -1,0 +1,140 @@
+// Execution tracing: timestamped spans and instant events in *virtual
+// simulator time*, exported as Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing).
+//
+// The recorder is purely observational: recording an event never schedules
+// simulator work or charges virtual time, so an attached recorder changes
+// nothing about a run except that it remembers what happened. Call sites
+// hold a `TraceRecorder*` that is nullptr when tracing is disabled — the
+// null check is the entire cost of the disabled path.
+//
+// Trace coordinates:
+//   * pid — one "process" per simulated machine (machine m -> pid m+1) plus
+//     a synthetic engine process (pid 0) holding the run span, the per-step
+//     control-flow timeline, and global counters.
+//   * tid — one lane per serial resource inside a machine: cores ("cpu0"…),
+//     NICs ("nic-out"), disks ("disk"), the control-flow manager
+//     ("control-flow"), and one lane per operator instance
+//     ("op:<name>[i]"). Lanes are registered on first use via Lane().
+//
+// Span categories used by the engine:
+//   "sim"       — core occupancy (named by operator phase when known)
+//   "net"       — NIC transfer spans
+//   "disk"      — disk/memory I/O spans
+//   "operator"  — one span per output bag, named "<op>@<path_len>" (the
+//                 paper's bag identifier: operator × execution-path prefix)
+//   "step"      — one span per control-flow step on the engine process
+//   "control-flow" — instant events, one per control-flow decision
+//   "hoisting"  — instant events for build-side state kept across steps
+//   "run"/"job" — run- and job-level spans
+//
+// Determinism: events are stored in insertion order and the simulator is
+// deterministic, so two identical runs export byte-identical JSON (this is
+// a regression test, tests/obs/trace_test.cc).
+#ifndef MITOS_OBS_TRACE_H_
+#define MITOS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mitos::obs {
+
+// Engine process id; simulated machine m maps to pid m+1.
+inline constexpr int kEnginePid = 0;
+constexpr int MachinePid(int machine) { return machine + 1; }
+
+// One key/value argument attached to an event (the Chrome "args" object).
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  TraceArg(std::string k, int64_t v)
+      : key(std::move(k)), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string k, int v)
+      : key(std::move(k)), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string k, size_t v)
+      : key(std::move(k)),
+        kind(Kind::kInt),
+        int_value(static_cast<int64_t>(v)) {}
+  TraceArg(std::string k, double v)
+      : key(std::move(k)), kind(Kind::kDouble), double_value(v) {}
+  TraceArg(std::string k, bool v)
+      : key(std::move(k)), kind(Kind::kInt), int_value(v ? 1 : 0) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), kind(Kind::kString), string_value(std::move(v)) {}
+  TraceArg(std::string k, const char* v)
+      : key(std::move(k)), kind(Kind::kString), string_value(v) {}
+
+  std::string key;
+  Kind kind;
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+};
+
+using TraceArgs = std::vector<TraceArg>;
+
+struct TraceEvent {
+  char phase = 'X';  // 'X' span, 'i' instant, 'C' counter
+  int pid = 0;
+  int tid = 0;
+  double ts = 0;   // virtual seconds
+  double dur = 0;  // virtual seconds (spans only)
+  std::string name;
+  const char* cat = "";
+  TraceArgs args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Returns the tid of lane `name` in process `pid`, registering it on
+  // first use. Tids are assigned per process in registration order (which
+  // the deterministic simulator makes reproducible).
+  int Lane(int pid, const std::string& name);
+
+  // Display name for a process ("engine", "machine3", …).
+  void SetProcessName(int pid, const std::string& name);
+
+  // A completed span [t_start, t_end] on (pid, tid).
+  void Span(int pid, int tid, std::string name, const char* cat,
+            double t_start, double t_end, TraceArgs args = {});
+
+  // A zero-duration marker at time t on (pid, tid).
+  void Instant(int pid, int tid, std::string name, const char* cat, double t,
+               TraceArgs args = {});
+
+  // A sampled counter value at time t (rendered as a track in Perfetto).
+  void Counter(int pid, std::string name, double t, double value);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t num_events() const { return events_.size(); }
+  const std::map<int, std::string>& process_names() const {
+    return process_names_;
+  }
+
+  // Counts events matching (phase, cat); either filter may be 0/nullptr
+  // for "any". Convenience for tests and the --profile report.
+  int64_t CountEvents(char phase, const char* cat) const;
+
+  // Chrome trace-event JSON: {"displayTimeUnit":…, "traceEvents":[…]}.
+  // Timestamps are exported in microseconds. Byte-deterministic for a
+  // given recording sequence.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::pair<int, std::string>, int> lanes_;
+  std::map<int, int> next_tid_;
+  std::map<std::pair<int, int>, std::string> lane_names_;
+  std::map<int, std::string> process_names_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mitos::obs
+
+#endif  // MITOS_OBS_TRACE_H_

@@ -47,11 +47,30 @@ class Job : public RuntimeContext {
     sim::ClusterMetrics before = cluster_->metrics();
     double t_start = sim_->now();
 
+    // Attach the recorder to the cluster so resource spans (cores, NICs,
+    // disks) are captured; keep an already-attached recorder (api::Run
+    // attaches it before any baseline engine launches its jobs).
+    if (options_.trace != nullptr && cluster_->trace() == nullptr) {
+      cluster_->set_trace(options_.trace);
+    }
+    if (obs::TraceRecorder* tr = trace()) {
+      tr->SetProcessName(obs::kEnginePid, "engine");
+      for (int m = 0; m < machines; ++m) {
+        tr->SetProcessName(obs::MachinePid(m), "machine" + std::to_string(m));
+      }
+    }
+    MITOS_VLOG(1) << "job start: " << graph_.num_nodes() << " operators on "
+                  << machines << " machines"
+                  << (options_.pipelining ? "" : ", superstep barriers");
+
     // Per-machine control flow managers over the shared path storage.
     PathAuthority::Options auth_options;
     auth_options.pipelining = options_.pipelining;
     auth_options.decision_overhead = options_.decision_overhead;
     auth_options.max_path_len = options_.max_path_len;
+    auth_options.trace = trace();
+    auth_options.metrics = options_.metrics;
+    auth_options.elements_probe = [this] { return elements_; };
 
     managers_.clear();
     manager_ptrs_.clear();
@@ -122,6 +141,25 @@ class Job : public RuntimeContext {
     stats.cluster.local_bytes = after.local_bytes - before.local_bytes;
     stats.cluster.disk_bytes = after.disk_bytes - before.disk_bytes;
     stats.cluster.cpu_seconds = after.cpu_seconds - before.cpu_seconds;
+
+    if (obs::TraceRecorder* tr = trace()) {
+      int lane = tr->Lane(obs::kEnginePid, "jobs");
+      tr->Span(obs::kEnginePid, lane, "launch", "job", t_start,
+               t_start + launch, {{"machines", machines}});
+      tr->Span(obs::kEnginePid, lane, "job", "job", t_start, sim_->now(),
+               {{"operators", graph_.num_nodes()},
+                {"decisions", stats.decisions},
+                {"bags", stats.bags}});
+    }
+    if (obs::MetricsRegistry* mr = options_.metrics) {
+      mr->Inc("jobs");
+      mr->Inc("bags", bags_);
+      mr->Inc("elements", elements_);
+      mr->Inc("hoisted_reuses", reuses_);
+      mr->Observe("job_launch_seconds", launch);
+      mr->Observe("job_seconds", stats.total_seconds);
+    }
+    MITOS_VLOG(1) << "job done: " << stats.ToString();
     return stats;
   }
 
@@ -133,6 +171,9 @@ class Job : public RuntimeContext {
   bool hoisting() const override { return options_.hoisting; }
   bool blocking_shuffles() const override {
     return options_.blocking_shuffles;
+  }
+  obs::TraceRecorder* trace() const override {
+    return options_.trace != nullptr ? options_.trace : cluster_->trace();
   }
 
   BagOperatorHost* host(dataflow::NodeId node, int instance) override {
@@ -172,6 +213,10 @@ class Job : public RuntimeContext {
   void CountBag(int64_t elements_in) override {
     ++bags_;
     elements_ += elements_in;
+    if (options_.metrics != nullptr) {
+      options_.metrics->Observe("bag_elements",
+                                static_cast<double>(elements_in));
+    }
   }
 
   void CountReuse() override { ++reuses_; }
@@ -179,6 +224,10 @@ class Job : public RuntimeContext {
   void TrackMemory(int64_t delta_bytes) override {
     buffered_bytes_ += delta_bytes;
     peak_buffered_bytes_ = std::max(peak_buffered_bytes_, buffered_bytes_);
+    if (obs::TraceRecorder* tr = trace()) {
+      tr->Counter(obs::kEnginePid, "buffered_bytes", sim_->now(),
+                  static_cast<double>(buffered_bytes_));
+    }
   }
   bool discard_spent_bags() const override {
     return options_.discard_spent_bags;

@@ -17,6 +17,8 @@
 #include "dataflow/graph.h"
 #include "ir/ir.h"
 #include "lang/ast.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/path.h"
 #include "sim/cluster.h"
 #include "sim/filesystem.h"
@@ -54,6 +56,11 @@ struct ExecutorOptions {
   bool operator_fusion = false;
   // Runaway-loop guard.
   int max_path_len = 1'000'000;
+  // Observability (src/obs/): execution-trace recorder and metrics
+  // registry. Both nullable; null (the default) disables the layer
+  // entirely — no events, no extra allocations, no simulated cost.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RunStats {

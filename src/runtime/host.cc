@@ -211,10 +211,19 @@ void BagOperatorHost::CreateOutBag(int path_len) {
 
 // ----- processing -----
 
-void BagOperatorHost::EnqueueWork(double cpu_seconds,
+int BagOperatorHost::TraceLane() {
+  if (trace_lane_ < 0) {
+    trace_lane_ = ctx_->trace()->Lane(
+        obs::MachinePid(machine_),
+        "op:" + node_->name + "[" + std::to_string(instance_) + "]");
+  }
+  return trace_lane_;
+}
+
+void BagOperatorHost::EnqueueWork(double cpu_seconds, const char* phase,
                                   std::function<void()> action) {
   ctx_->ChargeOpCpu(node_->id, cpu_seconds);
-  work_.push_back(WorkItem{cpu_seconds, std::move(action)});
+  work_.push_back(WorkItem{cpu_seconds, phase, std::move(action)});
   Pump();
 }
 
@@ -225,11 +234,20 @@ void BagOperatorHost::Pump() {
   work_.pop_front();
   auto action = std::make_shared<std::function<void()>>(
       std::move(item.action));
-  ctx_->cluster()->ExecCpu(machine_, item.cpu, [this, action] {
-    busy_ = false;
-    if (!ctx_->failed()) (*action)();
-    Pump();
-  });
+  // Label the core span with "<op>.<phase>" when tracing (the string is
+  // only built on the traced path).
+  std::string label;
+  if (ctx_->trace() != nullptr && item.cpu > 0) {
+    label = node_->name + "." + item.phase;
+  }
+  ctx_->cluster()->ExecCpu(
+      machine_, item.cpu,
+      [this, action] {
+        busy_ = false;
+        if (!ctx_->failed()) (*action)();
+        Pump();
+      },
+      std::move(label));
 }
 
 void BagOperatorHost::TryFeed() {
@@ -239,6 +257,7 @@ void BagOperatorHost::TryFeed() {
 
   if (!bag.opened) {
     bag.opened = true;
+    bag.t_open = ctx_->cluster()->sim()->now();
     // Loop-invariant hoisting (Sec. 5.3): reuse state when the chosen bag
     // id on a reusable input is unchanged since the previous output bag.
     if (kernel_ && ctx_->hoisting() && has_prev_) {
@@ -246,11 +265,21 @@ void BagOperatorHost::TryFeed() {
         bag.reuse[i] = kernel_->CanReuseInput(static_cast<int>(i)) &&
                        bag.chosen[i] > 0 &&
                        prev_chosen_[i] == bag.chosen[i];
-        if (bag.reuse[i]) ctx_->CountReuse();
+        if (bag.reuse[i]) {
+          ctx_->CountReuse();
+          if (obs::TraceRecorder* tr = ctx_->trace()) {
+            // Build-side state kept across steps (Sec. 5.3).
+            tr->Instant(obs::MachinePid(machine_), TraceLane(),
+                        "hoisted-reuse", "hoisting", bag.t_open,
+                        {{"input", static_cast<int>(i)},
+                         {"bag_len", bag.chosen[i]}});
+          }
+        }
       }
     }
     std::vector<bool> reuse = bag.reuse;
-    EnqueueWork(kBookkeepingElements * PerElementCost(), [this, reuse] {
+    EnqueueWork(kBookkeepingElements * PerElementCost(), "open",
+                [this, reuse] {
       if (kernel_) {
         for (size_t i = 0; i < reuse.size(); ++i) {
           if (kernel_->CanReuseInput(static_cast<int>(i))) {
@@ -276,7 +305,7 @@ void BagOperatorHost::TryFeed() {
     }
     if (bag.reuse[i] || bag.chosen[i] == 0) {
       bag.closed[i] = true;
-      EnqueueWork(0, [this, i, bag_len] {
+      EnqueueWork(0, "close", [this, i, bag_len] {
         if (kernel_) {
           kernel_->Close(static_cast<int>(i),
                          [this, bag_len](DatumVector&& out) {
@@ -293,7 +322,7 @@ void BagOperatorHost::TryFeed() {
       size_t elements = entry.chunks[idx].size();
       bag.elements_in += static_cast<int64_t>(elements);
       double cpu = static_cast<double>(elements) * PerElementCost();
-      EnqueueWork(cpu, [this, i, chosen_len, idx, bag_len] {
+      EnqueueWork(cpu, "push", [this, i, chosen_len, idx, bag_len] {
         const DatumVector& chunk =
             inputs_[i].bags.at(chosen_len).chunks[idx];
         auto emit = [this, bag_len](DatumVector&& out) {
@@ -309,7 +338,7 @@ void BagOperatorHost::TryFeed() {
     if (entry.markers == inputs_[i].expected_markers &&
         bag.fed[i] == entry.chunks.size()) {
       bag.closed[i] = true;
-      EnqueueWork(0, [this, i, bag_len] {
+      EnqueueWork(0, "close", [this, i, bag_len] {
         if (kernel_) {
           kernel_->Close(static_cast<int>(i),
                          [this, bag_len](DatumVector&& out) {
@@ -336,7 +365,7 @@ void BagOperatorHost::EnqueueFinish(OutBag& bag) {
   if (node_->kind == NodeKind::kBagLit) {
     cpu += static_cast<double>(node_->literal.size()) * PerElementCost();
   }
-  EnqueueWork(cpu, [this, bag_len] {
+  EnqueueWork(cpu, "finish", [this, bag_len] {
     if (kernel_) {
       kernel_->Finish([this, bag_len](DatumVector&& out) {
         EmitChunk(bag_len, std::move(out));
@@ -384,6 +413,16 @@ void BagOperatorHost::FinalizeActiveBag() {
                                ps.state == PendingSend::State::kDropped);
   });
 
+  if (obs::TraceRecorder* tr = ctx_->trace()) {
+    // One span per output bag, named by the paper's bag identifier
+    // (operator × execution-path prefix length).
+    tr->Span(obs::MachinePid(machine_), TraceLane(),
+             node_->name + "@" + std::to_string(bag_len), "operator",
+             bag.t_open, ctx_->cluster()->sim()->now(),
+             {{"elements_in", bag.elements_in}, {"path_len", bag_len}});
+  }
+  MITOS_VLOG(3) << node_->name << "[" << instance_ << "] finished bag @"
+                << bag_len << " (" << bag.elements_in << " elements in)";
   prev_chosen_ = bag.chosen;
   has_prev_ = true;
   ctx_->CountBag(bag.elements_in);

@@ -47,6 +47,7 @@
 #include "dataflow/graph.h"
 #include "dataflow/operators.h"
 #include "ir/cfg.h"
+#include "obs/trace.h"
 #include "runtime/path.h"
 #include "sim/cluster.h"
 #include "sim/filesystem.h"
@@ -67,6 +68,8 @@ class RuntimeContext {
   virtual const ir::Cfg& cfg() const = 0;
   virtual bool hoisting() const = 0;
   virtual bool blocking_shuffles() const = 0;
+  // Execution-trace recorder; nullptr when tracing is disabled.
+  virtual obs::TraceRecorder* trace() const = 0;
 
   virtual BagOperatorHost* host(dataflow::NodeId node, int instance) = 0;
   virtual int MachineOf(dataflow::NodeId node, int instance) const = 0;
@@ -156,6 +159,7 @@ class BagOperatorHost {
     bool opened = false;
     bool finish_enqueued = false;
     int64_t elements_in = 0;
+    double t_open = 0;  // virtual time processing started (tracing)
   };
 
   // Conditional-output gating state per (bag, conditional out-edge).
@@ -178,7 +182,10 @@ class BagOperatorHost {
 
   // ----- processing -----
   void TryFeed();
-  void EnqueueWork(double cpu_seconds, std::function<void()> action);
+  // `phase` labels the core span in the execution trace ("open", "push",
+  // "close", "finish"); it must be a string literal (stored, not copied).
+  void EnqueueWork(double cpu_seconds, const char* phase,
+                   std::function<void()> action);
   void Pump();
   void EnqueueFinish(OutBag& bag);
   void FinalizeActiveBag();
@@ -225,13 +232,19 @@ class BagOperatorHost {
   std::vector<int> prev_chosen_;
   bool has_prev_ = false;
 
+  // The operator instance's lane in the execution trace (registered on
+  // first use; -1 until then). Only meaningful when ctx_->trace() != null.
+  int TraceLane();
+
   // Serialized work queue modelling the single-threaded operator instance.
   struct WorkItem {
     double cpu;
+    const char* phase;  // trace label for the core span
     std::function<void()> action;
   };
   std::deque<WorkItem> work_;
   bool busy_ = false;
+  int trace_lane_ = -1;
 
   // Special-node scratch (condition values, writeFile buffers, filenames).
   DatumVector special_values_;

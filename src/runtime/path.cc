@@ -69,7 +69,67 @@ void PathAuthority::OnDecision(ir::BlockId block, int at_len, bool value,
   const ir::Terminator& term = program_->block(block).term;
   MITOS_CHECK(term.kind == ir::Terminator::Kind::kBranch);
   ++decisions_;
+  MITOS_VLOG(2) << "decision " << decisions_ - 1 << ": block " << block
+                << " -> " << (value ? "true" : "false") << " (path len "
+                << path_->size() << ", machine " << machine << ")";
+  if (options_.trace != nullptr) {
+    // One instant event per control-flow decision, on the machine whose
+    // condition-node instance decided.
+    int pid = obs::MachinePid(machine);
+    options_.trace->Instant(
+        pid, options_.trace->Lane(pid, "control-flow"), "decision",
+        "control-flow", cluster_->sim()->now(),
+        {{"step", decisions_ - 1},
+         {"block", block},
+         {"value", value},
+         {"path_len", at_len}});
+  }
+  if (options_.metrics != nullptr) options_.metrics->Inc("decisions");
+  pending_step_ = PendingStep{block, value, cluster_->sim()->now()};
   AppendChain(value ? term.target : term.target_else, machine);
+}
+
+void PathAuthority::RecordStep(bool initial) {
+  sim::Simulator* sim = cluster_->sim();
+  const double now = sim->now();
+  const sim::ClusterMetrics& cm = cluster_->metrics();
+  const int64_t elements =
+      options_.elements_probe ? options_.elements_probe() : 0;
+  if (!initial) {
+    const int step = decisions_ - 1;
+    if (options_.trace != nullptr) {
+      // The step span covers everything since the previous broadcast: the
+      // superstep in a barriered engine, and the (overlapping) slice of
+      // work a pipelined engine finished while this decision raced ahead.
+      options_.trace->Span(
+          obs::kEnginePid, options_.trace->Lane(obs::kEnginePid, "steps"),
+          "step" + std::to_string(step), "step", last_broadcast_time_, now,
+          {{"block", pending_step_.block},
+           {"value", pending_step_.value},
+           {"path_len", path_->size()},
+           {"barrier_wait", now - pending_step_.decision_time}});
+    }
+    if (options_.metrics != nullptr) {
+      obs::StepRecord record;
+      record.index = step;
+      record.block = pending_step_.block;
+      record.value = pending_step_.value;
+      record.path_len = path_->size();
+      record.decision_time = pending_step_.decision_time;
+      record.broadcast_time = now;
+      record.barrier_wait = now - pending_step_.decision_time;
+      record.elements = elements - last_elements_;
+      record.net_bytes = cm.network_bytes - last_net_bytes_;
+      record.disk_bytes = cm.disk_bytes - last_disk_bytes_;
+      options_.metrics->AddStep(record);
+      options_.metrics->Observe("step_barrier_wait_seconds",
+                                record.barrier_wait);
+    }
+  }
+  last_broadcast_time_ = now;
+  last_elements_ = elements;
+  last_net_bytes_ = cm.network_bytes;
+  last_disk_bytes_ = cm.disk_bytes;
 }
 
 void PathAuthority::AppendChain(ir::BlockId block, int machine,
@@ -103,7 +163,10 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
   const bool complete = path_->complete();
   sim::Simulator* sim = cluster_->sim();
 
-  auto do_broadcast = [this, new_len, complete, from_machine] {
+  auto do_broadcast = [this, new_len, complete, from_machine, initial] {
+    if (options_.trace != nullptr || options_.metrics != nullptr) {
+      RecordStep(initial);
+    }
     for (int m = 0; m < static_cast<int>(managers_.size()); ++m) {
       ControlFlowManager* manager = managers_[static_cast<size_t>(m)];
       if (m == from_machine) {

@@ -26,6 +26,8 @@
 #include "common/status.h"
 #include "dataflow/graph.h"
 #include "ir/ir.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cluster.h"
 
 namespace mitos::runtime {
@@ -131,6 +133,14 @@ class PathAuthority {
     double decision_overhead = 0.0;
     // Runaway-loop guard.
     int max_path_len = 1'000'000;
+    // Observability (both optional; see src/obs/). The recorder gets one
+    // instant event per control-flow decision plus a per-step span on the
+    // engine process; the registry gets one StepRecord per decision.
+    obs::TraceRecorder* trace = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
+    // Supplies the job's running operator-input element count, so step
+    // records can report per-step element deltas (wired by the executor).
+    std::function<int64_t()> elements_probe;
   };
 
   // `path` is owned by the caller (the job) and shared with every
@@ -160,6 +170,8 @@ class PathAuthority {
   // no barrier, no per-decision overhead.
   void AppendChain(ir::BlockId block, int machine, bool initial = false);
   void Broadcast(int from_machine, bool initial);
+  // Emits the per-step trace span and metrics StepRecord at broadcast time.
+  void RecordStep(bool initial);
 
   const ir::Program* program_;
   sim::Cluster* cluster_;
@@ -168,6 +180,18 @@ class PathAuthority {
   std::function<void(Status)> on_error_;
   ExecutionPath* path_;
   int decisions_ = 0;
+
+  // Step-timeline state (only maintained when trace/metrics are attached).
+  struct PendingStep {
+    ir::BlockId block = ir::kNoBlock;
+    bool value = false;
+    double decision_time = 0;
+  };
+  PendingStep pending_step_;
+  double last_broadcast_time_ = 0;
+  int64_t last_elements_ = 0;
+  int64_t last_net_bytes_ = 0;
+  int64_t last_disk_bytes_ = 0;
 };
 
 }  // namespace mitos::runtime

@@ -23,22 +23,29 @@ Cluster::Cluster(Simulator* sim, const ClusterConfig& config)
   local_last_arrival_.assign(n, 0.0);
 }
 
-SimTime Cluster::AcquireCore(int machine, double duration) {
+Cluster::CoreSlot Cluster::AcquireCore(int machine, double duration) {
   std::vector<SimTime>& cores = core_free_[static_cast<size_t>(machine)];
   auto it = std::min_element(cores.begin(), cores.end());
   SimTime start = std::max(sim_->now(), *it);
   *it = start + duration;
-  return *it;
+  return CoreSlot{static_cast<int>(it - cores.begin()), start, *it};
 }
 
 void Cluster::ExecCpu(int machine, double cpu_seconds,
-                      std::function<void()> done) {
+                      std::function<void()> done, std::string trace_label) {
   MITOS_CHECK_GE(machine, 0);
   MITOS_CHECK_LT(machine, num_machines());
   MITOS_CHECK_GE(cpu_seconds, 0.0);
   metrics_.cpu_seconds += cpu_seconds;
-  SimTime finish = AcquireCore(machine, cpu_seconds);
-  sim_->Schedule(finish, std::move(done));
+  CoreSlot slot = AcquireCore(machine, cpu_seconds);
+  if (trace_ != nullptr && cpu_seconds > 0) {
+    int pid = obs::MachinePid(machine);
+    int tid = trace_->Lane(pid, "cpu" + std::to_string(slot.core));
+    trace_->Span(pid, tid,
+                 trace_label.empty() ? "cpu" : std::move(trace_label), "sim",
+                 slot.start, slot.finish);
+  }
+  sim_->Schedule(slot.finish, std::move(done));
 }
 
 void Cluster::Send(int src, int dst, size_t bytes,
@@ -64,11 +71,18 @@ void Cluster::Send(int src, int dst, size_t bytes,
   double wire_time = static_cast<double>(bytes) / config_.net_bandwidth;
   // Sender NIC occupancy, then latency, then receiver NIC occupancy.
   SimTime& out_free = nic_out_free_[static_cast<size_t>(src)];
-  SimTime sent = std::max(sim_->now(), out_free) + wire_time;
+  SimTime tx_start = std::max(sim_->now(), out_free);
+  SimTime sent = tx_start + wire_time;
   out_free = sent;
   SimTime& in_free = nic_in_free_[static_cast<size_t>(dst)];
   SimTime arrive = std::max(sent + config_.net_latency, in_free);
   in_free = arrive;
+  if (trace_ != nullptr) {
+    int pid = obs::MachinePid(src);
+    trace_->Span(pid, trace_->Lane(pid, "nic-out"),
+                 "send→m" + std::to_string(dst), "net", tx_start, sent,
+                 {{"bytes", bytes}, {"dst", dst}});
+  }
   sim_->Schedule(arrive, std::move(done));
 }
 
@@ -79,14 +93,24 @@ void Cluster::DiskIo(int machine, size_t bytes, std::function<void()> done,
   if (memory) {
     SimTime finish = sim_->now() +
                      static_cast<double>(bytes) / config_.memory_bandwidth;
+    if (trace_ != nullptr) {
+      int pid = obs::MachinePid(machine);
+      trace_->Span(pid, trace_->Lane(pid, "mem"), "mem write", "disk",
+                   sim_->now(), finish, {{"bytes", bytes}});
+    }
     sim_->Schedule(finish, std::move(done));
     return;
   }
   metrics_.disk_bytes += static_cast<int64_t>(bytes);
   SimTime& free = disk_free_[static_cast<size_t>(machine)];
-  SimTime finish = std::max(sim_->now(), free) +
-                   static_cast<double>(bytes) / config_.disk_bandwidth;
+  SimTime start = std::max(sim_->now(), free);
+  SimTime finish = start + static_cast<double>(bytes) / config_.disk_bandwidth;
   free = finish;
+  if (trace_ != nullptr) {
+    int pid = obs::MachinePid(machine);
+    trace_->Span(pid, trace_->Lane(pid, "disk"), "disk write", "disk",
+                 start, finish, {{"bytes", bytes}});
+  }
   sim_->Schedule(finish, std::move(done));
 }
 
@@ -103,6 +127,13 @@ void Cluster::DiskRead(int machine, size_t bytes, int pieces,
     start = std::max(sim_->now(), free);
   }
   double per_piece = static_cast<double>(bytes) / bandwidth / pieces;
+  if (trace_ != nullptr) {
+    int pid = obs::MachinePid(machine);
+    trace_->Span(pid, trace_->Lane(pid, memory ? "mem" : "disk"),
+                 memory ? "mem read" : "disk read", "disk", start,
+                 start + per_piece * pieces,
+                 {{"bytes", bytes}, {"pieces", pieces}});
+  }
   // Capture on_progress by shared copy; schedule one event per piece at
   // read pace so consumers overlap with the read.
   auto progress =

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace mitos::sim {
@@ -70,9 +72,18 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   Simulator* sim() { return sim_; }
 
+  // Attaches an execution-trace recorder; nullptr (the default) disables
+  // tracing entirely. Recording is observational only — it never changes
+  // the schedule, costs, or results of a run.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace() const { return trace_; }
+
   // Occupies one core of `machine` for `cpu_seconds`, starting no earlier
-  // than now. `done` runs at completion.
-  void ExecCpu(int machine, double cpu_seconds, std::function<void()> done);
+  // than now. `done` runs at completion. `trace_label` names the core span
+  // in the execution trace (ignored without a recorder; pass the operator
+  // phase, e.g. "counts.push").
+  void ExecCpu(int machine, double cpu_seconds, std::function<void()> done,
+               std::string trace_label = {});
 
   // Transfers `bytes` from `src` to `dst`. Remote transfers occupy both
   // NICs and pay latency; local transfers pay only a small latency plus
@@ -96,11 +107,17 @@ class Cluster {
   const ClusterMetrics& metrics() const { return metrics_; }
 
  private:
+  struct CoreSlot {
+    int core;
+    SimTime start;
+    SimTime finish;
+  };
   // Earliest-available slot on a set of serial resources (cores).
-  SimTime AcquireCore(int machine, double duration);
+  CoreSlot AcquireCore(int machine, double duration);
 
   Simulator* sim_;
   ClusterConfig config_;
+  obs::TraceRecorder* trace_ = nullptr;
   // core_free_[m][c]: time when core c of machine m becomes free.
   std::vector<std::vector<SimTime>> core_free_;
   std::vector<SimTime> nic_out_free_;

@@ -1,0 +1,143 @@
+// Minimal strict JSON validator for observability tests: enough grammar to
+// catch unbalanced braces, missing commas, bad escapes, and malformed
+// numbers in the exported trace/metrics documents without pulling in a
+// JSON library dependency.
+#ifndef MITOS_TESTS_OBS_JSON_LINT_H_
+#define MITOS_TESTS_OBS_JSON_LINT_H_
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace mitos::obs_testing {
+
+class JsonLint {
+ public:
+  // Returns true when `text` is one complete, well-formed JSON value.
+  // On failure `error` (if given) receives a message with a byte offset.
+  static bool IsValid(const std::string& text, std::string* error = nullptr) {
+    JsonLint lint(text);
+    bool ok = lint.Value() && (lint.SkipSpace(), lint.pos_ == text.size());
+    if (!ok && error != nullptr) {
+      *error = "invalid JSON near byte " + std::to_string(lint.pos_);
+    }
+    return ok;
+  }
+
+ private:
+  explicit JsonLint(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace((unsigned char)text_[pos_])) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) { ++pos_; return true; }
+    return false;
+  }
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if ((unsigned char)c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit((unsigned char)text_[pos_])) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+      return false;
+    }
+    while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    if (!Eat('{')) return false;
+    if (Eat('}')) return true;
+    do {
+      SkipSpace();
+      if (!String() || !Eat(':') || !Value()) return false;
+    } while (Eat(','));
+    return Eat('}');
+  }
+
+  bool Array() {
+    if (!Eat('[')) return false;
+    if (Eat(']')) return true;
+    do {
+      if (!Value()) return false;
+    } while (Eat(','));
+    return Eat(']');
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mitos::obs_testing
+
+#endif  // MITOS_TESTS_OBS_JSON_LINT_H_

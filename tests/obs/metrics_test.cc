@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "json_lint.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::obs {
+namespace {
+
+using obs_testing::JsonLint;
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry metrics;
+  metrics.Inc("bags");
+  metrics.Inc("bags", 4);
+  metrics.Set("total_seconds", 12.5);
+  metrics.Observe("lat", 0.5);
+  metrics.Observe("lat", 1.5);
+
+  EXPECT_EQ(metrics.counter("bags"), 5);
+  EXPECT_EQ(metrics.counter("missing"), 0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("total_seconds"), 12.5);
+  const HistogramData* lat = metrics.histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2);
+  EXPECT_DOUBLE_EQ(lat->sum, 2.0);
+  EXPECT_DOUBLE_EQ(lat->min, 0.5);
+  EXPECT_DOUBLE_EQ(lat->max, 1.5);
+  EXPECT_DOUBLE_EQ(lat->mean(), 1.0);
+  EXPECT_EQ(metrics.histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, JsonIsWellFormedAndDeterministic) {
+  MetricsRegistry metrics;
+  metrics.Inc("a\"quoted\"");
+  metrics.Set("g", -1.25e-3);
+  metrics.Observe("h", 1e-12);  // below the first bucket bound
+  metrics.Observe("h", 1e12);   // beyond the last bound (catch-all)
+  StepRecord step;
+  step.index = 0;
+  step.block = 2;
+  step.value = true;
+  step.path_len = 3;
+  step.barrier_wait = 0.031;
+  step.elements = 100;
+  metrics.AddStep(step);
+
+  std::string error;
+  std::string json = metrics.ToJson();
+  EXPECT_TRUE(JsonLint::IsValid(json, &error)) << error << "\n" << json;
+  EXPECT_EQ(json, metrics.ToJson());  // stable across exports
+}
+
+TEST(MetricsRegistryTest, StepTableListsEveryStep) {
+  MetricsRegistry metrics;
+  for (int i = 0; i < 3; ++i) {
+    StepRecord step;
+    step.index = i;
+    step.path_len = i + 1;
+    metrics.AddStep(step);
+  }
+  std::string table = metrics.StepTableToString();
+  // Header plus one row per step.
+  int lines = 0;
+  for (char c : table) lines += c == '\n';
+  EXPECT_GE(lines, 4) << table;
+}
+
+// End-to-end: a Mitos k-means run populates the registry with job, bag and
+// step data consistent with RunStats.
+TEST(MetricsEndToEndTest, KMeansPopulatesRegistry) {
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+  MetricsRegistry metrics;
+  api::RunConfig config{.machines = 3};
+  config.metrics = &metrics;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(metrics.counter("jobs"), result->stats.jobs);
+  EXPECT_EQ(metrics.counter("bags"), result->stats.bags);
+  EXPECT_EQ(metrics.counter("elements"), result->stats.elements);
+  EXPECT_EQ(metrics.counter("decisions"), result->stats.decisions);
+  EXPECT_DOUBLE_EQ(metrics.gauge("total_seconds"),
+                   result->stats.total_seconds);
+  ASSERT_EQ(static_cast<int>(metrics.steps().size()),
+            result->stats.decisions);
+  int64_t step_elements = 0;
+  for (const StepRecord& step : metrics.steps()) {
+    EXPECT_GE(step.barrier_wait, 0) << "step " << step.index;
+    EXPECT_GE(step.broadcast_time, step.decision_time);
+    step_elements += step.elements;
+  }
+  EXPECT_GT(step_elements, 0);
+  EXPECT_LE(step_elements, result->stats.elements);
+
+  std::string error;
+  EXPECT_TRUE(JsonLint::IsValid(metrics.ToJson(), &error)) << error;
+}
+
+}  // namespace
+}  // namespace mitos::obs

@@ -1,0 +1,192 @@
+#include "obs/trace.h"
+
+#include <cstring>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "json_lint.h"
+#include "obs/metrics.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::obs {
+namespace {
+
+using obs_testing::JsonLint;
+
+TEST(TraceRecorderTest, LanesAreStablePerProcess) {
+  TraceRecorder trace;
+  int cpu0 = trace.Lane(MachinePid(0), "cpu0");
+  int nic = trace.Lane(MachinePid(0), "nic-out");
+  EXPECT_NE(cpu0, nic);
+  // Re-registering returns the same tid.
+  EXPECT_EQ(cpu0, trace.Lane(MachinePid(0), "cpu0"));
+  // Lane numbering is per process: another machine starts over.
+  EXPECT_EQ(cpu0, trace.Lane(MachinePid(1), "cpu0"));
+}
+
+TEST(TraceRecorderTest, SpanNestingIsPreserved) {
+  TraceRecorder trace;
+  int lane = trace.Lane(kEnginePid, "run");
+  trace.Span(kEnginePid, lane, "outer", "run", 0.0, 10.0);
+  trace.Span(kEnginePid, lane, "inner", "operator", 2.0, 5.0);
+
+  ASSERT_EQ(trace.events().size(), 2u);
+  const TraceEvent& outer = trace.events()[0];
+  const TraceEvent& inner = trace.events()[1];
+  EXPECT_EQ(outer.phase, 'X');
+  EXPECT_EQ(inner.phase, 'X');
+  // The inner span lies strictly within the outer one on the same lane —
+  // the containment the trace viewer uses to draw nesting.
+  EXPECT_EQ(outer.tid, inner.tid);
+  EXPECT_LE(outer.ts, inner.ts);
+  EXPECT_GE(outer.ts + outer.dur, inner.ts + inner.dur);
+
+  // Exported timestamps are microseconds.
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"ts\":2000000.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":3000000.000"), std::string::npos) << json;
+}
+
+TEST(TraceRecorderTest, JsonIsWellFormedWithAwkwardArguments) {
+  TraceRecorder trace;
+  trace.SetProcessName(kEnginePid, "engine");
+  int lane = trace.Lane(kEnginePid, "weird \"lane\"\n\\name");
+  trace.Span(kEnginePid, lane, "span \"quoted\" \\ name", "sim", 0.5, 1.25,
+             {{"str", "tab\there"},
+              {"int", int64_t{-42}},
+              {"dbl", 3.14159},
+              {"flag", true}});
+  trace.Instant(kEnginePid, lane, "marker", "control-flow", 2.0);
+  trace.Counter(kEnginePid, "buffered_bytes", 2.5, 1e9);
+
+  std::string error;
+  std::string json = trace.ToJson();
+  EXPECT_TRUE(JsonLint::IsValid(json, &error)) << error << "\n" << json;
+  // Instants carry thread scope, counters the 'C' phase.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, CountEventsFilters) {
+  TraceRecorder trace;
+  int lane = trace.Lane(kEnginePid, "l");
+  trace.Span(kEnginePid, lane, "a", "operator", 0, 1);
+  trace.Span(kEnginePid, lane, "b", "sim", 0, 1);
+  trace.Instant(kEnginePid, lane, "c", "control-flow", 1);
+  EXPECT_EQ(trace.CountEvents('X', "operator"), 1);
+  EXPECT_EQ(trace.CountEvents('X', nullptr), 2);
+  EXPECT_EQ(trace.CountEvents(0, "control-flow"), 1);
+  EXPECT_EQ(trace.CountEvents(0, nullptr), 3);
+}
+
+// End-to-end: k-means on the Mitos engine produces operator spans on every
+// machine and exactly one decision instant per control-flow decision.
+TEST(TraceEndToEndTest, KMeansMitosEmitsSpansAndDecisions) {
+  constexpr int kMachines = 3;
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+  api::RunConfig config{.machines = kMachines};
+  config.trace = &trace;
+  config.metrics = &metrics;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Operator (per-bag) spans on every machine.
+  std::map<int, int64_t> operator_spans_by_pid;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase == 'X' && std::strcmp(e.cat, "operator") == 0) {
+      ++operator_spans_by_pid[e.pid];
+    }
+  }
+  for (int m = 0; m < kMachines; ++m) {
+    EXPECT_GT(operator_spans_by_pid[MachinePid(m)], 0)
+        << "no operator spans on machine " << m;
+  }
+
+  // One decision instant per control-flow decision.
+  EXPECT_EQ(trace.CountEvents('i', "control-flow"),
+            result->stats.decisions);
+  EXPECT_GT(result->stats.decisions, 0);
+
+  // The run span covers the whole run; the export is valid JSON.
+  EXPECT_EQ(trace.CountEvents('X', "run"), 1);
+  std::string error;
+  EXPECT_TRUE(JsonLint::IsValid(trace.ToJson(), &error)) << error;
+
+  // The per-step timeline matches the decision count.
+  EXPECT_EQ(static_cast<int>(metrics.steps().size()),
+            result->stats.decisions);
+  EXPECT_EQ(metrics.counter("decisions"), result->stats.decisions);
+}
+
+// Two identical runs export byte-identical JSON (the determinism
+// regression test promised in obs/trace.h).
+TEST(TraceEndToEndTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [](std::string* json) {
+    sim::SimFileSystem fs;
+    workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+    lang::Program program = workloads::KMeansProgram({.iterations = 4});
+    TraceRecorder trace;
+    api::RunConfig config{.machines = 3};
+    config.trace = &trace;
+    auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_GT(trace.events().size(), 0u);
+    *json = trace.ToJson();
+  };
+  std::string first, second;
+  run_once(&first);
+  run_once(&second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// Recording is observational: attaching a recorder must not change the
+// simulated run at all.
+TEST(TraceEndToEndTest, TracingDoesNotPerturbTheRun) {
+  auto run = [](bool traced, double* total_seconds) {
+    sim::SimFileSystem fs;
+    workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+    lang::Program program = workloads::KMeansProgram({.iterations = 4});
+    TraceRecorder trace;
+    api::RunConfig config{.machines = 3};
+    if (traced) config.trace = &trace;
+    auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    *total_seconds = result->stats.total_seconds;
+  };
+  double with_trace = 0, without_trace = 0;
+  run(true, &with_trace);
+  run(false, &without_trace);
+  EXPECT_EQ(with_trace, without_trace);
+}
+
+// Baselines share the cluster-attached recorder: a Spark run still yields
+// resource spans and valid JSON even though the driver builds its own
+// executors internally.
+TEST(TraceEndToEndTest, SparkBaselineProducesTrace) {
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 60, .num_clusters = 2});
+  lang::Program program = workloads::KMeansProgram({.iterations = 2});
+  TraceRecorder trace;
+  api::RunConfig config{.machines = 2};
+  config.trace = &trace;
+  auto result = api::Run(api::EngineKind::kSpark, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(trace.CountEvents('X', "operator"), 0);
+  EXPECT_GT(trace.CountEvents('X', "job"), 1);  // one job per action
+  std::string error;
+  EXPECT_TRUE(JsonLint::IsValid(trace.ToJson(), &error)) << error;
+}
+
+}  // namespace
+}  // namespace mitos::obs

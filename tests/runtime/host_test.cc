@@ -64,6 +64,7 @@ class MockContext : public RuntimeContext {
   const ir::Cfg& cfg() const override { return cfg_; }
   bool hoisting() const override { return true; }
   bool blocking_shuffles() const override { return false; }
+  obs::TraceRecorder* trace() const override { return cluster_->trace(); }
   bool discard_spent_bags() const override { return true; }
   BagOperatorHost* host(dataflow::NodeId node, int instance) override {
     return hosts_.at(static_cast<size_t>(node))[static_cast<size_t>(

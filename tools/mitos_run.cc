@@ -14,6 +14,15 @@
 //   --dump-ir                                      print the SSA IR
 //   --dump-dot                                     print the dataflow (dot)
 //   --show-files                                   print produced files
+//   --trace-out=FILE    write a Chrome trace-event JSON of the run; open it
+//                       at https://ui.perfetto.dev or chrome://tracing
+//   --metrics-out=FILE  write counters/gauges/histograms + the per-step
+//                       timeline as JSON
+//   --profile           print the per-operator CPU table and the per-step
+//                       timeline (step index, path, barrier wait, data moved)
+//
+// Logging: MITOS_LOG_LEVEL=info|warning|error and MITOS_VLOG=N environment
+// variables control diagnostic output on stderr (see src/common/logging.h).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +34,8 @@
 #include "ir/ssa.h"
 #include "lang/parser.h"
 #include "mitos.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/translator.h"
 
 namespace {
@@ -49,6 +60,13 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << contents;
+  return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,6 +75,7 @@ int main(int argc, char** argv) {
   int machines = 4;
   bool dump_ir = false, dump_dot = false, show_files = false;
   bool profile = false;
+  std::string trace_out, metrics_out;
   sim::SimFileSystem fs;
   std::vector<std::string> input_files;
 
@@ -106,6 +125,10 @@ int main(int argc, char** argv) {
       show_files = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = value_of("--trace-out=");
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = value_of("--metrics-out=");
     } else if (arg.rfind("--", 0) == 0) {
       return Fail("unknown flag: " + arg);
     } else {
@@ -156,13 +179,32 @@ int main(int argc, char** argv) {
     engine = api::EngineKind::kTensorFlow;
   else return Fail("unknown engine: " + engine_name);
 
-  auto result = api::Run(engine, *program, &fs, {.machines = machines});
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  api::RunConfig config{.machines = machines};
+  if (!trace_out.empty()) config.trace = &trace;
+  if (!metrics_out.empty() || profile) config.metrics = &metrics;
+
+  auto result = api::Run(engine, *program, &fs, config);
   if (!result.ok()) {
     return Fail("run error: " + result.status().ToString());
   }
   std::printf("engine:   %s (%d machines)\n", api::EngineKindName(engine),
               machines);
   std::printf("stats:    %s\n", result->stats.ToString().c_str());
+  if (!trace_out.empty()) {
+    if (!WriteTextFile(trace_out, trace.ToJson())) {
+      return Fail("cannot write " + trace_out);
+    }
+    std::printf("trace:    %s (%zu events; open at https://ui.perfetto.dev)\n",
+                trace_out.c_str(), trace.events().size());
+  }
+  if (!metrics_out.empty()) {
+    if (!WriteTextFile(metrics_out, metrics.ToJson())) {
+      return Fail("cannot write " + metrics_out);
+    }
+    std::printf("metrics:  %s\n", metrics_out.c_str());
+  }
   if (profile) {
     std::vector<std::pair<double, std::string>> rows;
     for (const auto& [name, cpu] : result->stats.operator_cpu) {
@@ -172,6 +214,9 @@ int main(int argc, char** argv) {
     std::printf("operator CPU profile (top 12):\n");
     for (size_t i = 0; i < rows.size() && i < 12; ++i) {
       std::printf("  %10.4fs  %s\n", rows[i].first, rows[i].second.c_str());
+    }
+    if (!metrics.steps().empty()) {
+      std::printf("%s", metrics.StepTableToString().c_str());
     }
   }
   if (show_files) {
