@@ -86,6 +86,35 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
     return result;
   }
 
+  // Fault handling: only the Mitos engines implement recovery.
+  const sim::FaultPlan* faults =
+      (config.faults != nullptr && !config.faults->empty()) ? config.faults
+                                                            : nullptr;
+  if (faults != nullptr) {
+    const bool mitos_engine = engine == EngineKind::kMitos ||
+                              engine == EngineKind::kMitosNoPipelining ||
+                              engine == EngineKind::kMitosNoHoisting;
+    if (!mitos_engine) {
+      return Status::Unimplemented(
+          std::string("fault injection requires a Mitos engine, got ") +
+          EngineKindName(engine));
+    }
+    for (const sim::FaultPlan::Crash& crash : faults->crashes) {
+      if (crash.machine < 0 || crash.machine >= config.machines) {
+        return Status::InvalidArgument(
+            "fault plan crashes machine " + std::to_string(crash.machine) +
+            " but the cluster has " + std::to_string(config.machines));
+      }
+    }
+    for (const sim::FaultPlan::Slowdown& slow : faults->slowdowns) {
+      if (slow.machine < 0 || slow.machine >= config.machines) {
+        return Status::InvalidArgument(
+            "fault plan slows machine " + std::to_string(slow.machine) +
+            " but the cluster has " + std::to_string(config.machines));
+      }
+    }
+  }
+
   sim::Simulator sim;
   sim::ClusterConfig cluster_config = config.cluster;
   cluster_config.num_machines = config.machines;
@@ -93,6 +122,7 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
   // Observability: resource spans are recorded by the cluster itself, so
   // attaching here covers every engine (including the multi-job baselines).
   cluster.set_trace(config.trace);
+  cluster.InstallFaultPlan(faults);
   ScopedLogClock log_clock(&sim);
   MITOS_VLOG(1) << "run: engine=" << EngineKindName(engine)
                 << " machines=" << config.machines;
@@ -112,6 +142,7 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
       options.operator_fusion = config.mitos_operator_fusion;
       options.trace = config.trace;
       options.metrics = config.metrics;
+      options.faults = faults;
       runtime::MitosExecutor executor(&sim, &cluster, fs, options);
       stats = executor.Run(program);
       break;

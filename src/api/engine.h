@@ -78,6 +78,14 @@ struct RunConfig {
   // the run's virtual time and RunStats are identical either way.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Deterministic fault injection (sim/fault.h). Caller-owned; null or an
+  // empty plan leaves fault handling disabled and the run byte-identical
+  // to one without fault support. Only the Mitos engines recover from
+  // injected faults; other engines reject a non-empty plan with
+  // kUnimplemented. Parse specs with sim::FaultPlan::Parse, e.g.
+  // "crash=1@2.5+0.5; drop=0.01".
+  const sim::FaultPlan* faults = nullptr;
 };
 
 struct RunResult {

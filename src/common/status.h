@@ -17,6 +17,7 @@ enum class StatusCode {
   kUnimplemented,   // e.g. a program Flink's native iterations cannot express
   kFailedPrecondition,
   kInternal,
+  kUnavailable,     // transient: a machine or resource was lost mid-run
 };
 
 // Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -44,6 +45,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "dataflow/operators.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -60,7 +61,7 @@ void FlatMapOp::Finish(const EmitFn& emit) { (void)emit; }
 
 void ReduceByKeyOp::Open() {
   key_order_.clear();
-  acc_.clear();
+  values_.clear();
 }
 
 void ReduceByKeyOp::Push(int input, const DatumVector& chunk,
@@ -72,12 +73,12 @@ void ReduceByKeyOp::Push(int input, const DatumVector& chunk,
         << "reduceByKey input is not a (key, value) pair: "
         << element.ToString();
     const Datum& key = element.field(0);
-    auto it = acc_.find(key);
-    if (it == acc_.end()) {
-      acc_.emplace(key, element.field(1));
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      values_[key].push_back(element.field(1));
       key_order_.push_back(key);
     } else {
-      it->second = combine_(it->second, element.field(1));
+      it->second.push_back(element.field(1));
     }
   }
 }
@@ -87,7 +88,15 @@ void ReduceByKeyOp::Finish(const EmitFn& emit) {
   DatumVector out;
   out.reserve(key_order_.size());
   for (const Datum& key : key_order_) {
-    out.push_back(Datum::Pair(key, acc_.at(key)));
+    // Canonical fold order: bags are unordered, so sort the buffered
+    // values before combining — chunk arrival order (which pipelining,
+    // shuffles, and recovery all perturb) then cannot change the result,
+    // even for float sums.
+    DatumVector& vals = values_.at(key);
+    std::sort(vals.begin(), vals.end());
+    Datum acc = vals.front();
+    for (size_t i = 1; i < vals.size(); ++i) acc = combine_(acc, vals[i]);
+    out.push_back(Datum::Pair(key, std::move(acc)));
   }
   emit(std::move(out));
 }
@@ -95,13 +104,16 @@ void ReduceByKeyOp::Finish(const EmitFn& emit) {
 void ReduceOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
   MITOS_CHECK_EQ(input, 0);
   (void)emit;
-  for (const Datum& x : chunk) {
-    acc_ = acc_.has_value() ? combine_(*acc_, x) : x;
-  }
+  values_.insert(values_.end(), chunk.begin(), chunk.end());
 }
 
 void ReduceOp::Finish(const EmitFn& emit) {
-  if (acc_.has_value()) emit(DatumVector{*acc_});
+  if (values_.empty()) return;
+  // Canonical fold order (see ReduceByKeyOp::Finish).
+  std::sort(values_.begin(), values_.end());
+  Datum acc = values_.front();
+  for (size_t i = 1; i < values_.size(); ++i) acc = combine_(acc, values_[i]);
+  emit(DatumVector{std::move(acc)});
 }
 
 void CountOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {

@@ -100,8 +100,13 @@ class FlatMapOp : public BagOperator {
   lang::FlatMapFn fn_;
 };
 
-// Per-partition hash aggregation over (k, v) pairs; emits at Finish in
+// Per-partition aggregation over (k, v) pairs; emits at Finish in
 // first-seen key order (matching lang::ReduceByKeyKernel per partition).
+// Values are buffered per key and folded in sorted order at Finish, so the
+// result is independent of chunk arrival order — bags are *unordered*
+// collections, and a canonical fold order is what makes re-executed
+// (recovered) runs byte-identical even for non-associative-in-float
+// combiners.
 class ReduceByKeyOp : public BagOperator {
  public:
   explicit ReduceByKeyOp(lang::BinaryFn combine)
@@ -113,22 +118,23 @@ class ReduceByKeyOp : public BagOperator {
  private:
   lang::BinaryFn combine_;
   std::vector<Datum> key_order_;
-  std::unordered_map<Datum, Datum, DatumHash, DatumEq> acc_;
+  std::unordered_map<Datum, DatumVector, DatumHash, DatumEq> values_;
 };
 
 // Folds everything it sees; emits the (single) partial at Finish, or
 // nothing when the input was empty. Used for both the local pre-fold and
-// the final fold of a global reduce.
+// the final fold of a global reduce. Buffers and folds in sorted order at
+// Finish (canonical order; see ReduceByKeyOp).
 class ReduceOp : public BagOperator {
  public:
   explicit ReduceOp(lang::BinaryFn combine) : combine_(std::move(combine)) {}
-  void Open() override { acc_.reset(); }
+  void Open() override { values_.clear(); }
   void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& emit) override;
 
  private:
   lang::BinaryFn combine_;
-  std::optional<Datum> acc_;
+  DatumVector values_;
 };
 
 // Counts elements; emits one int64 at Finish (even for empty input).

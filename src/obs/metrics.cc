@@ -128,6 +128,8 @@ std::string MetricsRegistry::ToJson() const {
     AppendDouble(&out, s.broadcast_time);
     out += ",\"barrier_wait\":";
     AppendDouble(&out, s.barrier_wait);
+    out += ",\"decision_overhead\":";
+    AppendDouble(&out, s.decision_overhead);
     out += ",\"launch_seconds\":";
     AppendDouble(&out, s.launch_seconds);
     out += ",\"elements\":" + std::to_string(s.elements) +

@@ -46,7 +46,8 @@ struct StepRecord {
   int path_len = 0;     // execution-path length after the append
   double decision_time = 0;   // virtual time the condition node fired
   double broadcast_time = 0;  // virtual time the new length was broadcast
-  double barrier_wait = 0;    // broadcast - decision (barrier + overhead)
+  double barrier_wait = 0;        // barrier release - decision time
+  double decision_overhead = 0;   // broadcast - barrier release (coord cost)
   double launch_seconds = 0;  // per-step job launch (per-job engines)
   int64_t elements = 0;       // operator input elements during the step
   int64_t net_bytes = 0;      // network bytes moved during the step

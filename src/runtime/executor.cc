@@ -1,6 +1,7 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "ir/ssa.h"
 #include "ir/verify.h"
 #include "runtime/host.h"
+#include "runtime/recovery.h"
 #include "runtime/translator.h"
 
 namespace mitos::runtime {
@@ -23,6 +25,17 @@ std::string RunStats::ToString() const {
       << " elements=" << elements << " net=" << cluster.network_bytes
       << "B msgs=" << cluster.messages << " disk=" << cluster.disk_bytes
       << "B cpu=" << cluster.cpu_seconds << "s";
+  // Fault fields only when something actually went wrong (or was durably
+  // checkpointed), so fault-free stats lines are unchanged.
+  if (attempts > 1) {
+    out << " attempts=" << attempts << " recovery=" << recovery_seconds
+        << "s recomputed=" << recomputed_bags
+        << " replayed=" << replayed_bags;
+  }
+  if (checkpoints > 0) out << " ckpt=" << checkpoints;
+  if (cluster.dropped_messages > 0) {
+    out << " dropped=" << cluster.dropped_messages;
+  }
   return out.str();
 }
 
@@ -33,14 +46,19 @@ class Job : public RuntimeContext {
  public:
   Job(sim::Simulator* sim, sim::Cluster* cluster, sim::SimFileSystem* fs,
       const ir::Program& program, const dataflow::LogicalGraph& graph,
-      const ExecutorOptions& options)
+      const ExecutorOptions& options,
+      FaultRecoveryState* recovery = nullptr, int attempt = 1)
       : sim_(sim),
         cluster_(cluster),
         fs_(fs),
         program_(program),
         graph_(graph),
         options_(options),
-        cfg_(program) {}
+        cfg_(program) {
+    faults_ = options.faults;
+    recovery_ = recovery;
+    attempt_ = attempt;
+  }
 
   StatusOr<RunStats> Execute() {
     const int machines = cluster_->num_machines();
@@ -71,6 +89,10 @@ class Job : public RuntimeContext {
     auth_options.trace = trace();
     auth_options.metrics = options_.metrics;
     auth_options.elements_probe = [this] { return elements_; };
+    auth_options.faults = faults_;
+    if (faults_ != nullptr && faults_->checkpoint_every > 0) {
+      auth_options.on_checkpoint = [this] { OnCheckpoint(); };
+    }
 
     managers_.clear();
     manager_ptrs_.clear();
@@ -106,12 +128,22 @@ class Job : public RuntimeContext {
       if (!failed()) authority_->Start(/*machine=*/0);
     });
 
+    // Failure detection: a background heartbeat tick declares the attempt
+    // lost when a machine stays down or progress stalls.
+    if (faults_ != nullptr) {
+      last_progress_ = sim_->now();
+      MonitorTick();
+    }
+
     sim_->Run();
 
     if (!status_.ok()) return status_;
 
     // The job must have drained cleanly: path complete, all hosts idle.
     if (!authority_->path().complete()) {
+      if (faults_ != nullptr) {
+        return Status::Unavailable("attempt drained before path completion");
+      }
       return Status::Internal("job did not complete: path " +
                               authority_->path().ToString() + "\n" +
                               StuckHosts());
@@ -123,7 +155,13 @@ class Job : public RuntimeContext {
     }
 
     RunStats stats;
-    stats.total_seconds = sim_->now() - t_start;
+    // Under fault handling, trailing background timers (heartbeats, ack
+    // timeouts) may outlive the real work; busy_until() is when the last
+    // foreground event ran.
+    const double t_end =
+        faults_ != nullptr ? std::max(t_start, sim_->busy_until())
+                           : sim_->now();
+    stats.total_seconds = t_end - t_start;
     stats.launch_seconds = launch;
     stats.jobs = 1;
     stats.decisions = authority_->decisions();
@@ -141,6 +179,11 @@ class Job : public RuntimeContext {
     stats.cluster.local_bytes = after.local_bytes - before.local_bytes;
     stats.cluster.disk_bytes = after.disk_bytes - before.disk_bytes;
     stats.cluster.cpu_seconds = after.cpu_seconds - before.cpu_seconds;
+    stats.cluster.dropped_messages =
+        after.dropped_messages - before.dropped_messages;
+    stats.recomputed_bags = recomputed_bags_;
+    stats.replayed_bags = replayed_bags_;
+    stats.checkpoints = checkpoints_;
 
     if (obs::TraceRecorder* tr = trace()) {
       int lane = tr->Lane(obs::kEnginePid, "jobs");
@@ -207,7 +250,39 @@ class Job : public RuntimeContext {
       // First partition of this output bag: overwrite semantics.
       fs_->Remove(filename);
       file_writers_[filename] = bag;
+      file_partitions_[filename] = graph_.node(bag.node).parallelism;
     }
+  }
+
+  void AppendOutput(const std::string& filename, int instance, int bag_len,
+                    const DatumVector& data) override {
+    // Stage partitions and flush the whole file at once, each partition
+    // sorted, partitions in instance order. This canonicalizes the
+    // within-partition element order (which chunk arrival order — and
+    // therefore pipelining and recovery replay — would otherwise leak
+    // into the output), making recovered runs byte-identical to
+    // fault-free ones. Bags are unordered, so any fixed order is valid.
+    StagedFile& sf = staged_files_[filename];
+    if (bag_len > sf.bag_len) {
+      // A newer output bag for this file supersedes anything staged.
+      sf.bag_len = bag_len;
+      sf.parts.clear();
+    } else if (bag_len < sf.bag_len) {
+      return;  // stale straggler partition of an already-superseded bag
+    }
+    DatumVector sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    sf.parts[instance] = std::move(sorted);
+    if (static_cast<int>(sf.parts.size()) < file_partitions_[filename]) {
+      return;
+    }
+    DatumVector combined;
+    for (auto& [inst, part] : sf.parts) {
+      combined.insert(combined.end(), part.begin(), part.end());
+    }
+    fs_->Remove(filename);
+    fs_->Append(filename, combined);
+    sf.parts.clear();  // keep sf.bag_len: guards against stale partitions
   }
 
   void CountBag(int64_t elements_in) override {
@@ -237,7 +312,90 @@ class Job : public RuntimeContext {
     op_cpu_[static_cast<size_t>(node)] += seconds;
   }
 
+  bool IsReplayBag(dataflow::NodeId node, int instance,
+                   int path_len) const override {
+    return recovery_ != nullptr &&
+           recovery_->IsReplay(BagKey{node, instance, path_len});
+  }
+
+  void OnBagFinished(dataflow::NodeId node, int instance, int path_len,
+                     bool replay) override {
+    if (recovery_ == nullptr) return;
+    const BagKey key{node, instance, path_len};
+    const int machine = MachineOf(node, instance);
+    recovery_->OnBagFinished(key, machine, cluster_->machine_epoch(machine));
+    if (replay) {
+      ++replayed_bags_;
+    } else if (attempt_ > 1 && recovery_->WasLost(key)) {
+      ++recomputed_bags_;
+    }
+  }
+
+  void NoteProgress() override { last_progress_ = sim_->now(); }
+
+  // Counters the attempt loop accumulates across failed attempts.
+  int64_t recomputed_bags() const { return recomputed_bags_; }
+  int64_t replayed_bags() const { return replayed_bags_; }
+  int checkpoints() const { return checkpoints_; }
+
  private:
+  bool JobDone() const {
+    if (!path_.complete()) return false;
+    for (const auto& instances : hosts_) {
+      for (const auto& host : instances) {
+        if (!host->Idle()) return false;
+      }
+    }
+    return true;
+  }
+
+  void MonitorTick() {
+    if (failed() || JobDone()) return;  // chain ends; queue can drain
+    const double now = sim_->now();
+    for (int m = 0; m < cluster_->num_machines(); ++m) {
+      if (!cluster_->machine_up(m) &&
+          now - cluster_->machine_down_since(m) >=
+              faults_->heartbeat_timeout) {
+        Fail(Status::Unavailable(
+            "machine " + std::to_string(m) + " lost (no heartbeat for " +
+            std::to_string(now - cluster_->machine_down_since(m)) + "s)"));
+        return;
+      }
+    }
+    if (now - last_progress_ > faults_->stall_timeout) {
+      Fail(Status::Unavailable(
+          "attempt stalled: no delivery or completed work for " +
+          std::to_string(now - last_progress_) + "s"));
+      return;
+    }
+    sim_->ScheduleBackgroundAfter(faults_->heartbeat_interval,
+                                  [this] { MonitorTick(); });
+  }
+
+  // Every k-th control-flow decision: everything finished so far becomes
+  // durable, charging one bulk disk write per machine for the currently
+  // buffered state.
+  void OnCheckpoint() {
+    if (recovery_ == nullptr || failed()) return;
+    recovery_->MarkAllDurable();
+    ++checkpoints_;
+    const int machines = cluster_->num_machines();
+    const size_t per_machine =
+        static_cast<size_t>(std::max<int64_t>(buffered_bytes_, 0)) /
+            static_cast<size_t>(machines) +
+        1;
+    for (int m = 0; m < machines; ++m) {
+      cluster_->DiskIo(m, per_machine, [] {});
+    }
+    if (obs::TraceRecorder* tr = trace()) {
+      tr->Instant(obs::kEnginePid, tr->Lane(obs::kEnginePid, "recovery"),
+                  "checkpoint", "fault", sim_->now(),
+                  {{"decisions", authority_->decisions()},
+                   {"bytes", static_cast<int64_t>(per_machine) * machines}});
+    }
+    if (options_.metrics != nullptr) options_.metrics->Inc("checkpoints");
+  }
+
   std::string StuckHosts() const {
     std::string out;
     int listed = 0;
@@ -275,6 +433,23 @@ class Job : public RuntimeContext {
   int64_t peak_buffered_bytes_ = 0;
   std::vector<double> op_cpu_;
   std::map<std::string, BagId> file_writers_;
+  std::map<std::string, int> file_partitions_;
+
+  // Staged writeFile partitions (see AppendOutput).
+  struct StagedFile {
+    int bag_len = -1;
+    std::map<int, DatumVector> parts;  // instance -> sorted partition
+  };
+  std::map<std::string, StagedFile> staged_files_;
+
+  // Fault handling (inert when faults_ == nullptr).
+  const sim::FaultPlan* faults_ = nullptr;
+  FaultRecoveryState* recovery_ = nullptr;
+  int attempt_ = 1;
+  double last_progress_ = 0;
+  int64_t recomputed_bags_ = 0;
+  int64_t replayed_bags_ = 0;
+  int checkpoints_ = 0;
 };
 
 }  // namespace
@@ -284,8 +459,96 @@ StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
                               const ir::Program& program,
                               const dataflow::LogicalGraph& graph,
                               const ExecutorOptions& options) {
-  Job job(sim, cluster, fs, program, graph, options);
-  return job.Execute();
+  if (options.faults == nullptr) {
+    Job job(sim, cluster, fs, program, graph, options);
+    return job.Execute();
+  }
+
+  // Attempt loop: a failed attempt (machine lost, stalled, broadcast
+  // unacknowledged — all Status kUnavailable) is discarded, the loop waits
+  // for every machine to be back up, folds the attempt's finished bags
+  // into the recovery ledger, and re-executes; surviving bags replay at
+  // zero cost. Everything is deterministic, so a given fault plan always
+  // yields the same attempt sequence and the same final results.
+  const sim::FaultPlan& plan = *options.faults;
+  const sim::ClusterMetrics before = cluster->metrics();
+  FaultRecoveryState recovery;
+  const double first_start = sim->now();
+  Status last_error = Status::Unavailable("no attempt ran");
+  int64_t recomputed = 0;
+  int64_t replayed = 0;
+  int checkpoints = 0;
+  for (int attempt = 1; attempt <= plan.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      recovery.BeginNextAttempt(
+          [cluster](int m) { return cluster->machine_epoch(m); });
+      // Wait (in virtual time) until every machine is back up.
+      double resume = sim->now();
+      for (int m = 0; m < cluster->num_machines(); ++m) {
+        resume = std::max(resume, cluster->machine_up_time(m));
+      }
+      if (!std::isfinite(resume)) return last_error;  // gone for good
+      if (resume > sim->now()) {
+        sim->Schedule(resume, [] {});
+        sim->Run();
+      }
+      if (options.trace != nullptr) {
+        int lane = options.trace->Lane(obs::kEnginePid, "recovery");
+        options.trace->Instant(obs::kEnginePid, lane, "recovery-start",
+                               "fault", sim->now(),
+                               {{"attempt", attempt},
+                                {"survivors", recovery.num_survivors()},
+                                {"durable", recovery.num_durable()}});
+      }
+    }
+    const double attempt_start = sim->now();
+    Job job(sim, cluster, fs, program, graph, options, &recovery, attempt);
+    StatusOr<RunStats> result = job.Execute();
+    if (result.ok()) {
+      RunStats stats = std::move(*result);
+      stats.attempts = attempt;
+      stats.recovery_seconds = attempt_start - first_start;
+      stats.total_seconds += attempt_start - first_start;
+      stats.recomputed_bags += recomputed;
+      stats.replayed_bags += replayed;
+      stats.checkpoints += checkpoints;
+      // Resource deltas span every attempt (wasted work is real work).
+      const sim::ClusterMetrics& after = cluster->metrics();
+      stats.cluster.messages = after.messages - before.messages;
+      stats.cluster.network_bytes =
+          after.network_bytes - before.network_bytes;
+      stats.cluster.local_bytes = after.local_bytes - before.local_bytes;
+      stats.cluster.disk_bytes = after.disk_bytes - before.disk_bytes;
+      stats.cluster.cpu_seconds = after.cpu_seconds - before.cpu_seconds;
+      stats.cluster.dropped_messages =
+          after.dropped_messages - before.dropped_messages;
+      if (options.metrics != nullptr) {
+        options.metrics->Set("attempts", static_cast<double>(attempt));
+        options.metrics->Set("recovery_seconds", stats.recovery_seconds);
+        options.metrics->Set("recomputed_bags",
+                             static_cast<double>(stats.recomputed_bags));
+        options.metrics->Set("replayed_bags",
+                             static_cast<double>(stats.replayed_bags));
+      }
+      return stats;
+    }
+    if (result.status().code() != StatusCode::kUnavailable) {
+      return result.status();  // genuine error: retrying would not help
+    }
+    last_error = result.status();
+    recomputed += job.recomputed_bags();
+    replayed += job.replayed_bags();
+    checkpoints += job.checkpoints();
+    MITOS_VLOG(1) << "attempt " << attempt
+                  << " failed: " << last_error.ToString();
+    if (options.trace != nullptr) {
+      int lane = options.trace->Lane(obs::kEnginePid, "recovery");
+      options.trace->Instant(
+          obs::kEnginePid, lane, "attempt-failed", "fault", sim->now(),
+          {{"attempt", attempt}, {"error", last_error.message()}});
+    }
+  }
+  return last_error;
 }
 
 MitosExecutor::MitosExecutor(sim::Simulator* sim, sim::Cluster* cluster,

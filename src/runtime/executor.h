@@ -61,6 +61,12 @@ struct ExecutorOptions {
   // entirely — no events, no extra allocations, no simulated cost.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Fault plan (caller-owned, already installed on the cluster; nullptr =
+  // fault handling off). With a plan, ExecuteJob runs an attempt loop:
+  // failed attempts (machine lost, stalled) are discarded and the job
+  // re-executes from the last completed control-flow step, replaying
+  // surviving bags (lineage over bag identifiers) at zero cost.
+  const sim::FaultPlan* faults = nullptr;
 };
 
 struct RunStats {
@@ -72,6 +78,12 @@ struct RunStats {
   int64_t elements = 0;       // elements fed into operators
   int64_t hoisted_reuses = 0; // build-side states kept across steps (5.3)
   int64_t peak_buffered_bytes = 0;  // max bytes cached across all hosts
+  // Fault recovery (all zero/one for fault-free runs; see sim/fault.h).
+  int attempts = 1;             // execution attempts (>1 after failures)
+  double recovery_seconds = 0;  // failed-attempt + restart-wait time
+  int64_t recomputed_bags = 0;  // lost bags recomputed during recovery
+  int64_t replayed_bags = 0;    // surviving bags replayed at zero cost
+  int checkpoints = 0;          // durable checkpoints taken
   // Busy-CPU seconds per logical operator (summed over instances), by the
   // operator's SSA variable name. A cheap profiler for finding the
   // bottleneck stage of a pipeline.

@@ -150,6 +150,10 @@ int BagOperatorHost::ChooseInput(int i, int len) const {
 void BagOperatorHost::CreateOutBag(int path_len) {
   OutBag bag;
   bag.path_len = path_len;
+  // Recovery replay: this bag's output survived a failed attempt, so the
+  // kernel re-runs over the real data (reconstructing state exactly) but
+  // charges no CPU and uses memory-speed I/O.
+  bag.replay = ctx_->IsReplayBag(node_->id, instance_, path_len);
   size_t n = inputs_.size();
   bag.chosen.assign(n, 0);
   bag.fed.assign(n, 0);
@@ -244,6 +248,7 @@ void BagOperatorHost::Pump() {
       machine_, item.cpu,
       [this, action] {
         busy_ = false;
+        ctx_->NoteProgress();
         if (!ctx_->failed()) (*action)();
         Pump();
       },
@@ -278,8 +283,8 @@ void BagOperatorHost::TryFeed() {
       }
     }
     std::vector<bool> reuse = bag.reuse;
-    EnqueueWork(kBookkeepingElements * PerElementCost(), "open",
-                [this, reuse] {
+    EnqueueWork(bag.replay ? 0 : kBookkeepingElements * PerElementCost(),
+                "open", [this, reuse] {
       if (kernel_) {
         for (size_t i = 0; i < reuse.size(); ++i) {
           if (kernel_->CanReuseInput(static_cast<int>(i))) {
@@ -321,7 +326,8 @@ void BagOperatorHost::TryFeed() {
       size_t idx = bag.fed[i]++;
       size_t elements = entry.chunks[idx].size();
       bag.elements_in += static_cast<int64_t>(elements);
-      double cpu = static_cast<double>(elements) * PerElementCost();
+      double cpu =
+          bag.replay ? 0 : static_cast<double>(elements) * PerElementCost();
       EnqueueWork(cpu, "push", [this, i, chosen_len, idx, bag_len] {
         const DatumVector& chunk =
             inputs_[i].bags.at(chosen_len).chunks[idx];
@@ -365,6 +371,7 @@ void BagOperatorHost::EnqueueFinish(OutBag& bag) {
   if (node_->kind == NodeKind::kBagLit) {
     cpu += static_cast<double>(node_->literal.size()) * PerElementCost();
   }
+  if (bag.replay) cpu = 0;
   EnqueueWork(cpu, "finish", [this, bag_len] {
     if (kernel_) {
       kernel_->Finish([this, bag_len](DatumVector&& out) {
@@ -426,6 +433,7 @@ void BagOperatorHost::FinalizeActiveBag() {
   prev_chosen_ = bag.chosen;
   has_prev_ = true;
   ctx_->CountBag(bag.elements_in);
+  ctx_->OnBagFinished(node_->id, instance_, bag_len, bag.replay);
   ReleaseAndPop();
 }
 
@@ -461,6 +469,7 @@ void BagOperatorHost::MaybeEvict(size_t input_index) {
 void BagOperatorHost::DeliverChunk(int input_index, int bag_len,
                                    DatumVector chunk) {
   if (ctx_->failed()) return;
+  ctx_->NoteProgress();
   InputBagEntry& entry =
       inputs_[static_cast<size_t>(input_index)].bags[bag_len];
   int64_t bytes = static_cast<int64_t>(SerializedSize(chunk));
@@ -472,11 +481,23 @@ void BagOperatorHost::DeliverChunk(int input_index, int bag_len,
 
 void BagOperatorHost::DeliverMarker(int input_index, int bag_len) {
   if (ctx_->failed()) return;
+  ctx_->NoteProgress();
   InputBagEntry& entry =
       inputs_[static_cast<size_t>(input_index)].bags[bag_len];
   ++entry.markers;
-  MITOS_CHECK_LE(entry.markers,
-                 inputs_[static_cast<size_t>(input_index)].expected_markers);
+  if (entry.markers >
+      inputs_[static_cast<size_t>(input_index)].expected_markers) {
+    // A producer double-counted an end-of-bag marker — a runtime protocol
+    // violation, not a caller error; report it instead of aborting.
+    ctx_->Fail(Status::Internal(
+        node_->name + "[" + std::to_string(instance_) + "] input " +
+        std::to_string(input_index) + " received " +
+        std::to_string(entry.markers) + " markers for bag @" +
+        std::to_string(bag_len) + ", expected at most " +
+        std::to_string(
+            inputs_[static_cast<size_t>(input_index)].expected_markers)));
+    return;
+  }
   TryFeed();
 }
 
@@ -554,6 +575,7 @@ void BagOperatorHost::StartFileRead(const std::string& filename) {
     return;
   }
   const int bag_len = out_bags_.front().path_len;
+  const bool replay = out_bags_.front().replay;
   size_t bytes = std::max<size_t>(SerializedSize(*data), 1);
   size_t chunk_elements = ctx_->cluster()->config().chunk_elements;
   auto chunks = std::make_shared<std::vector<DatumVector>>();
@@ -578,7 +600,7 @@ void BagOperatorHost::StartFileRead(const std::string& filename) {
           FinalizeActiveBag();
         }
       },
-      IsCacheFile(filename));
+      IsCacheFile(filename) || replay);
 }
 
 void BagOperatorHost::FinishFileWrite() {
@@ -590,6 +612,7 @@ void BagOperatorHost::FinishFileWrite() {
   }
   const std::string filename = special_values_[0].str();
   const int bag_len = out_bags_.front().path_len;
+  const bool replay = out_bags_.front().replay;
   ctx_->BeginFileWrite(filename, BagId{node_->id, bag_len});
   auto data = std::make_shared<DatumVector>(std::move(special_data_));
   special_data_.clear();
@@ -597,13 +620,13 @@ void BagOperatorHost::FinishFileWrite() {
   special_async_ = true;
   ctx_->cluster()->DiskIo(
       machine_, bytes,
-      [this, filename, data] {
+      [this, filename, data, bag_len] {
         if (ctx_->failed()) return;
-        ctx_->fs()->Append(filename, *data);
+        ctx_->AppendOutput(filename, instance_, bag_len, *data);
         special_async_ = false;
         FinalizeActiveBag();
       },
-      IsCacheFile(filename));
+      IsCacheFile(filename) || replay);
 }
 
 // ----- emission -----
@@ -664,8 +687,15 @@ void BagOperatorHost::SendOnEdge(size_t edge_index, int bag_len,
       for (const Datum& element : chunk) {
         size_t h;
         if (edge.shuffle_key == ShuffleKey::kField0) {
-          MITOS_CHECK(element.is_tuple() && element.size() >= 1)
-              << "shuffle by key on non-tuple element " << element.ToString();
+          if (!element.is_tuple() || element.size() < 1) {
+            // Reachable from user programs (a keyed operation downstream of
+            // a non-tuple bag); fail the job instead of aborting.
+            ctx_->Fail(Status::InvalidArgument(
+                "operator " + node_->name +
+                " shuffles by key but emitted a non-tuple element: " +
+                element.ToString()));
+            return;
+          }
           h = element.field(0).Hash();
         } else {
           h = element.Hash();

@@ -97,6 +97,39 @@ class RuntimeContext {
   // When false, spent input bags are never evicted (ablation of the
   // paper's Sec. 5.2.4 discard rule).
   virtual bool discard_spent_bags() const = 0;
+
+  // ----- fault/recovery hooks (defaulted: inert without fault handling) --
+
+  // True when the output bag (node, instance, path_len) survived a failed
+  // attempt: the host replays it — kernels run over the real data so state
+  // is reconstructed exactly, but CPU is free and I/O runs at memory speed.
+  virtual bool IsReplayBag(dataflow::NodeId node, int instance,
+                           int path_len) const {
+    (void)node;
+    (void)instance;
+    (void)path_len;
+    return false;
+  }
+  // An output bag finished (all markers sent); `replay` echoes IsReplayBag.
+  virtual void OnBagFinished(dataflow::NodeId node, int instance,
+                             int path_len, bool replay) {
+    (void)node;
+    (void)instance;
+    (void)path_len;
+    (void)replay;
+  }
+  // Liveness signal for the stall detector: a delivery arrived or a CPU
+  // slice completed.
+  virtual void NoteProgress() {}
+  // Output-file append; the default writes through. The executor overrides
+  // it under fault handling to stage/sort partitions so recovered runs
+  // produce byte-identical files.
+  virtual void AppendOutput(const std::string& filename, int instance,
+                            int bag_len, const DatumVector& data) {
+    (void)instance;
+    (void)bag_len;
+    fs()->Append(filename, data);
+  }
 };
 
 class BagOperatorHost {
@@ -158,6 +191,7 @@ class BagOperatorHost {
     std::vector<bool> reuse;   // hoisting: skip re-feeding this input
     bool opened = false;
     bool finish_enqueued = false;
+    bool replay = false;  // survived a failed attempt: zero-cost re-run
     int64_t elements_in = 0;
     double t_open = 0;  // virtual time processing started (tracing)
   };

@@ -18,16 +18,25 @@ std::string ExecutionPath::ToString() const {
 }
 
 void ControlFlowManager::AdvanceTo(int new_len, bool complete) {
-  MITOS_CHECK(!advancing_) << "reentrant ControlFlowManager::AdvanceTo";
+  // A listener may synchronously cause another delivery (e.g. an operator
+  // reacting to the new position completes the next decision with zero
+  // intervening simulated work). Queue instead of recursing so the
+  // outermost call drains everything and listeners see positions in order.
+  pending_.emplace_back(new_len, complete);
+  if (advancing_) return;
   advancing_ = true;
-  while (known_len_ < std::min(new_len, path_->size())) {
-    int pos = known_len_++;
-    ir::BlockId block = path_->at(pos);
-    for (auto& listener : listeners_) listener(pos, block);
-  }
-  if (complete && !known_complete_ && known_len_ == path_->size()) {
-    known_complete_ = true;
-    for (auto& listener : completion_listeners_) listener();
+  while (!pending_.empty()) {
+    auto [len, comp] = pending_.front();
+    pending_.pop_front();
+    while (known_len_ < std::min(len, path_->size())) {
+      int pos = known_len_++;
+      ir::BlockId block = path_->at(pos);
+      for (auto& listener : listeners_) listener(pos, block);
+    }
+    if (comp && !known_complete_ && known_len_ == path_->size()) {
+      known_complete_ = true;
+      for (auto& listener : completion_listeners_) listener();
+    }
   }
   advancing_ = false;
 }
@@ -48,6 +57,8 @@ PathAuthority::PathAuthority(const ir::Program* program,
   MITOS_CHECK(path != nullptr);
 }
 
+PathAuthority::~PathAuthority() { *alive_ = false; }
+
 void PathAuthority::Start(int machine) {
   MITOS_CHECK_EQ(path_->size(), 0);
   AppendChain(program_->entry(), machine, /*initial=*/true);
@@ -67,7 +78,15 @@ void PathAuthority::OnDecision(ir::BlockId block, int at_len, bool value,
     return;
   }
   const ir::Terminator& term = program_->block(block).term;
-  MITOS_CHECK(term.kind == ir::Terminator::Kind::kBranch);
+  if (term.kind != ir::Terminator::Kind::kBranch) {
+    // A decision can only come from a condition node, which the translator
+    // places in branch-terminated blocks — anything else means the plan the
+    // runtime is executing disagrees with the IR it was built from.
+    on_error_(Status::Internal(
+        "control flow decision in block " + std::to_string(block) +
+        " whose terminator is not a branch"));
+    return;
+  }
   ++decisions_;
   MITOS_VLOG(2) << "decision " << decisions_ - 1 << ": block " << block
                 << " -> " << (value ? "true" : "false") << " (path len "
@@ -85,7 +104,8 @@ void PathAuthority::OnDecision(ir::BlockId block, int at_len, bool value,
          {"path_len", at_len}});
   }
   if (options_.metrics != nullptr) options_.metrics->Inc("decisions");
-  pending_step_ = PendingStep{block, value, cluster_->sim()->now()};
+  const double now = cluster_->sim()->now();
+  pending_step_ = PendingStep{block, value, now, now};
   AppendChain(value ? term.target : term.target_else, machine);
 }
 
@@ -97,6 +117,12 @@ void PathAuthority::RecordStep(bool initial) {
       options_.elements_probe ? options_.elements_probe() : 0;
   if (!initial) {
     const int step = decisions_ - 1;
+    // barrier_wait is the time the decision sat waiting for the superstep
+    // barrier (zero for pipelined engines); decision_overhead is the
+    // coordination cost charged after release (FLINK-3322-style).
+    const double barrier_wait =
+        pending_step_.release_time - pending_step_.decision_time;
+    const double decision_overhead = now - pending_step_.release_time;
     if (options_.trace != nullptr) {
       // The step span covers everything since the previous broadcast: the
       // superstep in a barriered engine, and the (overlapping) slice of
@@ -107,7 +133,8 @@ void PathAuthority::RecordStep(bool initial) {
           {{"block", pending_step_.block},
            {"value", pending_step_.value},
            {"path_len", path_->size()},
-           {"barrier_wait", now - pending_step_.decision_time}});
+           {"barrier_wait", barrier_wait},
+           {"decision_overhead", decision_overhead}});
     }
     if (options_.metrics != nullptr) {
       obs::StepRecord record;
@@ -117,13 +144,16 @@ void PathAuthority::RecordStep(bool initial) {
       record.path_len = path_->size();
       record.decision_time = pending_step_.decision_time;
       record.broadcast_time = now;
-      record.barrier_wait = now - pending_step_.decision_time;
+      record.barrier_wait = barrier_wait;
+      record.decision_overhead = decision_overhead;
       record.elements = elements - last_elements_;
       record.net_bytes = cm.network_bytes - last_net_bytes_;
       record.disk_bytes = cm.disk_bytes - last_disk_bytes_;
       options_.metrics->AddStep(record);
       options_.metrics->Observe("step_barrier_wait_seconds",
                                 record.barrier_wait);
+      options_.metrics->Observe("step_decision_overhead_seconds",
+                                record.decision_overhead);
     }
   }
   last_broadcast_time_ = now;
@@ -158,6 +188,45 @@ void PathAuthority::AppendChain(ir::BlockId block, int machine,
   Broadcast(machine, initial);
 }
 
+void PathAuthority::SendControl(int from_machine, int machine, int new_len,
+                                bool complete, int attempt) {
+  ControlFlowManager* manager = managers_[static_cast<size_t>(machine)];
+  std::shared_ptr<bool> alive = alive_;
+  cluster_->Send(from_machine, machine,
+                 cluster_->config().control_message_bytes,
+                 [this, alive, manager, from_machine, machine, new_len,
+                  complete] {
+                   if (!*alive) return;
+                   // AdvanceTo is idempotent, so a duplicate delivery from
+                   // a retransmitted broadcast is harmless.
+                   manager->AdvanceTo(new_len, complete);
+                   cluster_->Send(machine, from_machine,
+                                  cluster_->config().control_message_bytes,
+                                  [this, alive, new_len, machine] {
+                                    if (!*alive) return;
+                                    acked_.emplace(new_len, machine);
+                                  });
+                 });
+  // Retry on an unacked broadcast with exponential backoff. Background:
+  // the timer watches the run, it must not hold the superstep barrier.
+  const double backoff =
+      options_.faults->retry_backoff * static_cast<double>(1 << attempt);
+  cluster_->sim()->ScheduleBackgroundAfter(
+      backoff,
+      [this, alive, from_machine, machine, new_len, complete, attempt] {
+        if (!*alive) return;
+        if (acked_.count({new_len, machine}) > 0) return;
+        if (attempt + 1 > options_.faults->max_broadcast_retries) {
+          on_error_(Status::Unavailable(
+              "path broadcast to machine " + std::to_string(machine) +
+              " (len " + std::to_string(new_len) + ") unacknowledged after " +
+              std::to_string(attempt + 1) + " attempts"));
+          return;
+        }
+        SendControl(from_machine, machine, new_len, complete, attempt + 1);
+      });
+}
+
 void PathAuthority::Broadcast(int from_machine, bool initial) {
   const int new_len = path_->size();
   const bool complete = path_->complete();
@@ -174,11 +243,20 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
         manager->AdvanceTo(new_len, complete);
         continue;
       }
+      if (options_.faults != nullptr) {
+        SendControl(from_machine, m, new_len, complete, /*attempt=*/0);
+        continue;
+      }
       cluster_->Send(from_machine, m,
                      cluster_->config().control_message_bytes,
                      [manager, new_len, complete] {
                        manager->AdvanceTo(new_len, complete);
                      });
+    }
+    if (!initial && options_.on_checkpoint &&
+        options_.faults != nullptr && options_.faults->checkpoint_every > 0 &&
+        decisions_ % options_.faults->checkpoint_every == 0) {
+      options_.on_checkpoint();
     }
   };
 
@@ -192,7 +270,8 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
     // Superstep barrier: wait for global quiescence, then charge the
     // per-step overhead, then release the decision.
     double overhead = options_.decision_overhead;
-    sim->ScheduleWhenIdle([sim, overhead, do_broadcast] {
+    sim->ScheduleWhenIdle([this, sim, overhead, do_broadcast, initial] {
+      if (!initial) pending_step_.release_time = sim->now();
       if (overhead > 0) {
         sim->ScheduleAfter(overhead, do_broadcast);
       } else {

@@ -18,8 +18,12 @@
 #ifndef MITOS_RUNTIME_PATH_H_
 #define MITOS_RUNTIME_PATH_H_
 
+#include <deque>
 #include <functional>
+#include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -110,6 +114,10 @@ class ControlFlowManager {
 
   // Delivery from the authority. Messages may arrive out of order (they
   // carry the target length); shorter-than-known deliveries are no-ops.
+  // Re-entrant calls (a listener's side effects triggering another
+  // delivery, e.g. a hot loop whose condition node fires synchronously)
+  // are queued and drained by the outermost call, so listeners always
+  // observe positions strictly in order.
   void AdvanceTo(int new_len, bool complete);
 
  private:
@@ -117,6 +125,7 @@ class ControlFlowManager {
   int known_len_ = 0;
   bool known_complete_ = false;
   bool advancing_ = false;
+  std::deque<std::pair<int, bool>> pending_;  // queued re-entrant advances
   std::vector<std::function<void(int, ir::BlockId)>> listeners_;
   std::vector<std::function<void()>> completion_listeners_;
 };
@@ -141,6 +150,13 @@ class PathAuthority {
     // Supplies the job's running operator-input element count, so step
     // records can report per-step element deltas (wired by the executor).
     std::function<int64_t()> elements_probe;
+    // Active fault plan (nullptr when fault handling is off). With a plan,
+    // remote path broadcasts are acknowledged by the receiving manager and
+    // retried with exponential backoff until acked or retries exhaust.
+    const sim::FaultPlan* faults = nullptr;
+    // Fired right after every checkpoint_every-th decision's broadcast
+    // (wired by the executor to mark finished bags durable).
+    std::function<void()> on_checkpoint;
   };
 
   // `path` is owned by the caller (the job) and shared with every
@@ -149,6 +165,7 @@ class PathAuthority {
                 ExecutionPath* path,
                 std::vector<ControlFlowManager*> managers, Options options,
                 std::function<void(Status)> on_error);
+  ~PathAuthority();
 
   // Seeds the path with the entry block (plus its unconditional chain) and
   // broadcasts. Called once, at job start, from machine `machine`.
@@ -172,6 +189,9 @@ class PathAuthority {
   void Broadcast(int from_machine, bool initial);
   // Emits the per-step trace span and metrics StepRecord at broadcast time.
   void RecordStep(bool initial);
+  // One acked/retried control send to `machine`'s manager (faults active).
+  void SendControl(int from_machine, int machine, int new_len, bool complete,
+                   int attempt);
 
   const ir::Program* program_;
   sim::Cluster* cluster_;
@@ -186,8 +206,16 @@ class PathAuthority {
     ir::BlockId block = ir::kNoBlock;
     bool value = false;
     double decision_time = 0;
+    // When the step left the barrier (superstep engines) — equals
+    // decision_time for pipelined engines. Splits barrier_wait (release -
+    // decision) from decision_overhead (broadcast - release).
+    double release_time = 0;
   };
   PendingStep pending_step_;
+  // Acknowledged (path_len, machine) control deliveries (faults active).
+  std::set<std::pair<int, int>> acked_;
+  // Set false on destruction so queued background retry timers turn inert.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   double last_broadcast_time_ = 0;
   int64_t last_elements_ = 0;
   int64_t last_net_bytes_ = 0;

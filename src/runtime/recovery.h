@@ -1,0 +1,105 @@
+// Step-level recovery bookkeeping (lineage over bag identifiers).
+//
+// The paper's bag identifiers — (operator, execution-path prefix) — double
+// as a lineage record: because the path is append-only and the runtime is
+// deterministic, a bag with the same identifier has the same contents in
+// every attempt. Recovery therefore re-executes the job from the start of
+// the path, but every bag instance that *survived* the failure (it finished
+// on a machine whose state was never lost, or it was checkpointed to
+// durable storage) is replayed: its kernel runs over the real data so the
+// in-memory state is reconstructed exactly, but at zero CPU cost and
+// memory-speed I/O — only genuinely lost bags pay their full cost again.
+//
+// The ledger lives outside the per-attempt Job so it persists across
+// attempts; the executor wires it into the RuntimeContext hooks.
+#ifndef MITOS_RUNTIME_RECOVERY_H_
+#define MITOS_RUNTIME_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "dataflow/graph.h"
+
+namespace mitos::runtime {
+
+// One physical output bag: operator instance × execution-path prefix.
+struct BagKey {
+  dataflow::NodeId node = -1;
+  int instance = 0;
+  int path_len = 0;
+
+  bool operator<(const BagKey& other) const {
+    if (node != other.node) return node < other.node;
+    if (instance != other.instance) return instance < other.instance;
+    return path_len < other.path_len;
+  }
+};
+
+class FaultRecoveryState {
+ public:
+  // Bag `key` finished on `machine` while it was in crash/restart epoch
+  // `epoch`. Its cached output survives a later failure iff the machine is
+  // still in that epoch (it never crashed in between).
+  void OnBagFinished(const BagKey& key, int machine, int epoch) {
+    finished_[key] = Location{machine, epoch};
+  }
+
+  // Checkpoint: everything finished so far becomes durable — it survives
+  // any failure, including of the machine that produced it.
+  void MarkAllDurable() {
+    for (const auto& [key, loc] : finished_) durable_.insert(key);
+    for (const auto& [key, loc] : survivors_) durable_.insert(key);
+  }
+
+  // True when `key`'s output already exists (survived or durable), so the
+  // new attempt replays it instead of recomputing.
+  bool IsReplay(const BagKey& key) const {
+    return durable_.count(key) > 0 || survivors_.count(key) > 0;
+  }
+
+  // Folds the failed attempt into the survivor set: a finished bag
+  // survives iff `machine_epoch(machine)` still equals the epoch it
+  // finished in. Previously surviving bags are re-filtered too (the
+  // machine holding them may have crashed since).
+  void BeginNextAttempt(const std::function<int(int)>& machine_epoch) {
+    for (const auto& [key, loc] : finished_) survivors_[key] = loc;
+    finished_.clear();
+    for (auto it = survivors_.begin(); it != survivors_.end();) {
+      if (durable_.count(it->first) == 0 &&
+          machine_epoch(it->second.machine) != it->second.epoch) {
+        lost_.insert(it->first);
+        it = survivors_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // True when `key` had finished in an earlier attempt but its output was
+  // lost (its machine crashed and it was not durable) — the bags the
+  // recomputed_bags metric counts.
+  bool WasLost(const BagKey& key) const { return lost_.count(key) > 0; }
+
+  int64_t num_durable() const {
+    return static_cast<int64_t>(durable_.size());
+  }
+  int64_t num_survivors() const {
+    return static_cast<int64_t>(survivors_.size());
+  }
+
+ private:
+  struct Location {
+    int machine = 0;
+    int epoch = 0;
+  };
+  std::map<BagKey, Location> finished_;   // current attempt
+  std::map<BagKey, Location> survivors_;  // carried from prior attempts
+  std::set<BagKey> durable_;              // checkpointed — always survive
+  std::set<BagKey> lost_;                 // finished once, then lost
+};
+
+}  // namespace mitos::runtime
+
+#endif  // MITOS_RUNTIME_RECOVERY_H_

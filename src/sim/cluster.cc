@@ -1,12 +1,17 @@
 #include "sim/cluster.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace mitos::sim {
+
+namespace {
+constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+}  // namespace
 
 Cluster::Cluster(Simulator* sim, const ClusterConfig& config)
     : sim_(sim), config_(config) {
@@ -23,6 +28,98 @@ Cluster::Cluster(Simulator* sim, const ClusterConfig& config)
   local_last_arrival_.assign(n, 0.0);
 }
 
+// ----- fault state -----
+
+void Cluster::InstallFaultPlan(const FaultPlan* plan) {
+  if (plan == nullptr || plan->empty()) {
+    faults_ = nullptr;
+    return;
+  }
+  faults_ = plan;
+  size_t n = static_cast<size_t>(config_.num_machines);
+  transitions_.assign(n, {});
+  clock_epoch_.assign(n, 0);
+  for (const FaultPlan::Crash& crash : plan->crashes) {
+    MITOS_CHECK_GE(crash.machine, 0);
+    MITOS_CHECK_LT(crash.machine, config_.num_machines);
+    auto& t = transitions_[static_cast<size_t>(crash.machine)];
+    t.push_back(crash.at);
+    if (crash.restart_after >= 0) t.push_back(crash.at + crash.restart_after);
+  }
+  for (auto& t : transitions_) std::sort(t.begin(), t.end());
+  for (const FaultPlan::Slowdown& slow : plan->slowdowns) {
+    MITOS_CHECK_GE(slow.machine, 0);
+    MITOS_CHECK_LT(slow.machine, config_.num_machines);
+  }
+  drop_rng_ = Rng(plan->drop_seed);
+  if (trace_ != nullptr) {
+    // The failure timeline is known up front; record it so traces show the
+    // crash/restart instants alongside the work they disrupt.
+    for (const FaultPlan::Crash& crash : plan->crashes) {
+      int pid = obs::MachinePid(crash.machine);
+      int tid = trace_->Lane(pid, "fault");
+      trace_->Instant(pid, tid, "crash", "fault", crash.at,
+                      {{"machine", crash.machine}});
+      if (crash.restart_after >= 0) {
+        trace_->Instant(pid, tid, "restart", "fault",
+                        crash.at + crash.restart_after,
+                        {{"machine", crash.machine}});
+      }
+    }
+  }
+}
+
+int Cluster::EpochAt(int machine, SimTime t) const {
+  const auto& trans = transitions_[static_cast<size_t>(machine)];
+  return static_cast<int>(
+      std::upper_bound(trans.begin(), trans.end(), t) - trans.begin());
+}
+
+bool Cluster::machine_up(int machine) const {
+  if (faults_ == nullptr) return true;
+  return machine_epoch(machine) % 2 == 0;
+}
+
+int Cluster::machine_epoch(int machine) const {
+  if (faults_ == nullptr) return 0;
+  return EpochAt(machine, sim_->now());
+}
+
+SimTime Cluster::machine_up_time(int machine) const {
+  if (machine_up(machine)) return sim_->now();
+  const auto& trans = transitions_[static_cast<size_t>(machine)];
+  int epoch = machine_epoch(machine);
+  // Down: the next transition (if any) is the restart.
+  if (static_cast<size_t>(epoch) < trans.size()) {
+    return trans[static_cast<size_t>(epoch)];
+  }
+  return kNever;
+}
+
+SimTime Cluster::machine_down_since(int machine) const {
+  if (machine_up(machine)) return -1;
+  const auto& trans = transitions_[static_cast<size_t>(machine)];
+  int epoch = machine_epoch(machine);
+  return trans[static_cast<size_t>(epoch - 1)];
+}
+
+void Cluster::RefreshFaultView(int machine) {
+  if (faults_ == nullptr) return;
+  int epoch = machine_epoch(machine);
+  size_t m = static_cast<size_t>(machine);
+  if (clock_epoch_[m] == epoch) return;
+  // The machine restarted since the clocks were last touched: it comes
+  // back with idle cores, NIC, and disk.
+  clock_epoch_[m] = epoch;
+  std::fill(core_free_[m].begin(), core_free_[m].end(), 0.0);
+  nic_out_free_[m] = 0.0;
+  nic_in_free_[m] = 0.0;
+  disk_free_[m] = 0.0;
+  local_last_arrival_[m] = 0.0;
+}
+
+// ----- resources -----
+
 Cluster::CoreSlot Cluster::AcquireCore(int machine, double duration) {
   std::vector<SimTime>& cores = core_free_[static_cast<size_t>(machine)];
   auto it = std::min_element(cores.begin(), cores.end());
@@ -36,6 +133,11 @@ void Cluster::ExecCpu(int machine, double cpu_seconds,
   MITOS_CHECK_GE(machine, 0);
   MITOS_CHECK_LT(machine, num_machines());
   MITOS_CHECK_GE(cpu_seconds, 0.0);
+  if (faults_ != nullptr) {
+    RefreshFaultView(machine);
+    if (!machine_up(machine)) return;  // work issued on a dead machine
+    cpu_seconds *= faults_->SlowdownFor(machine);
+  }
   metrics_.cpu_seconds += cpu_seconds;
   CoreSlot slot = AcquireCore(machine, cpu_seconds);
   if (trace_ != nullptr && cpu_seconds > 0) {
@@ -44,6 +146,15 @@ void Cluster::ExecCpu(int machine, double cpu_seconds,
     trace_->Span(pid, tid,
                  trace_label.empty() ? "cpu" : std::move(trace_label), "sim",
                  slot.start, slot.finish);
+  }
+  if (faults_ != nullptr) {
+    // The completion is dropped if the machine crashed mid-execution.
+    int epoch = machine_epoch(machine);
+    auto fn = std::make_shared<std::function<void()>>(std::move(done));
+    sim_->Schedule(slot.finish, [this, machine, epoch, fn] {
+      if (machine_epoch(machine) == epoch) (*fn)();
+    });
+    return;
   }
   sim_->Schedule(slot.finish, std::move(done));
 }
@@ -55,6 +166,10 @@ void Cluster::Send(int src, int dst, size_t bytes,
   MITOS_CHECK_GE(dst, 0);
   MITOS_CHECK_LT(dst, num_machines());
   if (src == dst) {
+    if (faults_ != nullptr) {
+      RefreshFaultView(src);
+      if (!machine_up(src)) return;
+    }
     metrics_.local_bytes += static_cast<int64_t>(bytes);
     SimTime arrive = sim_->now() + config_.local_latency +
                      static_cast<double>(bytes) / config_.local_bandwidth;
@@ -63,9 +178,27 @@ void Cluster::Send(int src, int dst, size_t bytes,
     SimTime& last = local_last_arrival_[static_cast<size_t>(src)];
     arrive = std::max(arrive, last);
     last = arrive;
+    if (faults_ != nullptr) {
+      int epoch = machine_epoch(src);
+      auto fn = std::make_shared<std::function<void()>>(std::move(done));
+      sim_->Schedule(arrive, [this, src, epoch, fn] {
+        if (machine_epoch(src) == epoch) (*fn)();
+      });
+      return;
+    }
     sim_->Schedule(arrive, std::move(done));
     return;
   }
+  if (faults_ != nullptr) {
+    RefreshFaultView(src);
+    RefreshFaultView(dst);
+    if (!machine_up(src)) return;  // sender is dead; nothing leaves
+  }
+  SendRemote(src, dst, bytes, std::move(done));
+}
+
+void Cluster::SendRemote(int src, int dst, size_t bytes,
+                         std::function<void()> done) {
   metrics_.messages += 1;
   metrics_.network_bytes += static_cast<int64_t>(bytes);
   double wire_time = static_cast<double>(bytes) / config_.net_bandwidth;
@@ -73,6 +206,41 @@ void Cluster::Send(int src, int dst, size_t bytes,
   SimTime& out_free = nic_out_free_[static_cast<size_t>(src)];
   SimTime tx_start = std::max(sim_->now(), out_free);
   SimTime sent = tx_start + wire_time;
+  if (faults_ != nullptr && faults_->drop_probability > 0) {
+    // Transmissions can be lost on the wire: the sender's NIC time is
+    // spent, nothing reaches the receiver. Model TCP: retransmit after a
+    // timeout, give up (losing the message) only after max_retransmits
+    // attempts. The whole chain is resolved here, synchronously — the drop
+    // decisions come from a seeded RNG, so nothing depends on future
+    // events — which keeps delivery FIFO per receiver: the receiver-NIC
+    // slot below is claimed in original send order, so a retransmitted
+    // chunk can never be overtaken by a message sent after it (e.g. its
+    // own end-of-bag marker).
+    int tries = 0;
+    while (drop_rng_.NextDouble() < faults_->drop_probability) {
+      metrics_.dropped_messages += 1;
+      if (trace_ != nullptr) {
+        int pid = obs::MachinePid(src);
+        trace_->Instant(pid, trace_->Lane(pid, "nic-out"), "drop", "fault",
+                        sent, {{"dst", dst}, {"try", tries}});
+      }
+      if (tries >= faults_->max_retransmits) {  // message lost for good
+        out_free = sent;
+        return;
+      }
+      ++tries;
+      // Timeout detection, then the retransmission occupies the NIC again.
+      tx_start = sent + config_.net_latency + faults_->retransmit_delay;
+      sent = tx_start + wire_time;
+      metrics_.messages += 1;
+      metrics_.network_bytes += static_cast<int64_t>(bytes);
+    }
+    if (EpochAt(src, sent) != machine_epoch(src)) {
+      // The sender dies before the (re)transmission completes.
+      out_free = sent;
+      return;
+    }
+  }
   out_free = sent;
   SimTime& in_free = nic_in_free_[static_cast<size_t>(dst)];
   SimTime arrive = std::max(sent + config_.net_latency, in_free);
@@ -83,6 +251,18 @@ void Cluster::Send(int src, int dst, size_t bytes,
                  "send→m" + std::to_string(dst), "net", tx_start, sent,
                  {{"bytes", bytes}, {"dst", dst}});
   }
+  if (faults_ != nullptr) {
+    // In-flight deliveries die with the receiver: drop if it crashed (or
+    // crashed and restarted) between transmission and arrival — and a
+    // receiver that is down for the whole flight (same odd epoch at both
+    // ends) never gets the message either.
+    int epoch = machine_epoch(dst);
+    auto fn = std::make_shared<std::function<void()>>(std::move(done));
+    sim_->Schedule(arrive, [this, dst, epoch, fn] {
+      if (machine_epoch(dst) == epoch && machine_up(dst)) (*fn)();
+    });
+    return;
+  }
   sim_->Schedule(arrive, std::move(done));
 }
 
@@ -90,26 +270,39 @@ void Cluster::DiskIo(int machine, size_t bytes, std::function<void()> done,
                      bool memory) {
   MITOS_CHECK_GE(machine, 0);
   MITOS_CHECK_LT(machine, num_machines());
+  int epoch = 0;
+  if (faults_ != nullptr) {
+    RefreshFaultView(machine);
+    if (!machine_up(machine)) return;
+    epoch = machine_epoch(machine);
+  }
+  SimTime finish;
   if (memory) {
-    SimTime finish = sim_->now() +
-                     static_cast<double>(bytes) / config_.memory_bandwidth;
+    finish = sim_->now() +
+             static_cast<double>(bytes) / config_.memory_bandwidth;
     if (trace_ != nullptr) {
       int pid = obs::MachinePid(machine);
       trace_->Span(pid, trace_->Lane(pid, "mem"), "mem write", "disk",
                    sim_->now(), finish, {{"bytes", bytes}});
     }
-    sim_->Schedule(finish, std::move(done));
-    return;
+  } else {
+    metrics_.disk_bytes += static_cast<int64_t>(bytes);
+    SimTime& free = disk_free_[static_cast<size_t>(machine)];
+    SimTime start = std::max(sim_->now(), free);
+    finish = start + static_cast<double>(bytes) / config_.disk_bandwidth;
+    free = finish;
+    if (trace_ != nullptr) {
+      int pid = obs::MachinePid(machine);
+      trace_->Span(pid, trace_->Lane(pid, "disk"), "disk write", "disk",
+                   start, finish, {{"bytes", bytes}});
+    }
   }
-  metrics_.disk_bytes += static_cast<int64_t>(bytes);
-  SimTime& free = disk_free_[static_cast<size_t>(machine)];
-  SimTime start = std::max(sim_->now(), free);
-  SimTime finish = start + static_cast<double>(bytes) / config_.disk_bandwidth;
-  free = finish;
-  if (trace_ != nullptr) {
-    int pid = obs::MachinePid(machine);
-    trace_->Span(pid, trace_->Lane(pid, "disk"), "disk write", "disk",
-                 start, finish, {{"bytes", bytes}});
+  if (faults_ != nullptr) {
+    auto fn = std::make_shared<std::function<void()>>(std::move(done));
+    sim_->Schedule(finish, [this, machine, epoch, fn] {
+      if (machine_epoch(machine) == epoch) (*fn)();
+    });
+    return;
   }
   sim_->Schedule(finish, std::move(done));
 }
@@ -117,6 +310,12 @@ void Cluster::DiskIo(int machine, size_t bytes, std::function<void()> done,
 void Cluster::DiskRead(int machine, size_t bytes, int pieces,
                        std::function<void(int)> on_progress, bool memory) {
   MITOS_CHECK_GT(pieces, 0);
+  int epoch = 0;
+  if (faults_ != nullptr) {
+    RefreshFaultView(machine);
+    if (!machine_up(machine)) return;
+    epoch = machine_epoch(machine);
+  }
   double bandwidth = config_.disk_bandwidth;
   SimTime start = sim_->now();
   if (memory) {
@@ -138,9 +337,16 @@ void Cluster::DiskRead(int machine, size_t bytes, int pieces,
   // read pace so consumers overlap with the read.
   auto progress =
       std::make_shared<std::function<void(int)>>(std::move(on_progress));
+  const bool guarded = faults_ != nullptr;
   for (int i = 0; i < pieces; ++i) {
     SimTime t = start + per_piece * (i + 1);
-    sim_->Schedule(t, [progress, i] { (*progress)(i); });
+    if (guarded) {
+      sim_->Schedule(t, [this, machine, epoch, progress, i] {
+        if (machine_epoch(machine) == epoch) (*progress)(i);
+      });
+    } else {
+      sim_->Schedule(t, [progress, i] { (*progress)(i); });
+    }
   }
   if (!memory) {
     disk_free_[static_cast<size_t>(machine)] = start + per_piece * pieces;

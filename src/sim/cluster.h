@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "obs/trace.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace mitos::sim {
@@ -57,6 +59,7 @@ struct ClusterMetrics {
   int64_t disk_bytes = 0;
   double cpu_seconds = 0;        // total busy CPU time across machines
   int64_t elements_processed = 0;
+  int64_t dropped_messages = 0;  // fault-injected transmission losses
 };
 
 // Resource model over the simulator. All operations are asynchronous:
@@ -77,6 +80,28 @@ class Cluster {
   // the schedule, costs, or results of a run.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
   obs::TraceRecorder* trace() const { return trace_; }
+
+  // Installs a fault plan (caller-owned; may be nullptr). A null or empty
+  // plan disables fault handling entirely — every operation then behaves
+  // byte-identically to a cluster without fault support. With a plan
+  // installed, Send/ExecCpu/DiskIo/DiskRead consult machine up/down state:
+  // work issued on a down machine is lost, completions whose machine
+  // crashed in between are dropped, remote messages may be dropped (and
+  // retransmitted) per the seeded RNG, and slow machines stretch CPU time.
+  void InstallFaultPlan(const FaultPlan* plan);
+  const FaultPlan* fault_plan() const { return faults_; }
+
+  // Fault-state queries (pure functions of virtual time over the plan's
+  // crash/restart transitions; trivially "up forever" without a plan).
+  bool machine_up(int machine) const;
+  // Number of crash/restart transitions machine has been through at `now`
+  // (even = up, odd = down). A changed epoch means all state was lost.
+  int machine_epoch(int machine) const;
+  // Earliest time >= now at which the machine is (back) up; +infinity if it
+  // never restarts.
+  SimTime machine_up_time(int machine) const;
+  // Time of the crash that took the machine down (only valid while down).
+  SimTime machine_down_since(int machine) const;
 
   // Occupies one core of `machine` for `cpu_seconds`, starting no earlier
   // than now. `done` runs at completion. `trace_label` names the core span
@@ -115,6 +140,13 @@ class Cluster {
   // Earliest-available slot on a set of serial resources (cores).
   CoreSlot AcquireCore(int machine, double duration);
 
+  // Lazily resets `machine`'s resource clocks after a restart (its cores,
+  // NIC, and disk come back idle). No-op without an epoch change.
+  void RefreshFaultView(int machine);
+  // A cross-machine transmission, including any retransmits after drops.
+  void SendRemote(int src, int dst, size_t bytes, std::function<void()> done);
+  int EpochAt(int machine, SimTime t) const;
+
   Simulator* sim_;
   ClusterConfig config_;
   obs::TraceRecorder* trace_ = nullptr;
@@ -125,6 +157,14 @@ class Cluster {
   std::vector<SimTime> disk_free_;
   std::vector<SimTime> local_last_arrival_;  // FIFO clamp for loopback
   ClusterMetrics metrics_;
+
+  // Fault state (all inert when faults_ == nullptr).
+  const FaultPlan* faults_ = nullptr;
+  // Per machine: sorted crash/restart transition times.
+  std::vector<std::vector<SimTime>> transitions_;
+  // Epoch the resource clocks were last reset for (RefreshFaultView).
+  std::vector<int> clock_epoch_;
+  Rng drop_rng_{0};
 };
 
 }  // namespace mitos::sim

@@ -1,0 +1,110 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan describes everything that goes wrong during a run, up front:
+// machine crashes at fixed virtual times (with optional restart), seeded
+// per-message drop probabilities on remote links, and per-machine CPU
+// slowdowns. Because the plan is data (not events) and the drop decisions
+// come from a seeded common/rng.h generator, a given (program, cluster,
+// plan) triple always produces the same failure timeline, the same
+// recovery, and the same results — fault runs are as reproducible as
+// fault-free ones.
+//
+// The cluster consults the plan lazily: machine up/down state and the
+// restart epoch are pure functions of virtual time over each machine's
+// sorted crash/restart transition list, so installing a plan schedules no
+// events and an empty plan changes nothing at all.
+#ifndef MITOS_SIM_FAULT_H_
+#define MITOS_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mitos::sim {
+
+struct FaultPlan {
+  // Machine `machine` crashes at virtual time `at`, losing all in-flight
+  // deliveries, queued work, and cached state. With `restart_after` >= 0 it
+  // comes back (empty) that many seconds later; < 0 means gone for good.
+  struct Crash {
+    int machine = 0;
+    double at = 0;
+    double restart_after = -1;
+  };
+
+  // Machine `machine` executes CPU work `multiplier` times slower
+  // (straggler model).
+  struct Slowdown {
+    int machine = 0;
+    double multiplier = 1.0;
+  };
+
+  std::vector<Crash> crashes;
+  std::vector<Slowdown> slowdowns;
+
+  // Each remote message transmission is dropped with this probability,
+  // decided by a SplitMix64 stream seeded with `drop_seed`. Dropped
+  // messages are retransmitted (TCP model) after `retransmit_delay`
+  // seconds, up to `max_retransmits` attempts per message.
+  double drop_probability = 0;
+  uint64_t drop_seed = 17;
+  double retransmit_delay = 0.005;
+  int max_retransmits = 16;
+
+  // Runtime-side failure detection: the coordinator declares a machine lost
+  // when it has been down for `heartbeat_timeout` seconds (checked every
+  // `heartbeat_interval`), and declares the attempt stuck when no progress
+  // (delivery or completed CPU slice) happened for `stall_timeout` seconds.
+  double heartbeat_interval = 0.05;
+  double heartbeat_timeout = 0.25;
+  double stall_timeout = 2.0;
+
+  // Control-broadcast ack/retry: an unacknowledged path broadcast is
+  // retried with exponential backoff starting at `retry_backoff`, at most
+  // `max_broadcast_retries` times before the authority gives up.
+  double retry_backoff = 0.05;
+  int max_broadcast_retries = 6;
+
+  // Recovery policy. 0 = pure lineage recovery (recompute lost bags from
+  // surviving upstream cached bags); k > 0 additionally checkpoints every
+  // finished bag to durable storage at every k-th control-flow decision.
+  int checkpoint_every = 0;
+  // Re-execution attempts before the job reports the failure.
+  int max_attempts = 8;
+
+  // True when the plan injects nothing (no crashes, drops, or slowdowns);
+  // an empty plan leaves every code path byte-identical to no plan at all.
+  bool empty() const {
+    return crashes.empty() && slowdowns.empty() && drop_probability <= 0;
+  }
+
+  // CPU multiplier for `machine` (1.0 when not slowed).
+  double SlowdownFor(int machine) const {
+    for (const Slowdown& s : slowdowns) {
+      if (s.machine == machine) return s.multiplier;
+    }
+    return 1.0;
+  }
+
+  // Round-trippable textual form in the Parse grammar.
+  std::string ToString() const;
+
+  // Parses a semicolon-separated spec (whitespace tolerated):
+  //   crash=M@T[+R]   machine M crashes at time T, restarts after R
+  //   drop=P[@SEED]   drop probability P, optional RNG seed
+  //   slow=MxF        machine M runs CPU F times slower
+  //   hb=I/T          heartbeat interval I, timeout T
+  //   stall=S         progress-stall timeout
+  //   retry=B/N       broadcast retry backoff B, max retries N
+  //   rto=D           retransmit delay for dropped messages
+  //   ckpt=K          checkpoint every K control-flow decisions
+  //   attempts=N      max re-execution attempts
+  // Example: "crash=1@2.5+0.5; drop=0.01@7; slow=3x2"
+  static StatusOr<FaultPlan> Parse(const std::string& spec);
+};
+
+}  // namespace mitos::sim
+
+#endif  // MITOS_SIM_FAULT_H_

@@ -33,12 +33,27 @@ class Simulator {
   // Schedules `fn` at absolute virtual time `time` (>= now).
   void Schedule(SimTime time, std::function<void()> fn) {
     MITOS_CHECK_GE(time, now_);
-    queue_.push(Event{time, next_seq_++, std::move(fn)});
+    queue_.push(Event{time, next_seq_++, std::move(fn), false});
+    ++foreground_pending_;
   }
 
   // Schedules `fn` after a relative delay.
   void ScheduleAfter(SimTime delay, std::function<void()> fn) {
     Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Background events: timers (heartbeats, retransmission timeouts) that
+  // observe the run without being part of its work. They interleave with
+  // foreground events in time order, but do NOT hold back the idle barrier
+  // (ScheduleWhenIdle) and do NOT advance busy_until(). A run with zero
+  // background events behaves exactly as before they existed.
+  void ScheduleBackground(SimTime time, std::function<void()> fn) {
+    MITOS_CHECK_GE(time, now_);
+    queue_.push(Event{time, next_seq_++, std::move(fn), true});
+  }
+
+  void ScheduleBackgroundAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleBackground(now_ + delay, std::move(fn));
   }
 
   // Runs `fn` the next time the event queue drains completely. This is the
@@ -50,26 +65,26 @@ class Simulator {
     idle_callbacks_.push_back(std::move(fn));
   }
 
-  // Processes events until both the queue and the idle-callback list are
-  // exhausted. Returns the final virtual time.
+  // Processes events until the queue (foreground AND background) and the
+  // idle-callback list are all exhausted. Returns the final virtual time.
+  //
+  // Ordering: while foreground work is pending, the earliest event runs
+  // (background timers interleave in time order). At foreground quiescence
+  // the idle barrier fires — even if background timers are still queued —
+  // and only a fully background queue drains last. With no background
+  // events this is exactly the original drain loop.
   SimTime Run() {
     while (true) {
-      if (!queue_.empty()) {
-        // const_cast: std::priority_queue exposes only const top(); moving
-        // the callback out before pop avoids a copy and is safe because the
-        // element is popped immediately.
-        Event& top = const_cast<Event&>(queue_.top());
-        MITOS_CHECK_GE(top.time, now_);
-        now_ = top.time;
-        std::function<void()> fn = std::move(top.fn);
-        queue_.pop();
-        ++events_processed_;
-        fn();
+      if (foreground_pending_ > 0) {
+        RunTop();
       } else if (!idle_callbacks_.empty()) {
         std::function<void()> fn = std::move(idle_callbacks_.front());
         idle_callbacks_.erase(idle_callbacks_.begin());
         ++barriers_fired_;
+        busy_until_ = now_;
         fn();
+      } else if (!queue_.empty()) {
+        RunTop();
       } else {
         break;
       }
@@ -81,21 +96,47 @@ class Simulator {
   int64_t barriers_fired() const { return barriers_fired_; }
   bool idle() const { return queue_.empty() && idle_callbacks_.empty(); }
 
+  // Virtual time of the last foreground event or idle callback: the time
+  // real work finished, excluding trailing background timers. Equals now()
+  // when no background events exist.
+  SimTime busy_until() const { return busy_until_; }
+
  private:
   struct Event {
     SimTime time;
     uint64_t seq;
     std::function<void()> fn;
+    bool background;
     bool operator>(const Event& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }
   };
 
+  void RunTop() {
+    // const_cast: std::priority_queue exposes only const top(); moving
+    // the callback out before pop avoids a copy and is safe because the
+    // element is popped immediately.
+    Event& top = const_cast<Event&>(queue_.top());
+    MITOS_CHECK_GE(top.time, now_);
+    now_ = top.time;
+    std::function<void()> fn = std::move(top.fn);
+    bool background = top.background;
+    queue_.pop();
+    if (!background) {
+      --foreground_pending_;
+      busy_until_ = now_;
+    }
+    ++events_processed_;
+    fn();
+  }
+
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::vector<std::function<void()>> idle_callbacks_;
   SimTime now_ = 0;
+  SimTime busy_until_ = 0;
   uint64_t next_seq_ = 0;
+  int64_t foreground_pending_ = 0;
   int64_t events_processed_ = 0;
   int64_t barriers_fired_ = 0;
 };

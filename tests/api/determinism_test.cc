@@ -93,6 +93,44 @@ TEST(DeterminismTest, GeneratorsAreSeedStable) {
   EXPECT_NE(*a.Read("pageVisitLog1"), *c.Read("pageVisitLog1"));
 }
 
+// Every figure workload, run twice in one process: bit-identical results
+// AND virtual end times. This is what makes the benchmark figures (and the
+// fault-recovery byte-identity guarantee, which compares against a
+// fault-free reference run) trustworthy.
+TEST(DeterminismTest, KMeansIsRunToRunIdentical) {
+  sim::SimFileSystem inputs;
+  workloads::GeneratePoints(&inputs, {.num_points = 2000, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+  ExpectIdentical(RunOnce(EngineKind::kMitos, program, inputs, 4),
+                  RunOnce(EngineKind::kMitos, program, inputs, 4));
+}
+
+TEST(DeterminismTest, PageRankIsRunToRunIdentical) {
+  sim::SimFileSystem inputs;
+  workloads::GenerateGraph(&inputs, {.num_vertices = 200, .num_edges = 800});
+  lang::Program program =
+      workloads::PageRankProgram({.iterations = 5, .num_vertices = 200});
+  ExpectIdentical(RunOnce(EngineKind::kMitos, program, inputs, 4),
+                  RunOnce(EngineKind::kMitos, program, inputs, 4));
+}
+
+TEST(DeterminismTest, ConnectedComponentsIsRunToRunIdentical) {
+  sim::SimFileSystem inputs;
+  workloads::GenerateGraph(&inputs, {.num_vertices = 150, .num_edges = 400});
+  lang::Program program = workloads::ConnectedComponentsProgram();
+  ExpectIdentical(RunOnce(EngineKind::kMitos, program, inputs, 4),
+                  RunOnce(EngineKind::kMitos, program, inputs, 4));
+}
+
+TEST(DeterminismTest, StepOverheadLoopIsRunToRunIdentical) {
+  sim::SimFileSystem inputs;
+  lang::Program program = workloads::StepOverheadProgram(10);
+  ExpectIdentical(RunOnce(EngineKind::kMitos, program, inputs, 4),
+                  RunOnce(EngineKind::kMitos, program, inputs, 4));
+  ExpectIdentical(RunOnce(EngineKind::kMitosNoPipelining, program, inputs, 4),
+                  RunOnce(EngineKind::kMitosNoPipelining, program, inputs, 4));
+}
+
 TEST(DeterminismTest, MachineCountChangesScheduleButNotResults) {
   sim::SimFileSystem inputs;
   workloads::GenerateVisitLogs(&inputs, {.days = 4, .entries_per_day = 300,

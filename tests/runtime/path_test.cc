@@ -67,6 +67,42 @@ TEST(ControlFlowManagerTest, OutOfOrderDeliveriesAreIdempotent) {
   EXPECT_EQ(notifications, 2);
 }
 
+TEST(ControlFlowManagerTest, ListenerMayReenterAdvanceTo) {
+  // Regression: a listener reacting to position p can synchronously learn
+  // the next decision (zero intervening simulated work) and call AdvanceTo
+  // again. This used to abort on a re-entrancy CHECK; now the nested call
+  // queues and the outermost invocation drains it, in order.
+  ExecutionPath path;
+  path.Append(1);
+  path.Append(2);
+  path.Append(3);
+  ControlFlowManager cfm(&path);
+  std::vector<int> seen;
+  cfm.AddListener([&](int pos, ir::BlockId) {
+    seen.push_back(pos);
+    if (pos == 0) cfm.AdvanceTo(3, false);  // nested, from inside a callback
+  });
+  cfm.AdvanceTo(1, false);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(cfm.known_len(), 3);
+}
+
+TEST(ControlFlowManagerTest, ReentrantCompletionDelivers) {
+  ExecutionPath path;
+  path.Append(1);
+  path.Append(2);
+  path.MarkComplete();
+  ControlFlowManager cfm(&path);
+  int completions = 0;
+  cfm.AddListener([&](int pos, ir::BlockId) {
+    if (pos == 0) cfm.AdvanceTo(2, true);
+  });
+  cfm.AddCompletionListener([&] { ++completions; });
+  cfm.AdvanceTo(1, false);
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(cfm.known_complete());
+}
+
 TEST(ControlFlowManagerTest, CompletionFiresOnceAtFullLength) {
   ExecutionPath path;
   path.Append(1);
@@ -215,6 +251,55 @@ TEST_F(PathAuthorityTest, DecisionOverheadDelaysBroadcast) {
   authority.OnDecision(1, 2, true, 0);
   sim_.Run();
   EXPECT_GE(decision_seen_at, t0 + 0.25);
+}
+
+TEST_F(PathAuthorityTest, DecisionInNonBranchBlockReportsErrorNotAbort) {
+  // Regression: a decision arriving for a block whose terminator is not a
+  // conditional branch used to hit a MITOS_CHECK (process abort). It is a
+  // runtime-reachable inconsistency, so it must surface as a Status.
+  PathAuthority authority = MakeAuthority({});
+  authority.Start(0);
+  sim_.Run();
+  // Block 0 is the entry block: its terminator is an unconditional jump.
+  authority.OnDecision(/*block=*/0, /*at_len=*/path_.size(), true, 0);
+  EXPECT_FALSE(error_.ok());
+  EXPECT_EQ(error_.code(), StatusCode::kInternal);
+}
+
+TEST_F(PathAuthorityTest, UnackedBroadcastToDeadMachineFailsUnavailable) {
+  // With a fault plan active the authority requires acks: a machine that is
+  // down for the whole retry window makes the broadcast fail with
+  // kUnavailable (the heartbeat/attempt loop above then handles recovery).
+  sim::FaultPlan plan;
+  plan.crashes.push_back({.machine = 2, .at = 0.0});  // down from t=0 on
+  plan.retry_backoff = 0.01;
+  plan.max_broadcast_retries = 3;
+  cluster_->InstallFaultPlan(&plan);
+  PathAuthority::Options options;
+  options.faults = &plan;
+  PathAuthority authority = MakeAuthority(options);
+  authority.Start(0);
+  sim_.Run();
+  EXPECT_FALSE(error_.ok());
+  EXPECT_EQ(error_.code(), StatusCode::kUnavailable);
+  // The up machines still learned the path.
+  EXPECT_EQ(managers_[0]->known_len(), 2);
+  EXPECT_EQ(managers_[1]->known_len(), 2);
+  EXPECT_EQ(managers_[2]->known_len(), 0);
+}
+
+TEST_F(PathAuthorityTest, AckedBroadcastsDoNotRetryOrError) {
+  sim::FaultPlan plan;
+  plan.drop_probability = 1e-12;  // non-empty plan, but nothing drops
+  plan.retry_backoff = 0.01;
+  cluster_->InstallFaultPlan(&plan);
+  PathAuthority::Options options;
+  options.faults = &plan;
+  PathAuthority authority = MakeAuthority(options);
+  authority.Start(0);
+  sim_.Run();
+  EXPECT_TRUE(error_.ok()) << error_.ToString();
+  for (auto& m : managers_) EXPECT_EQ(m->known_len(), 2);
 }
 
 TEST_F(PathAuthorityTest, InitialBroadcastIsNotBarriered) {

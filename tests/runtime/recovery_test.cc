@@ -1,0 +1,212 @@
+// End-to-end fault injection & recovery on the Mitos engine: crashes,
+// message drops, and stragglers injected into the k-means workload must
+// leave the final results byte-identical to the fault-free run, and the
+// whole faulted timeline must itself be deterministic.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "sim/fault.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::runtime {
+namespace {
+
+struct Outcome {
+  RunStats stats;
+  std::map<std::string, DatumVector> files;
+};
+
+sim::SimFileSystem KMeansInputs() {
+  sim::SimFileSystem inputs;
+  workloads::GeneratePoints(&inputs, {.num_points = 2000, .num_clusters = 3});
+  return inputs;
+}
+
+lang::Program KMeans() {
+  return workloads::KMeansProgram({.iterations = 4});
+}
+
+StatusOr<Outcome> RunKMeans(const sim::FaultPlan* plan, int machines = 4) {
+  sim::SimFileSystem inputs = KMeansInputs();
+  sim::SimFileSystem fs = inputs;
+  api::RunConfig config;
+  config.machines = machines;
+  config.faults = plan;
+  auto result = api::Run(api::EngineKind::kMitos, KMeans(), &fs, config);
+  MITOS_RETURN_IF_ERROR(result.status());
+  Outcome outcome;
+  outcome.stats = result->stats;
+  for (const std::string& name : fs.ListFiles()) {
+    if (inputs.Exists(name)) continue;  // compare outputs only
+    outcome.files[name] = *fs.Read(name);
+  }
+  return outcome;
+}
+
+// Exact equality, element order included: recovery must reconstruct the
+// run, not just something equivalent.
+void ExpectSameFiles(const Outcome& a, const Outcome& b) {
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (const auto& [name, data] : a.files) {
+    auto it = b.files.find(name);
+    ASSERT_TRUE(it != b.files.end()) << name;
+    EXPECT_EQ(data, it->second) << name;
+  }
+}
+
+// Crash time as a fraction of the measured fault-free COMPUTE phase (after
+// job launch — a crash during deployment loses nothing), so the fault
+// always lands mid-loop regardless of cluster constants.
+double MidLoopCrashTime(double fraction) {
+  static const RunStats stats = [] {
+    auto outcome = RunKMeans(nullptr);
+    MITOS_CHECK(outcome.ok());
+    return outcome->stats;
+  }();
+  return stats.launch_seconds +
+         fraction * (stats.total_seconds - stats.launch_seconds);
+}
+
+TEST(RecoveryTest, CrashMidLoopRecoversByteIdentical) {
+  auto fault_free = RunKMeans(nullptr);
+  ASSERT_TRUE(fault_free.ok()) << fault_free.status().ToString();
+  ASSERT_FALSE(fault_free->files.empty());
+  EXPECT_EQ(fault_free->stats.attempts, 1);
+  EXPECT_EQ(fault_free->stats.recomputed_bags, 0);
+
+  sim::FaultPlan plan;
+  plan.crashes.push_back({.machine = 1,
+                          .at = MidLoopCrashTime(0.4),
+                          .restart_after = 0.5});
+  auto crashed = RunKMeans(&plan);
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  EXPECT_GE(crashed->stats.attempts, 2);
+  EXPECT_GT(crashed->stats.recovery_seconds, 0.0);
+  EXPECT_GT(crashed->stats.recomputed_bags, 0);
+  EXPECT_GT(crashed->stats.total_seconds, fault_free->stats.total_seconds);
+  ExpectSameFiles(*fault_free, *crashed);
+}
+
+TEST(RecoveryTest, FaultedRunIsDeterministic) {
+  sim::FaultPlan plan;
+  plan.crashes.push_back({.machine = 1,
+                          .at = MidLoopCrashTime(0.4),
+                          .restart_after = 0.5});
+  plan.drop_probability = 0.01;
+  auto first = RunKMeans(&plan);
+  auto second = RunKMeans(&plan);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // The whole failure + recovery timeline replays exactly.
+  EXPECT_EQ(first->stats.total_seconds, second->stats.total_seconds);
+  EXPECT_EQ(first->stats.recovery_seconds, second->stats.recovery_seconds);
+  EXPECT_EQ(first->stats.attempts, second->stats.attempts);
+  EXPECT_EQ(first->stats.recomputed_bags, second->stats.recomputed_bags);
+  EXPECT_EQ(first->stats.cluster.dropped_messages,
+            second->stats.cluster.dropped_messages);
+  ExpectSameFiles(*first, *second);
+}
+
+TEST(RecoveryTest, CheckpointModeRecoversByteIdentical) {
+  auto fault_free = RunKMeans(nullptr);
+  ASSERT_TRUE(fault_free.ok());
+
+  sim::FaultPlan plan;
+  plan.crashes.push_back({.machine = 2,
+                          .at = MidLoopCrashTime(0.6),
+                          .restart_after = 0.5});
+  plan.checkpoint_every = 2;
+  auto ckpt = RunKMeans(&plan);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_GE(ckpt->stats.attempts, 2);
+  EXPECT_GT(ckpt->stats.checkpoints, 0);
+  ExpectSameFiles(*fault_free, *ckpt);
+}
+
+TEST(RecoveryTest, PermanentCrashExhaustsAttempts) {
+  sim::FaultPlan plan;
+  plan.crashes.push_back(
+      {.machine = 1, .at = MidLoopCrashTime(0.4)});  // never restarts
+  plan.max_attempts = 3;
+  auto outcome = RunKMeans(&plan);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RecoveryTest, MessageDropsRetransmitToTheSameResult) {
+  auto fault_free = RunKMeans(nullptr);
+  ASSERT_TRUE(fault_free.ok());
+
+  sim::FaultPlan plan;
+  plan.drop_probability = 0.02;
+  auto dropped = RunKMeans(&plan);
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(dropped->stats.attempts, 1);  // retransmits, not re-execution
+  EXPECT_GT(dropped->stats.cluster.dropped_messages, 0);
+  EXPECT_GE(dropped->stats.total_seconds, fault_free->stats.total_seconds);
+  ExpectSameFiles(*fault_free, *dropped);
+}
+
+TEST(RecoveryTest, SlowNodeSkewsTimeNotResults) {
+  auto fault_free = RunKMeans(nullptr);
+  ASSERT_TRUE(fault_free.ok());
+
+  sim::FaultPlan plan;
+  plan.slowdowns.push_back({.machine = 1, .multiplier = 4.0});
+  auto slowed = RunKMeans(&plan);
+  ASSERT_TRUE(slowed.ok()) << slowed.status().ToString();
+  EXPECT_EQ(slowed->stats.attempts, 1);
+  EXPECT_GT(slowed->stats.total_seconds, fault_free->stats.total_seconds);
+  ExpectSameFiles(*fault_free, *slowed);
+}
+
+TEST(RecoveryTest, StatsLineMentionsRecoveryOnlyWhenItHappened) {
+  auto fault_free = RunKMeans(nullptr);
+  ASSERT_TRUE(fault_free.ok());
+  EXPECT_EQ(fault_free->stats.ToString().find("attempts="), std::string::npos);
+
+  sim::FaultPlan plan;
+  plan.crashes.push_back({.machine = 1,
+                          .at = MidLoopCrashTime(0.4),
+                          .restart_after = 0.5});
+  auto crashed = RunKMeans(&plan);
+  ASSERT_TRUE(crashed.ok());
+  EXPECT_NE(crashed->stats.ToString().find("attempts="), std::string::npos);
+  EXPECT_NE(crashed->stats.ToString().find("recomputed="), std::string::npos);
+}
+
+TEST(RecoveryTest, NonMitosEnginesRejectFaultPlans) {
+  sim::FaultPlan plan;
+  plan.crashes.push_back({.machine = 0, .at = 1.0});
+  sim::SimFileSystem fs = KMeansInputs();
+  api::RunConfig config;
+  config.machines = 4;
+  config.faults = &plan;
+  auto result = api::Run(api::EngineKind::kSpark, KMeans(), &fs, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(RecoveryTest, OutOfRangeMachineIsRejected) {
+  sim::FaultPlan plan;
+  plan.crashes.push_back({.machine = 99, .at = 1.0});
+  auto outcome = RunKMeans(&plan);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecoveryTest, EmptyPlanIsIdenticalToNoPlan) {
+  auto no_plan = RunKMeans(nullptr);
+  sim::FaultPlan empty;
+  auto with_empty = RunKMeans(&empty);
+  ASSERT_TRUE(no_plan.ok());
+  ASSERT_TRUE(with_empty.ok());
+  EXPECT_EQ(no_plan->stats.total_seconds, with_empty->stats.total_seconds);
+  ExpectSameFiles(*no_plan, *with_empty);
+}
+
+}  // namespace
+}  // namespace mitos::runtime

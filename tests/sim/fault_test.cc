@@ -1,0 +1,259 @@
+// Fault plan parsing and the cluster-level fault model: crash/restart
+// epochs, dropped work and deliveries, slowdowns, and seeded message drops.
+#include "sim/fault.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace mitos::sim {
+namespace {
+
+ClusterConfig TestConfig() {
+  ClusterConfig config;
+  config.num_machines = 3;
+  config.cores_per_machine = 2;
+  config.net_latency = 0.001;
+  config.net_bandwidth = 1e6;
+  config.local_latency = 0.0001;
+  config.local_bandwidth = 1e8;
+  config.disk_bandwidth = 1e6;
+  return config;
+}
+
+TEST(FaultPlanTest, ParsesFullSpec) {
+  auto plan = FaultPlan::Parse(
+      "crash=1@2.5+0.5; drop=0.01@7; slow=2x4; hb=0.1/0.5; stall=3; "
+      "retry=0.02/9; rto=0.01; ckpt=2; attempts=5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->crashes.size(), 1u);
+  EXPECT_EQ(plan->crashes[0].machine, 1);
+  EXPECT_DOUBLE_EQ(plan->crashes[0].at, 2.5);
+  EXPECT_DOUBLE_EQ(plan->crashes[0].restart_after, 0.5);
+  EXPECT_DOUBLE_EQ(plan->drop_probability, 0.01);
+  EXPECT_EQ(plan->drop_seed, 7u);
+  ASSERT_EQ(plan->slowdowns.size(), 1u);
+  EXPECT_EQ(plan->slowdowns[0].machine, 2);
+  EXPECT_DOUBLE_EQ(plan->slowdowns[0].multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(plan->heartbeat_interval, 0.1);
+  EXPECT_DOUBLE_EQ(plan->heartbeat_timeout, 0.5);
+  EXPECT_DOUBLE_EQ(plan->stall_timeout, 3.0);
+  EXPECT_DOUBLE_EQ(plan->retry_backoff, 0.02);
+  EXPECT_EQ(plan->max_broadcast_retries, 9);
+  EXPECT_DOUBLE_EQ(plan->retransmit_delay, 0.01);
+  EXPECT_EQ(plan->checkpoint_every, 2);
+  EXPECT_EQ(plan->max_attempts, 5);
+  EXPECT_FALSE(plan->empty());
+}
+
+TEST(FaultPlanTest, PermanentCrashHasNoRestart) {
+  auto plan = FaultPlan::Parse("crash=0@1.5");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->crashes.size(), 1u);
+  EXPECT_LT(plan->crashes[0].restart_after, 0);
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  auto plan = FaultPlan::Parse("crash=1@2.5+0.5; drop=0.25@3; slow=0x2");
+  ASSERT_TRUE(plan.ok());
+  auto again = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(again.ok()) << plan->ToString();
+  EXPECT_EQ(again->ToString(), plan->ToString());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("crash=zap").ok());
+  EXPECT_FALSE(FaultPlan::Parse("crash=1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("drop=2.0").ok());
+  EXPECT_FALSE(FaultPlan::Parse("slow=1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("bogus=1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("ckpt=1.5").ok());
+}
+
+TEST(FaultPlanTest, EmptyPlanVariants) {
+  EXPECT_TRUE(FaultPlan{}.empty());
+  auto parsed = FaultPlan::Parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ClusterFaultTest, EpochTimelineFollowsCrashAndRestart) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  plan.crashes.push_back({.machine = 1, .at = 1.0, .restart_after = 0.5});
+  cluster.InstallFaultPlan(&plan);
+
+  std::vector<int> epochs;
+  std::vector<bool> up;
+  for (double t : {0.5, 1.2, 2.0}) {
+    sim.Schedule(t, [&] {
+      epochs.push_back(cluster.machine_epoch(1));
+      up.push_back(cluster.machine_up(1));
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(epochs, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(up, (std::vector<bool>{true, false, true}));
+  // Unaffected machines never change epoch.
+  EXPECT_EQ(cluster.machine_epoch(0), 0);
+  EXPECT_TRUE(cluster.machine_up(0));
+}
+
+TEST(ClusterFaultTest, MachineUpTimeReportsRestart) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  plan.crashes.push_back({.machine = 1, .at = 1.0, .restart_after = 0.5});
+  plan.crashes.push_back({.machine = 2, .at = 1.0});  // gone for good
+  cluster.InstallFaultPlan(&plan);
+  double up1 = 0, up2 = 0;
+  sim.Schedule(1.2, [&] {
+    up1 = cluster.machine_up_time(1);
+    up2 = cluster.machine_up_time(2);
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(up1, 1.5);
+  EXPECT_TRUE(std::isinf(up2));
+}
+
+TEST(ClusterFaultTest, CrashDropsCpuCompletionButChargesTheWork) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  plan.crashes.push_back({.machine = 0, .at = 0.5, .restart_after = 0.1});
+  cluster.InstallFaultPlan(&plan);
+  bool finished = false;
+  cluster.ExecCpu(0, 1.0, [&] { finished = true; });  // would finish at 1.0
+  sim.Run();
+  EXPECT_FALSE(finished);  // the machine crashed mid-execution
+  EXPECT_DOUBLE_EQ(cluster.metrics().cpu_seconds, 1.0);  // wasted, but spent
+}
+
+TEST(ClusterFaultTest, WorkIssuedOnDeadMachineIsDropped) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  plan.crashes.push_back({.machine = 0, .at = 0.5});
+  cluster.InstallFaultPlan(&plan);
+  bool finished = false;
+  sim.Schedule(1.0, [&] { cluster.ExecCpu(0, 0.1, [&] { finished = true; }); });
+  sim.Run();
+  EXPECT_FALSE(finished);
+  EXPECT_DOUBLE_EQ(cluster.metrics().cpu_seconds, 0.0);  // never started
+}
+
+TEST(ClusterFaultTest, CrashDropsInFlightDelivery) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  // 1 MB at 1 MB/s arrives at ~1.001s; the receiver dies at 0.5.
+  plan.crashes.push_back({.machine = 1, .at = 0.5, .restart_after = 1.0});
+  cluster.InstallFaultPlan(&plan);
+  bool arrived = false;
+  cluster.Send(0, 1, 1'000'000, [&] { arrived = true; });
+  sim.Run();
+  EXPECT_FALSE(arrived);
+}
+
+TEST(ClusterFaultTest, RestartResetsResourceClocks) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  plan.crashes.push_back({.machine = 0, .at = 5.0, .restart_after = 1.0});
+  cluster.InstallFaultPlan(&plan);
+  // Saturate both cores well past the crash...
+  cluster.ExecCpu(0, 100.0, [] {});
+  cluster.ExecCpu(0, 100.0, [] {});
+  // ...then run fresh work after the restart: it must not wait for the
+  // pre-crash occupancy (the restarted machine comes back idle).
+  double done_at = 0;
+  sim.Schedule(7.0, [&] { cluster.ExecCpu(0, 1.0, [&] { done_at = sim.now(); }); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at, 8.0);
+}
+
+TEST(ClusterFaultTest, SlowdownMultipliesCpuTime) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  plan.slowdowns.push_back({.machine = 1, .multiplier = 4.0});
+  cluster.InstallFaultPlan(&plan);
+  double fast = 0, slow = 0;
+  cluster.ExecCpu(0, 1.0, [&] { fast = sim.now(); });
+  cluster.ExecCpu(1, 1.0, [&] { slow = sim.now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fast, 1.0);
+  EXPECT_DOUBLE_EQ(slow, 4.0);
+}
+
+TEST(ClusterFaultTest, CertainDropRetransmitsThenGivesUp) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  plan.max_retransmits = 3;
+  cluster.InstallFaultPlan(&plan);
+  bool arrived = false;
+  cluster.Send(0, 1, 1000, [&] { arrived = true; });
+  sim.Run();
+  EXPECT_FALSE(arrived);
+  // The original try plus 3 retransmits, all dropped.
+  EXPECT_EQ(cluster.metrics().dropped_messages, 4);
+  EXPECT_EQ(cluster.metrics().messages, 4);
+}
+
+TEST(ClusterFaultTest, DropDecisionsAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    Cluster cluster(&sim, TestConfig());
+    FaultPlan plan;
+    plan.drop_probability = 0.5;
+    plan.drop_seed = seed;
+    cluster.InstallFaultPlan(&plan);
+    std::vector<double> arrivals;
+    for (int i = 0; i < 20; ++i) {
+      cluster.Send(0, 1, 1000, [&] { arrivals.push_back(sim.now()); });
+    }
+    sim.Run();
+    return std::make_pair(arrivals, cluster.metrics().dropped_messages);
+  };
+  auto a = run(17), b = run(17), c = run(99);
+  EXPECT_EQ(a, b);           // same seed, same timeline
+  EXPECT_GT(a.second, 0);    // p=0.5 over 20 sends: some drops
+  EXPECT_NE(a, c);           // a different seed perturbs the timeline
+}
+
+TEST(ClusterFaultTest, DroppedMessagesStillArriveViaRetransmit) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan plan;
+  plan.drop_probability = 0.5;
+  cluster.InstallFaultPlan(&plan);
+  int arrived = 0;
+  for (int i = 0; i < 20; ++i) {
+    cluster.Send(0, 1, 1000, [&] { ++arrived; });
+  }
+  sim.Run();
+  // With max_retransmits=16 every message eventually gets through.
+  EXPECT_EQ(arrived, 20);
+  EXPECT_GT(cluster.metrics().dropped_messages, 0);
+}
+
+TEST(ClusterFaultTest, EmptyPlanInstallIsInert) {
+  Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  FaultPlan empty;
+  cluster.InstallFaultPlan(&empty);
+  double arrived = 0;
+  cluster.Send(0, 1, 1000, [&] { arrived = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(arrived, 0.002, 1e-9);
+  EXPECT_EQ(cluster.metrics().dropped_messages, 0);
+}
+
+}  // namespace
+}  // namespace mitos::sim

@@ -95,6 +95,46 @@ TEST(SimulatorTest, RunIsRestartable) {
   EXPECT_DOUBLE_EQ(sim.Run(), 3.0);
 }
 
+TEST(SimulatorTest, BackgroundEventsDoNotHoldTheBarrier) {
+  // Background events (heartbeats, ack-retry timers) run only once all
+  // foreground work AND pending idle callbacks are done: a barrier must
+  // not wait for a watchdog scheduled far in the future.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleBackground(10.0, [&] { order.push_back(99); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.ScheduleWhenIdle([&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 99}));
+}
+
+TEST(SimulatorTest, BackgroundEventsMayScheduleForegroundWork) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleBackground(1.0, [&] {
+    order.push_back(1);
+    sim.ScheduleAfter(0.5, [&] { order.push_back(2); });
+  });
+  sim.ScheduleWhenIdle([&] { order.push_back(3); });
+  sim.Run();
+  // The barrier fires before the background timer; the foreground work the
+  // timer spawns still runs to completion.
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(SimulatorTest, BusyUntilExcludesTrailingBackgroundEvents) {
+  // busy_until() is the completion time of real work — a watchdog that
+  // fires long after the job drained must not inflate the reported
+  // makespan.
+  Simulator sim;
+  sim.Schedule(2.0, [] {});
+  sim.ScheduleBackground(50.0, [] {});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+  EXPECT_DOUBLE_EQ(sim.busy_until(), 2.0);
+}
+
 TEST(SimulatorDeathTest, RejectsSchedulingInThePast) {
   Simulator sim;
   sim.Schedule(5.0, [&] {

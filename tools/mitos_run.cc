@@ -20,6 +20,10 @@
 //                       timeline as JSON
 //   --profile           print the per-operator CPU table and the per-step
 //                       timeline (step index, path, barrier wait, data moved)
+//   --faults=SPEC       deterministic fault injection (Mitos engines only):
+//                       "crash=M@T[+R]; drop=P[@SEED]; slow=MxF; ckpt=K"
+//                       e.g. --faults="crash=1@2.5+0.5" crashes machine 1 at
+//                       t=2.5s and restarts it 0.5s later (see sim/fault.h)
 //
 // Logging: MITOS_LOG_LEVEL=info|warning|error and MITOS_VLOG=N environment
 // variables control diagnostic output on stderr (see src/common/logging.h).
@@ -37,6 +41,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/translator.h"
+#include "sim/fault.h"
 
 namespace {
 
@@ -75,7 +80,8 @@ int main(int argc, char** argv) {
   int machines = 4;
   bool dump_ir = false, dump_dot = false, show_files = false;
   bool profile = false;
-  std::string trace_out, metrics_out;
+  std::string trace_out, metrics_out, faults_spec;
+  bool have_faults = false;
   sim::SimFileSystem fs;
   std::vector<std::string> input_files;
 
@@ -129,6 +135,9 @@ int main(int argc, char** argv) {
       trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = value_of("--metrics-out=");
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_spec = value_of("--faults=");
+      have_faults = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Fail("unknown flag: " + arg);
     } else {
@@ -181,9 +190,18 @@ int main(int argc, char** argv) {
 
   obs::TraceRecorder trace;
   obs::MetricsRegistry metrics;
+  sim::FaultPlan fault_plan;
   api::RunConfig config{.machines = machines};
   if (!trace_out.empty()) config.trace = &trace;
   if (!metrics_out.empty() || profile) config.metrics = &metrics;
+  if (have_faults) {
+    auto parsed = sim::FaultPlan::Parse(faults_spec);
+    if (!parsed.ok()) {
+      return Fail("bad --faults spec: " + parsed.status().ToString());
+    }
+    fault_plan = *parsed;
+    config.faults = &fault_plan;
+  }
 
   auto result = api::Run(engine, *program, &fs, config);
   if (!result.ok()) {
