@@ -18,27 +18,54 @@
 
 #include "api/engine.h"
 #include "common/logging.h"
+#include "obs/analysis/analysis.h"
+#include "obs/analysis/baseline.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/filesystem.h"
 
 namespace mitos::bench {
 
-// Destination for per-run metrics dumps; empty means disabled.
-inline std::string& MetricsOutPath() {
-  static std::string path;
-  return path;
+// Per-process harness state set by ParseBenchArgs.
+struct BenchContext {
+  std::string figure;        // e.g. "fig9"; names baseline entries
+  std::string metrics_out;   // --metrics-out=FILE (JSON Lines), "" = off
+  std::string baseline_out;  // --baseline-out=FILE (BENCH_*.json), "" = off
+  obs::analysis::BaselineFile baseline;
+  int run_index = 0;
+};
+
+inline BenchContext& Context() {
+  static BenchContext context;
+  return context;
 }
 
-// Benchmarks accept one optional flag: --metrics-out=FILE. When set, every
-// RunOrDie invocation appends one JSON line {"run", "engine", "metrics"} to
-// FILE (JSON Lines — one object per benchmark run).
-inline void ParseBenchArgs(int argc, char** argv) {
-  constexpr const char kPrefix[] = "--metrics-out=";
+// Destination for per-run metrics dumps; empty means disabled.
+inline std::string& MetricsOutPath() { return Context().metrics_out; }
+
+// Benchmarks accept two optional flags:
+//   --metrics-out=FILE   append one JSON line {"run","engine","metrics"}
+//                        per RunOrDie invocation (JSON Lines)
+//   --baseline-out=FILE  write a bench-regression baseline (the committed
+//                        BENCH_<figure>.json files): per run, the
+//                        virtual-time total plus the critical-path
+//                        decomposition from the post-run analyzer. Compare
+//                        two baselines with tools/bench_diff.
+// `figure` is the benchmark's stable name ("fig9"); it keys baseline
+// entries so bench_diff can match runs across builds.
+inline void ParseBenchArgs(int argc, char** argv, const char* figure) {
+  BenchContext& context = Context();
+  context.figure = figure;
+  context.baseline.figure = figure;
+  constexpr const char kMetricsPrefix[] = "--metrics-out=";
+  constexpr const char kBaselinePrefix[] = "--baseline-out=";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind(kPrefix, 0) == 0) {
-      MetricsOutPath() = arg.substr(sizeof(kPrefix) - 1);
-      std::ofstream(MetricsOutPath(), std::ios::trunc);  // start fresh
+    if (arg.rfind(kMetricsPrefix, 0) == 0) {
+      context.metrics_out = arg.substr(sizeof(kMetricsPrefix) - 1);
+      std::ofstream(context.metrics_out, std::ios::trunc);  // start fresh
+    } else if (arg.rfind(kBaselinePrefix, 0) == 0) {
+      context.baseline_out = arg.substr(sizeof(kBaselinePrefix) - 1);
     } else {
       std::fprintf(stderr, "ignoring unknown flag: %s\n", arg.c_str());
     }
@@ -69,23 +96,47 @@ inline runtime::RunStats RunOrDie(api::EngineKind engine,
                                   const lang::Program& program,
                                   const sim::SimFileSystem& inputs,
                                   const api::RunConfig& config) {
+  BenchContext& context = Context();
   sim::SimFileSystem fs = inputs;
   obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
   api::RunConfig run_config = config;
-  if (!MetricsOutPath().empty()) run_config.metrics = &metrics;
+  const bool want_baseline = !context.baseline_out.empty();
+  if (!context.metrics_out.empty() || want_baseline) {
+    run_config.metrics = &metrics;
+  }
+  // Purely observational (regression-tested): attaching the recorder never
+  // changes virtual time, so baselines match unobserved runs byte for byte.
+  if (want_baseline) run_config.trace = &trace;
   auto result = api::Run(engine, program, &fs, run_config);
   MITOS_CHECK(result.ok()) << api::EngineKindName(engine) << ": "
                            << result.status().ToString();
-  if (!MetricsOutPath().empty()) {
-    static int run_index = 0;
+  const int run_index = context.run_index++;
+  if (!context.metrics_out.empty()) {
     std::string json = metrics.ToJson();
     while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) {
       json.pop_back();
     }
-    std::ofstream out(MetricsOutPath(), std::ios::app);
-    out << "{\"run\": " << run_index++ << ", \"engine\": \""
+    std::ofstream out(context.metrics_out, std::ios::app);
+    out << "{\"run\": " << run_index << ", \"engine\": \""
         << api::EngineKindName(engine) << "\", \"metrics\": " << json
         << "}\n";
+  }
+  if (want_baseline) {
+    obs::analysis::RunAnalysis analysis =
+        obs::analysis::Analyze(trace, &metrics);
+    obs::analysis::BaselineEntry entry;
+    entry.engine = api::EngineKindName(engine);
+    entry.machines = config.machines;
+    entry.key = context.figure + "/" + std::to_string(run_index) + "/" +
+                entry.engine + "/" + std::to_string(config.machines) + "m";
+    entry.total_seconds = result->stats.total_seconds;
+    entry.decomposition = analysis.decomposition;
+    context.baseline.entries.push_back(std::move(entry));
+    // Rewritten after every run so a partial bench still leaves a valid
+    // (prefix) baseline on disk.
+    std::ofstream(context.baseline_out, std::ios::trunc)
+        << context.baseline.ToJson();
   }
   return result->stats;
 }

@@ -60,7 +60,7 @@ void Main() {
 }  // namespace mitos::bench
 
 int main(int argc, char** argv) {
-  mitos::bench::ParseBenchArgs(argc, argv);
+  mitos::bench::ParseBenchArgs(argc, argv, "fig1");
   mitos::bench::Main();
   return 0;
 }

@@ -54,7 +54,7 @@ void Main() {
 }  // namespace mitos::bench
 
 int main(int argc, char** argv) {
-  mitos::bench::ParseBenchArgs(argc, argv);
+  mitos::bench::ParseBenchArgs(argc, argv, "fig5");
   mitos::bench::Main();
   return 0;
 }

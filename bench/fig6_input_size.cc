@@ -75,7 +75,7 @@ void Main() {
 }  // namespace mitos::bench
 
 int main(int argc, char** argv) {
-  mitos::bench::ParseBenchArgs(argc, argv);
+  mitos::bench::ParseBenchArgs(argc, argv, "fig6");
   mitos::bench::Main();
   return 0;
 }

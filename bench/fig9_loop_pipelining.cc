@@ -49,7 +49,7 @@ void Main() {
 }  // namespace mitos::bench
 
 int main(int argc, char** argv) {
-  mitos::bench::ParseBenchArgs(argc, argv);
+  mitos::bench::ParseBenchArgs(argc, argv, "fig9");
   mitos::bench::Main();
   return 0;
 }

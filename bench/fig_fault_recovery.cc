@@ -102,7 +102,7 @@ void Main() {
 }  // namespace mitos::bench
 
 int main(int argc, char** argv) {
-  mitos::bench::ParseBenchArgs(argc, argv);
+  mitos::bench::ParseBenchArgs(argc, argv, "fig_fault_recovery");
   mitos::bench::Main();
   return 0;
 }

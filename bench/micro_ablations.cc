@@ -148,7 +148,7 @@ void ChunkSizeAblation() {
 }  // namespace mitos::bench
 
 int main(int argc, char** argv) {
-  mitos::bench::ParseBenchArgs(argc, argv);
+  mitos::bench::ParseBenchArgs(argc, argv, "micro_ablations");
   mitos::bench::DeadCodeAblation();
   mitos::bench::DiscardRuleAblation();
   mitos::bench::FusionAblation();

@@ -184,4 +184,23 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
   return result;
 }
 
+StatusOr<RunResult> Engine::Run(const lang::Program& program,
+                                sim::SimFileSystem* fs) {
+  StatusOr<RunResult> result = api::Run(kind_, program, fs, config_);
+  if (result.ok()) {
+    last_operator_cpu_ = result->stats.operator_cpu;
+    has_profile_ = true;
+  }
+  return result;
+}
+
+StatusOr<obs::analysis::ExplainPlan> Engine::Explain(
+    const lang::Program& program) const {
+  obs::analysis::ExplainOptions options;
+  options.machines = config_.machines;
+  options.operator_fusion = config_.mitos_operator_fusion;
+  if (has_profile_) options.operator_cpu = last_operator_cpu_;
+  return obs::analysis::BuildExplain(program, options);
+}
+
 }  // namespace mitos::api

@@ -11,10 +11,13 @@
 #ifndef MITOS_API_ENGINE_H_
 #define MITOS_API_ENGINE_H_
 
+#include <map>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 #include "lang/ast.h"
+#include "obs/analysis/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/executor.h"
@@ -97,6 +100,41 @@ struct RunResult {
 // too). Each call uses a fresh simulator/cluster; virtual time starts at 0.
 StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
                         sim::SimFileSystem* fs, const RunConfig& config = {});
+
+// Stateful engine handle: the same Run() entry point, plus plan EXPLAIN.
+// Remembers the per-operator CPU profile of the most recent successful
+// Run(), which Explain() back-fills into the exported plan — so
+//
+//   api::Engine engine(api::EngineKind::kMitos, {.machines = 8});
+//   engine.Run(program, &fs);
+//   std::cout << engine.Explain(program)->ToDot();
+//
+// prints the AST → SSA → dataflow plan with measured operator costs.
+class Engine {
+ public:
+  explicit Engine(EngineKind kind, RunConfig config = {})
+      : kind_(kind), config_(std::move(config)) {}
+
+  EngineKind kind() const { return kind_; }
+  const RunConfig& config() const { return config_; }
+
+  StatusOr<RunResult> Run(const lang::Program& program,
+                          sim::SimFileSystem* fs);
+
+  // Compile-only: exports the plan this engine would execute (same IR
+  // pipeline as the Mitos engines — DCE, optional fusion, translation).
+  // Never advances virtual time. Costs are annotated when a prior Run()
+  // profiled the program; pass `profile = nullptr` explicitly via
+  // ExplainOptions to suppress.
+  StatusOr<obs::analysis::ExplainPlan> Explain(
+      const lang::Program& program) const;
+
+ private:
+  EngineKind kind_;
+  RunConfig config_;
+  bool has_profile_ = false;
+  std::map<std::string, double> last_operator_cpu_;
+};
 
 }  // namespace mitos::api
 

@@ -1,0 +1,209 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mitos::json {
+
+// File-local in spirit; a named class so Value's friend declaration binds.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Value> Run() {
+    StatusOr<Value> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* word) {
+    size_t len = 0;
+    while (word[len] != '\0') ++len;
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  StatusOr<Value> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't':
+        if (ConsumeLiteral("true")) return MakeBool(true);
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return MakeBool(false);
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Value{};
+        return Error("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  static Value MakeBool(bool b) {
+    Value v;
+    v.kind_ = Value::Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  StatusOr<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    double number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number " + token);
+    Value v;
+    v.kind_ = Value::Kind::kNumber;
+    v.number_ = number;
+    return v;
+  }
+
+  StatusOr<Value> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        Value v;
+        v.kind_ = Value::Kind::kString;
+        v.string_ = std::move(out);
+        return v;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // ASCII only (all our writers emit); others become '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<Value> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    Value v;
+    v.kind_ = Value::Kind::kArray;
+    if (Consume(']')) return v;
+    while (true) {
+      StatusOr<Value> element = ParseValue();
+      if (!element.ok()) return element;
+      v.array_.push_back(std::move(*element));
+      if (Consume(']')) return v;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Value> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    Value v;
+    v.kind_ = Value::Kind::kObject;
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      StatusOr<Value> key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Error("expected ':'");
+      StatusOr<Value> member = ParseValue();
+      if (!member.ok()) return member;
+      v.object_[key->string()] = std::move(*member);
+      if (Consume('}')) return v;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+const Value* Value::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double Value::NumberOr(const std::string& key, double fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+std::string Value::StringOr(const std::string& key,
+                            const std::string& fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string() : fallback;
+}
+
+StatusOr<Value> Value::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace mitos::json

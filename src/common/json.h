@@ -1,0 +1,63 @@
+// Minimal JSON value tree + recursive-descent parser.
+//
+// The observability layer *emits* JSON by string concatenation (fixed
+// formatting keeps exports byte-deterministic); this is the read side:
+// bench baselines (obs/analysis/baseline.h) and tools/bench_diff parse
+// previously-written files back. Scope is deliberately small — UTF-8
+// passthrough, no \uXXXX decoding beyond ASCII, doubles for all numbers —
+// which is exactly what our own writers produce.
+#ifndef MITOS_COMMON_JSON_H_
+#define MITOS_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mitos::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<Value>& array() const { return array_; }
+  const std::map<std::string, Value>& object() const { return object_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+  // Convenience accessors with defaults (missing/mistyped -> fallback).
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  // Parses exactly one JSON document (trailing whitespace allowed).
+  static StatusOr<Value> Parse(const std::string& text);
+
+ private:
+  friend class Parser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+}  // namespace mitos::json
+
+#endif  // MITOS_COMMON_JSON_H_

@@ -1,5 +1,6 @@
 #include "dataflow/graph.h"
 
+#include <cstdio>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -69,6 +70,11 @@ std::string ToString(const LogicalGraph& graph) {
 }
 
 std::string ToDot(const LogicalGraph& graph) {
+  return ToDot(graph, {});
+}
+
+std::string ToDot(const LogicalGraph& graph,
+                  const std::map<std::string, double>& operator_cpu) {
   std::ostringstream out;
   out << "digraph mitos {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
   // Cluster nodes by basic block (the dotted rectangles of Fig. 3b).
@@ -81,7 +87,14 @@ std::string ToDot(const LogicalGraph& graph) {
         << "    label=\"block " << block << "\"; style=dotted;\n";
     for (const LogicalNode* node : nodes) {
       out << "    n" << node->id << " [label=\"" << node->name << "\\n"
-          << NodeKindName(node->kind) << " x" << node->parallelism << "\"";
+          << NodeKindName(node->kind) << " x" << node->parallelism;
+      if (auto it = operator_cpu.find(node->name);
+          it != operator_cpu.end()) {
+        char cost[48];
+        std::snprintf(cost, sizeof(cost), "\\n%.4fs cpu", it->second);
+        out << cost;
+      }
+      out << "\"";
       if (node->kind == NodeKind::kPhi) {
         out << ", style=filled, fillcolor=black, fontcolor=white";
       } else if (node->kind == NodeKind::kCondition) {

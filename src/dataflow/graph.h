@@ -9,6 +9,7 @@
 #ifndef MITOS_DATAFLOW_GRAPH_H_
 #define MITOS_DATAFLOW_GRAPH_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -114,8 +115,12 @@ std::string ToString(const LogicalGraph& graph);
 
 // GraphViz rendering in the style of the paper's Figure 3b: nodes grouped
 // into basic-block clusters, Φ nodes filled black, condition nodes
-// colored, conditional edges dashed.
+// colored, conditional edges dashed. With `operator_cpu` (busy-CPU seconds
+// per operator name, e.g. RunStats::operator_cpu from a profiled run),
+// node labels carry the measured cost — the EXPLAIN back-fill.
 std::string ToDot(const LogicalGraph& graph);
+std::string ToDot(const LogicalGraph& graph,
+                  const std::map<std::string, double>& operator_cpu);
 
 }  // namespace mitos::dataflow
 

@@ -1,0 +1,73 @@
+// Bench-regression baselines: the schema behind the BENCH_fig*.json files.
+//
+// Each figure benchmark (bench/fig*.cc, via bench_util's --baseline-out
+// flag) emits one baseline file: per benchmark run, the virtual-time total
+// plus the critical-path decomposition from the post-run analyzer. The
+// files are byte-deterministic — virtual time does not depend on the host —
+// so a committed baseline diffs cleanly against a fresh CI run.
+//
+// tools/bench_diff compares two baseline files with Compare() and exits
+// non-zero when any run's virtual time regressed beyond the threshold.
+#ifndef MITOS_OBS_ANALYSIS_BASELINE_H_
+#define MITOS_OBS_ANALYSIS_BASELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mitos::obs::analysis {
+
+struct BaselineEntry {
+  // Stable identity of one benchmark run within a figure:
+  // "<figure>/<run_index>/<engine>/<machines>m". Run order inside a figure
+  // binary is fixed, so keys match across builds.
+  std::string key;
+  std::string engine;
+  int machines = 0;
+  double total_seconds = 0;
+  // Critical-path seconds by segment kind (analysis.h constants).
+  std::map<std::string, double> decomposition;
+};
+
+struct BaselineFile {
+  std::string figure;
+  std::vector<BaselineEntry> entries;
+
+  std::string ToJson() const;  // deterministic
+  static StatusOr<BaselineFile> Parse(const std::string& json_text);
+  static StatusOr<BaselineFile> Load(const std::string& path);
+};
+
+struct BaselineDiff {
+  struct Row {
+    std::string key;
+    double base_seconds = 0;
+    double current_seconds = 0;
+    double ratio = 1;  // current / base
+    bool regression = false;
+    bool improvement = false;
+  };
+  std::vector<Row> rows;
+  // Keys present in the base but absent from the current run (a shrunk
+  // bench counts as a failure) / new keys the baseline doesn't know yet.
+  std::vector<std::string> missing;
+  std::vector<std::string> added;
+  int regressions = 0;
+  int improvements = 0;
+
+  bool failed() const { return regressions > 0 || !missing.empty(); }
+  std::string ToString() const;
+};
+
+// Compares virtual-time totals entry by entry. A run regressed when
+// current > base * (1 + threshold); improved when current < base *
+// (1 - threshold). Decompositions ride along in the report for diagnosis
+// but never trip the check on their own.
+BaselineDiff Compare(const BaselineFile& base, const BaselineFile& current,
+                     double threshold = 0.10);
+
+}  // namespace mitos::obs::analysis
+
+#endif  // MITOS_OBS_ANALYSIS_BASELINE_H_

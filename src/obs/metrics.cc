@@ -45,6 +45,35 @@ void HistogramData::Observe(double value) {
   ++buckets[static_cast<size_t>(i)];
 }
 
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0) return min;
+  if (q >= 1) return max;
+  // Rank of the requested quantile among `count` observations (1-based).
+  const double rank = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  double lower = 0;
+  double bound = kFirstBound;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t n = buckets[static_cast<size_t>(i)];
+    if (cumulative + n >= rank && n > 0) {
+      // Interpolate the rank's position inside [lower, bound]. The last
+      // bucket is a catch-all; its effective upper edge is the observed max.
+      double upper = i == kNumBuckets - 1 ? max : bound;
+      double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(n);
+      double value = lower + fraction * (upper - lower);
+      if (value < min) value = min;
+      if (value > max) value = max;
+      return value;
+    }
+    cumulative += n;
+    lower = bound;
+    if (i < kNumBuckets - 1) bound *= 2;
+  }
+  return max;
+}
+
 void MetricsRegistry::Inc(const std::string& name, int64_t delta) {
   counters_[name] += delta;
 }
@@ -101,6 +130,12 @@ std::string MetricsRegistry::ToJson() const {
     AppendDouble(&out, h.min);
     out += ",\"max\":";
     AppendDouble(&out, h.max);
+    out += ",\"p50\":";
+    AppendDouble(&out, h.p50());
+    out += ",\"p95\":";
+    AppendDouble(&out, h.p95());
+    out += ",\"p99\":";
+    AppendDouble(&out, h.p99());
     // Sparse bucket encoding: [bucket_index, count] pairs.
     out += ",\"buckets\":[";
     bool first_bucket = true;

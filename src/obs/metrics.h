@@ -36,6 +36,15 @@ struct HistogramData {
 
   void Observe(double value);
   double mean() const { return count == 0 ? 0 : sum / count; }
+
+  // Quantile estimate from the buckets (q in [0,1]): linear interpolation
+  // of the rank within the covering bucket, clamped to the exact [min, max]
+  // observed. Deterministic for a given observation multiset, so exported
+  // summaries (p50/p95/p99) stay byte-stable.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
 };
 
 // One control-flow step: a decision, its broadcast, and what moved.

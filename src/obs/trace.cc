@@ -82,6 +82,12 @@ int TraceRecorder::Lane(int pid, const std::string& name) {
   return tid;
 }
 
+const std::string& TraceRecorder::LaneName(int pid, int tid) const {
+  static const std::string kEmpty;
+  auto it = lane_names_.find({pid, tid});
+  return it == lane_names_.end() ? kEmpty : it->second;
+}
+
 void TraceRecorder::SetProcessName(int pid, const std::string& name) {
   process_names_[pid] = name;
 }

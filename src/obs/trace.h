@@ -117,6 +117,10 @@ class TraceRecorder {
   const std::map<int, std::string>& process_names() const {
     return process_names_;
   }
+  // Registered display name of lane (pid, tid); empty when unknown. The
+  // post-run analyzer (obs/analysis/) uses this to attribute spans back to
+  // operator instances ("op:<name>[i]") and resources ("cpu0", "nic-out").
+  const std::string& LaneName(int pid, int tid) const;
 
   // Counts events matching (phase, cat); either filter may be 0/nullptr
   // for "any". Convenience for tests and the --profile report.

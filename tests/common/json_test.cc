@@ -1,0 +1,74 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace mitos::json {
+namespace {
+
+TEST(JsonParseTest, ScalarsAndNesting) {
+  auto v = Value::Parse(
+      R"({"a": 1.5, "b": [true, false, null, -2e3], "c": {"d": "x"}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->NumberOr("a", 0), 1.5);
+
+  const Value* b = v->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array().size(), 4u);
+  EXPECT_TRUE(b->array()[0].boolean());
+  EXPECT_FALSE(b->array()[1].boolean());
+  EXPECT_TRUE(b->array()[2].is_null());
+  EXPECT_DOUBLE_EQ(b->array()[3].number(), -2000.0);
+
+  const Value* c = v->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->StringOr("d", ""), "x");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = Value::Parse(R"(["a\"b", "tab\there", "A\n"])");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_EQ(v->array().size(), 3u);
+  EXPECT_EQ(v->array()[0].string(), "a\"b");
+  EXPECT_EQ(v->array()[1].string(), "tab\there");
+  EXPECT_EQ(v->array()[2].string(), "A\n");
+}
+
+TEST(JsonParseTest, AccessorFallbacks) {
+  auto v = Value::Parse(R"({"num": 7, "str": "s"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->NumberOr("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(v->NumberOr("str", -1), -1);  // mistyped -> fallback
+  EXPECT_EQ(v->StringOr("num", "fb"), "fb");
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  Value not_object;
+  EXPECT_EQ(not_object.Find("x"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Value::Parse("").ok());
+  EXPECT_FALSE(Value::Parse("{").ok());
+  EXPECT_FALSE(Value::Parse("[1,]").ok());
+  EXPECT_FALSE(Value::Parse(R"({"a" 1})").ok());
+  EXPECT_FALSE(Value::Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(Value::Parse(R"("\q")").ok());
+  EXPECT_FALSE(Value::Parse("tru").ok());
+  EXPECT_FALSE(Value::Parse(R"("unterminated)").ok());
+}
+
+TEST(JsonParseTest, RoundTripsOurWriterOutput) {
+  // The exact shapes our observability writers emit.
+  auto v = Value::Parse(
+      "{\"figure\":\"fig9\",\"entries\":[\n"
+      " {\"key\":\"fig9/0/Mitos/4m\",\"total_seconds\":1.5e-05}\n"
+      "]}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const Value* entries = v->Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->array().size(), 1u);
+  EXPECT_DOUBLE_EQ(entries->array()[0].NumberOr("total_seconds", 0), 1.5e-05);
+}
+
+}  // namespace
+}  // namespace mitos::json

@@ -1,0 +1,180 @@
+#include "obs/analysis/analysis.h"
+
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "json_lint.h"
+#include "sim/fault.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::obs::analysis {
+namespace {
+
+using obs_testing::JsonLint;
+
+// Shared fixture data: the paper's Visit Count loop on a small input.
+struct Traced {
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+  double total_seconds = 0;
+};
+
+void RunTraced(api::EngineKind engine, int machines, Traced* t,
+               const sim::FaultPlan* faults = nullptr) {
+  sim::SimFileSystem fs;
+  workloads::GenerateVisitLogs(
+      &fs, {.days = 6, .entries_per_day = 400, .num_pages = 40});
+  lang::Program program = workloads::VisitCountProgram({.days = 6});
+  api::RunConfig config;
+  config.machines = machines;
+  config.trace = &t->trace;
+  config.metrics = &t->metrics;
+  config.faults = faults;
+  auto result = api::Run(engine, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  t->total_seconds = result->stats.total_seconds;
+}
+
+TEST(AnalysisTest, CriticalPathIsContiguousAndSumsToTotal) {
+  Traced t;
+  RunTraced(api::EngineKind::kMitos, 4, &t);
+  RunAnalysis analysis = Analyze(t.trace, &t.metrics);
+
+  EXPECT_DOUBLE_EQ(analysis.total_seconds, t.total_seconds);
+  EXPECT_EQ(analysis.num_machines, 4);
+  ASSERT_FALSE(analysis.critical_path.empty());
+
+  // Contiguous cover of [0, total_seconds].
+  EXPECT_NEAR(analysis.critical_path.front().t_start, 0.0, 1e-12);
+  EXPECT_NEAR(analysis.critical_path.back().t_end, t.total_seconds, 1e-9);
+  for (size_t i = 1; i < analysis.critical_path.size(); ++i) {
+    EXPECT_NEAR(analysis.critical_path[i].t_start,
+                analysis.critical_path[i - 1].t_end, 1e-9)
+        << "gap before segment " << i;
+  }
+
+  // The decomposition is exactly the critical path re-bucketed by kind.
+  double sum = 0;
+  for (const auto& [kind, seconds] : analysis.decomposition) sum += seconds;
+  EXPECT_NEAR(sum, t.total_seconds, 1e-6 * (1 + t.total_seconds));
+
+  // A Mitos run computes and launches one job.
+  EXPECT_GT(analysis.DecompositionSeconds(kCompute), 0);
+  EXPECT_GT(analysis.DecompositionSeconds(kLaunch), 0);
+}
+
+TEST(AnalysisTest, OperatorAndBagAttributionPopulated) {
+  Traced t;
+  RunTraced(api::EngineKind::kMitos, 4, &t);
+  RunAnalysis analysis = Analyze(t.trace, &t.metrics);
+  EXPECT_FALSE(analysis.by_operator.empty());
+  EXPECT_FALSE(analysis.by_bag.empty());
+  // Bag keys carry the paper's "<op>@<path_len>" identity.
+  for (const auto& [bag, seconds] : analysis.by_bag) {
+    EXPECT_NE(bag.find('@'), std::string::npos) << bag;
+    EXPECT_GT(seconds, 0) << bag;
+  }
+}
+
+// The fig9 acceptance check in miniature: with loop pipelining on, the
+// coordination share of the critical path (barrier-wait + the broadcast of
+// step decisions) collapses versus the barriered ablation.
+TEST(AnalysisTest, PipeliningShrinksCoordinationTime) {
+  Traced barriered, pipelined;
+  RunTraced(api::EngineKind::kMitosNoPipelining, 4, &barriered);
+  RunTraced(api::EngineKind::kMitos, 4, &pipelined);
+  RunAnalysis a_barriered = Analyze(barriered.trace, &barriered.metrics);
+  RunAnalysis a_pipelined = Analyze(pipelined.trace, &pipelined.metrics);
+
+  double coord_barriered =
+      a_barriered.DecompositionSeconds(kBarrierWait) +
+      a_barriered.DecompositionSeconds(kDecisionBroadcast);
+  double coord_pipelined =
+      a_pipelined.DecompositionSeconds(kBarrierWait) +
+      a_pipelined.DecompositionSeconds(kDecisionBroadcast);
+  EXPECT_GT(coord_barriered, 0);
+  EXPECT_LT(coord_pipelined, coord_barriered);
+
+  // Both decompose every step window.
+  EXPECT_FALSE(a_barriered.steps.empty());
+  EXPECT_FALSE(a_pipelined.steps.empty());
+}
+
+// The analyzer (and the recorders feeding it) must be purely
+// observational: virtual time is bit-identical with and without them.
+TEST(AnalysisTest, AttachingObserversNeverChangesVirtualTime) {
+  sim::SimFileSystem fs;
+  workloads::GenerateVisitLogs(
+      &fs, {.days = 6, .entries_per_day = 400, .num_pages = 40});
+  lang::Program program = workloads::VisitCountProgram({.days = 6});
+
+  sim::SimFileSystem fs_plain = fs;
+  auto plain =
+      api::Run(api::EngineKind::kMitos, program, &fs_plain, {.machines = 4});
+  ASSERT_TRUE(plain.ok());
+
+  Traced t;
+  RunTraced(api::EngineKind::kMitos, 4, &t);
+  RunAnalysis analysis = Analyze(t.trace, &t.metrics);
+
+  EXPECT_EQ(plain->stats.total_seconds, t.total_seconds);  // bit-identical
+  EXPECT_EQ(plain->stats.total_seconds, analysis.total_seconds);
+}
+
+TEST(AnalysisTest, SkewReportNamesInjectedStraggler) {
+  auto faults = sim::FaultPlan::Parse("slow=1x3");
+  ASSERT_TRUE(faults.ok()) << faults.status().ToString();
+  Traced t;
+  RunTraced(api::EngineKind::kMitos, 4, &t, &*faults);
+  RunAnalysis analysis = Analyze(t.trace, &t.metrics);
+
+  // Machine 1 runs CPU 3x slower, so it accumulates the most busy time.
+  ASSERT_EQ(analysis.machine_busy.size(), 4u);
+  EXPECT_EQ(analysis.busiest_machine, 1);
+  EXPECT_GT(analysis.busy_imbalance, 1.5);
+
+  // Per-step attribution points at machine 1 and names an operator.
+  ASSERT_FALSE(analysis.skew.empty());
+  int steps_blaming_m1 = 0;
+  for (const StepSkew& s : analysis.skew) {
+    if (s.straggler == 1 && !s.op.empty()) ++steps_blaming_m1;
+  }
+  EXPECT_GT(steps_blaming_m1, 0);
+}
+
+TEST(AnalysisTest, ReportAndJsonAreDeterministic) {
+  Traced t;
+  RunTraced(api::EngineKind::kMitos, 3, &t);
+  RunAnalysis analysis = Analyze(t.trace, &t.metrics);
+
+  std::string text = analysis.ToString();
+  EXPECT_NE(text.find("critical-path report"), std::string::npos);
+  EXPECT_NE(text.find("decomposition"), std::string::npos);
+
+  std::string json = analysis.ToJson();
+  std::string error;
+  EXPECT_TRUE(JsonLint::IsValid(json, &error)) << error << "\n" << json;
+
+  // Re-analyzing the same recorded data is byte-identical.
+  RunAnalysis again = Analyze(t.trace, &t.metrics);
+  EXPECT_EQ(json, again.ToJson());
+  EXPECT_EQ(text, again.ToString());
+}
+
+// Without a metrics registry the step/skew tables are absent but the
+// critical path still covers the run.
+TEST(AnalysisTest, WorksWithoutMetrics) {
+  Traced t;
+  RunTraced(api::EngineKind::kMitos, 4, &t);
+  RunAnalysis analysis = Analyze(t.trace, nullptr);
+  EXPECT_TRUE(analysis.steps.empty());
+  EXPECT_TRUE(analysis.skew.empty());
+  EXPECT_NEAR(analysis.critical_path.back().t_end, t.total_seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace mitos::obs::analysis

@@ -35,6 +35,41 @@ TEST(MetricsRegistryTest, CountersGaugesHistograms) {
   EXPECT_EQ(metrics.histogram("missing"), nullptr);
 }
 
+TEST(MetricsRegistryTest, HistogramQuantiles) {
+  MetricsRegistry metrics;
+  for (int i = 1; i <= 100; ++i) metrics.Observe("lat", i);
+  const HistogramData* lat = metrics.histogram("lat");
+  ASSERT_NE(lat, nullptr);
+
+  // Bucketed estimates: exact rank is interpolated inside doubling
+  // buckets, so allow the covering bucket's width.
+  EXPECT_GE(lat->p50(), 25.0);
+  EXPECT_LE(lat->p50(), 75.0);
+  EXPECT_GE(lat->p95(), 75.0);
+  EXPECT_LE(lat->p99(), 100.0);
+  // Quantiles are monotone and clamped to the observed range.
+  EXPECT_LE(lat->p50(), lat->p95());
+  EXPECT_LE(lat->p95(), lat->p99());
+  EXPECT_GE(lat->Quantile(0.0), lat->min);
+  EXPECT_LE(lat->Quantile(1.0), lat->max);
+
+  // Degenerate cases: constant stream and empty histogram.
+  MetricsRegistry single;
+  for (int i = 0; i < 10; ++i) single.Observe("s", 3.25);
+  const HistogramData* s = single.histogram("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->p50(), 3.25);
+  EXPECT_DOUBLE_EQ(s->p99(), 3.25);
+  HistogramData empty;
+  EXPECT_DOUBLE_EQ(empty.p50(), 0.0);
+
+  // The summary fields ride along in the JSON export.
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, JsonIsWellFormedAndDeterministic) {
   MetricsRegistry metrics;
   metrics.Inc("a\"quoted\"");

@@ -1,0 +1,119 @@
+// Trace export under fault injection: crashes, recovery attempts, and
+// checkpoints must show up as events in the exported trace, and the traced
+// faulty run must stay byte-deterministic (the same invariant fault-free
+// runs already guarantee).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "json_lint.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::obs {
+namespace {
+
+using obs_testing::JsonLint;
+
+struct TracedRun {
+  double total_seconds = 0;
+  int attempts = 0;
+  int checkpoints = 0;
+  std::string trace_json;
+};
+
+StatusOr<TracedRun> RunKMeansTraced(const sim::FaultPlan* plan) {
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 2000, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+  TraceRecorder trace;
+  api::RunConfig config;
+  config.machines = 4;
+  config.trace = &trace;
+  config.faults = plan;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  MITOS_RETURN_IF_ERROR(result.status());
+  TracedRun run;
+  run.total_seconds = result->stats.total_seconds;
+  run.attempts = result->stats.attempts;
+  run.checkpoints = result->stats.checkpoints;
+  run.trace_json = trace.ToJson();
+  return run;
+}
+
+// Mid-compute crash time, measured from a fault-free run (see
+// tests/runtime/recovery_test.cc for the rationale).
+sim::FaultPlan CrashPlan(int checkpoint_every = 0) {
+  static const double crash_at = [] {
+    sim::SimFileSystem fs;
+    workloads::GeneratePoints(&fs, {.num_points = 2000, .num_clusters = 3});
+    lang::Program program = workloads::KMeansProgram({.iterations = 4});
+    auto result = api::Run(api::EngineKind::kMitos, program, &fs,
+                           {.machines = 4});
+    MITOS_CHECK(result.ok());
+    return result->stats.launch_seconds +
+           0.5 * (result->stats.total_seconds -
+                  result->stats.launch_seconds);
+  }();
+  sim::FaultPlan plan;
+  plan.crashes.push_back(
+      {.machine = 1, .at = crash_at, .restart_after = 0.5});
+  plan.checkpoint_every = checkpoint_every;
+  return plan;
+}
+
+TEST(TraceFaultTest, RecoveryEventsAppearInExport) {
+  sim::FaultPlan plan = CrashPlan();
+  auto run = RunKMeansTraced(&plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_GE(run->attempts, 2);
+
+  std::string error;
+  EXPECT_TRUE(JsonLint::IsValid(run->trace_json, &error)) << error;
+  // The injected failure timeline and the engine's reaction are all there.
+  EXPECT_NE(run->trace_json.find("\"crash\""), std::string::npos);
+  EXPECT_NE(run->trace_json.find("\"restart\""), std::string::npos);
+  EXPECT_NE(run->trace_json.find("\"recovery-start\""), std::string::npos);
+  EXPECT_NE(run->trace_json.find("\"fault\""), std::string::npos);
+}
+
+TEST(TraceFaultTest, CheckpointEventsAppearInExport) {
+  sim::FaultPlan plan = CrashPlan(/*checkpoint_every=*/2);
+  auto run = RunKMeansTraced(&plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_GT(run->checkpoints, 0);
+  EXPECT_NE(run->trace_json.find("\"checkpoint\""), std::string::npos);
+}
+
+TEST(TraceFaultTest, TracedFaultyRunIsByteDeterministic) {
+  sim::FaultPlan plan = CrashPlan(/*checkpoint_every=*/2);
+  plan.drop_probability = 0.01;
+  auto first = RunKMeansTraced(&plan);
+  auto second = RunKMeansTraced(&plan);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->total_seconds, second->total_seconds);
+  EXPECT_EQ(first->trace_json, second->trace_json);  // byte-identical
+}
+
+TEST(TraceFaultTest, TracingLeavesFaultyTimelineUnchanged) {
+  sim::FaultPlan plan = CrashPlan();
+  auto traced = RunKMeansTraced(&plan);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 2000, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+  api::RunConfig config;
+  config.machines = 4;
+  config.faults = &plan;
+  auto plain = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->stats.total_seconds, traced->total_seconds);
+}
+
+}  // namespace
+}  // namespace mitos::obs

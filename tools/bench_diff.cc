@@ -1,0 +1,79 @@
+// bench_diff: compare two bench-regression baseline files (BENCH_*.json,
+// written by the figure benchmarks' --baseline-out flag) and flag runs whose
+// virtual time regressed beyond a threshold.
+//
+//   bench_diff BASE.json CURRENT.json [--threshold=0.10]
+//
+// Exit status: 0 when no regression, 1 when any run regressed (or a run
+// present in BASE is missing from CURRENT), 2 on usage or I/O errors.
+// Baselines hold virtual-time quantities, so a committed BASE diffs
+// byte-stably against a fresh CI run on any host.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/analysis/baseline.h"
+
+int main(int argc, char** argv) {
+  using mitos::obs::analysis::BaselineDiff;
+  using mitos::obs::analysis::BaselineFile;
+  using mitos::obs::analysis::Compare;
+
+  std::string base_path, current_path;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + std::strlen("--threshold="));
+      if (threshold <= 0) {
+        std::fprintf(stderr, "bench_diff: bad --threshold value: %s\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::fprintf(stderr, "bench_diff: too many arguments\n");
+      return 2;
+    }
+  }
+  if (current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_diff BASE.json CURRENT.json "
+                 "[--threshold=0.10]\n");
+    return 2;
+  }
+
+  auto base = BaselineFile::Load(base_path);
+  if (!base.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", base_path.c_str(),
+                 base.status().ToString().c_str());
+    return 2;
+  }
+  auto current = BaselineFile::Load(current_path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", current_path.c_str(),
+                 current.status().ToString().c_str());
+    return 2;
+  }
+
+  BaselineDiff diff = Compare(*base, *current, threshold);
+  std::printf("%s", diff.ToString().c_str());
+  if (diff.failed()) {
+    std::printf("FAIL: %d regression(s), %zu missing run(s) "
+                "(threshold %.0f%%)\n",
+                diff.regressions, diff.missing.size(), threshold * 100);
+    return 1;
+  }
+  std::printf("OK: %zu run(s) compared, %d improvement(s), %zu new run(s) "
+              "(threshold %.0f%%)\n",
+              diff.rows.size(), diff.improvements, diff.added.size(),
+              threshold * 100);
+  return 0;
+}

@@ -13,6 +13,14 @@
 //   --gen-points=points,clusters                   synthesize k-means input
 //   --dump-ir                                      print the SSA IR
 //   --dump-dot                                     print the dataflow (dot)
+//   --explain[=dot|json]  plan EXPLAIN: print the AST → SSA → dataflow
+//                       plan (Graphviz DOT by default, or one JSON object)
+//                       with per-operator cost annotations back-filled from
+//                       the profiled run (api::Engine::Explain)
+//   --report            print the post-run performance diagnosis: critical
+//                       path with per-step compute/comms/barrier/broadcast
+//                       breakdown, plus skew & straggler attribution
+//   --report-out=FILE   write the same diagnosis as deterministic JSON
 //   --show-files                                   print produced files
 //   --trace-out=FILE    write a Chrome trace-event JSON of the run; open it
 //                       at https://ui.perfetto.dev or chrome://tracing
@@ -38,6 +46,7 @@
 #include "ir/ssa.h"
 #include "lang/parser.h"
 #include "mitos.h"
+#include "obs/analysis/analysis.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/translator.h"
@@ -79,8 +88,9 @@ int main(int argc, char** argv) {
   std::string engine_name = "mitos";
   int machines = 4;
   bool dump_ir = false, dump_dot = false, show_files = false;
-  bool profile = false;
-  std::string trace_out, metrics_out, faults_spec;
+  bool profile = false, report = false;
+  std::string explain_format;  // "", "dot", or "json"
+  std::string trace_out, metrics_out, report_out, faults_spec;
   bool have_faults = false;
   sim::SimFileSystem fs;
   std::vector<std::string> input_files;
@@ -127,10 +137,21 @@ int main(int argc, char** argv) {
       dump_ir = true;
     } else if (arg == "--dump-dot") {
       dump_dot = true;
+    } else if (arg == "--explain") {
+      explain_format = "dot";
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      explain_format = value_of("--explain=");
+      if (explain_format != "dot" && explain_format != "json") {
+        return Fail("--explain expects dot or json, got " + explain_format);
+      }
     } else if (arg == "--show-files") {
       show_files = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg.rfind("--report-out=", 0) == 0) {
+      report_out = value_of("--report-out=");
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -191,9 +212,14 @@ int main(int argc, char** argv) {
   obs::TraceRecorder trace;
   obs::MetricsRegistry metrics;
   sim::FaultPlan fault_plan;
+  const bool want_report = report || !report_out.empty();
   api::RunConfig config{.machines = machines};
-  if (!trace_out.empty()) config.trace = &trace;
-  if (!metrics_out.empty() || profile) config.metrics = &metrics;
+  // The analyzer consumes the same recorder the trace export does; both are
+  // purely observational, so enabling them never changes virtual time.
+  if (!trace_out.empty() || want_report) config.trace = &trace;
+  if (!metrics_out.empty() || profile || want_report) {
+    config.metrics = &metrics;
+  }
   if (have_faults) {
     auto parsed = sim::FaultPlan::Parse(faults_spec);
     if (!parsed.ok()) {
@@ -203,7 +229,8 @@ int main(int argc, char** argv) {
     config.faults = &fault_plan;
   }
 
-  auto result = api::Run(engine, *program, &fs, config);
+  api::Engine engine_handle(engine, config);
+  auto result = engine_handle.Run(*program, &fs);
   if (!result.ok()) {
     return Fail("run error: " + result.status().ToString());
   }
@@ -236,6 +263,27 @@ int main(int argc, char** argv) {
     if (!metrics.steps().empty()) {
       std::printf("%s", metrics.StepTableToString().c_str());
     }
+  }
+  if (want_report) {
+    obs::analysis::RunAnalysis analysis =
+        obs::analysis::Analyze(trace, &metrics);
+    if (report) std::printf("%s", analysis.ToString().c_str());
+    if (!report_out.empty()) {
+      if (!WriteTextFile(report_out, analysis.ToJson())) {
+        return Fail("cannot write " + report_out);
+      }
+      std::printf("report:   %s\n", report_out.c_str());
+    }
+  }
+  if (!explain_format.empty()) {
+    // After the run, so Explain() back-fills measured operator costs.
+    auto plan = engine_handle.Explain(*program);
+    if (!plan.ok()) {
+      return Fail("explain error: " + plan.status().ToString());
+    }
+    std::printf("%s\n", (explain_format == "json" ? plan->ToJson()
+                                                  : plan->ToDot())
+                            .c_str());
   }
   if (show_files) {
     std::printf("files:\n");
