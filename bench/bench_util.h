@@ -33,6 +33,8 @@ struct BenchContext {
   std::string baseline_out;  // --baseline-out=FILE (BENCH_*.json), "" = off
   obs::analysis::BaselineFile baseline;
   int run_index = 0;
+  // --step-templates=on|off override; -1 = keep each benchmark's default.
+  int step_templates_override = -1;
 };
 
 inline BenchContext& Context() {
@@ -51,6 +53,10 @@ inline std::string& MetricsOutPath() { return Context().metrics_out; }
 //                        virtual-time total plus the critical-path
 //                        decomposition from the post-run analyzer. Compare
 //                        two baselines with tools/bench_diff.
+//   --step-templates=on|off  force the Mitos step-template cache on or off
+//                        for every run (default: the engine default, on);
+//                        CI's perf-smoke job uses this to produce the
+//                        on-vs-off baselines bench_diff --no-worse gates.
 // `figure` is the benchmark's stable name ("fig9"); it keys baseline
 // entries so bench_diff can match runs across builds.
 inline void ParseBenchArgs(int argc, char** argv, const char* figure) {
@@ -66,6 +72,10 @@ inline void ParseBenchArgs(int argc, char** argv, const char* figure) {
       std::ofstream(context.metrics_out, std::ios::trunc);  // start fresh
     } else if (arg.rfind(kBaselinePrefix, 0) == 0) {
       context.baseline_out = arg.substr(sizeof(kBaselinePrefix) - 1);
+    } else if (arg == "--step-templates=on") {
+      context.step_templates_override = 1;
+    } else if (arg == "--step-templates=off") {
+      context.step_templates_override = 0;
     } else {
       std::fprintf(stderr, "ignoring unknown flag: %s\n", arg.c_str());
     }
@@ -84,6 +94,8 @@ inline api::RunConfig MakeConfig(int machines, double element_scale) {
   // Headers/control messages do not grow with the modelled element size.
   config.cluster.control_message_bytes = static_cast<size_t>(
       std::max(8.0, 64.0 / element_scale));
+  config.cluster.template_control_message_bytes = static_cast<size_t>(
+      std::max(4.0, 16.0 / element_scale));
   // Chunks keep their modelled byte granularity.
   config.cluster.chunk_elements = static_cast<size_t>(
       std::max(64.0, 2048.0 / element_scale));
@@ -101,6 +113,9 @@ inline runtime::RunStats RunOrDie(api::EngineKind engine,
   obs::MetricsRegistry metrics;
   obs::TraceRecorder trace;
   api::RunConfig run_config = config;
+  if (context.step_templates_override >= 0) {
+    run_config.step_templates = context.step_templates_override == 1;
+  }
   const bool want_baseline = !context.baseline_out.empty();
   if (!context.metrics_out.empty() || want_baseline) {
     run_config.metrics = &metrics;

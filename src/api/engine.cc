@@ -140,6 +140,7 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
       options.launch_per_machine = config.mitos_launch_per_machine;
       options.max_path_len = config.max_path_len;
       options.operator_fusion = config.mitos_operator_fusion;
+      options.step_templates = config.step_templates;
       options.trace = config.trace;
       options.metrics = config.metrics;
       options.faults = faults;

@@ -70,6 +70,13 @@ struct RunConfig {
   bool flink_strict = false;
   // Elementwise operator fusion for the Mitos engines (ir/fusion.h).
   bool mitos_operator_fusion = false;
+  // Step-template control-plane caching for the Mitos engines
+  // (runtime/step_template.h): validated replay of per-step bag-id /
+  // input-choice / routing decisions across structurally identical loop
+  // iterations. On by default (it preserves results exactly and only
+  // lowers per-step overhead); `mitos_run --step-templates=off` or this
+  // flag disable it for ablations.
+  bool step_templates = true;
   int max_path_len = 1'000'000;
 
   // Observability (src/obs/). Both optional and caller-owned: attach a

@@ -227,9 +227,8 @@ StatusOr<SparkDriver::Lineage> SparkDriver::ResolveBag(const Expr& expr) {
       const Expr* node = it->second.get();
       if (!IsLeaf(*node) && cached_.find(node) == cached_.end() &&
           pending_cache_names_.find(node) == pending_cache_names_.end()) {
-        pending_cache_names_[node] =
-            std::string(runtime::kCacheFilePrefix) + "rdd" +
-            std::to_string(next_cache_id_++) + "_" + expr.var;
+        pending_cache_names_[node] = runtime::CacheFileName(
+            "rdd" + std::to_string(next_cache_id_++) + "_" + expr.var);
         cache_key_keepalive_.push_back(it->second);
       }
       return it->second;
@@ -459,8 +458,8 @@ Status SparkDriver::RunJob(const Lineage& action,
 }
 
 StatusOr<DatumVector> SparkDriver::Collect(const Lineage& lineage) {
-  std::string file = std::string(runtime::kCacheFilePrefix) + "collect" +
-                     std::to_string(next_cache_id_++);
+  std::string file = runtime::CacheFileName(
+      "collect" + std::to_string(next_cache_id_++));
   MITOS_RETURN_IF_ERROR(RunJob(lineage, file));
   StatusOr<DatumVector> data = fs_->Read(file);
   fs_->Remove(file);

@@ -52,6 +52,23 @@ LogicalGraph::BuildOutEdges() const {
   return out;
 }
 
+const std::vector<LogicalGraph::RoutingEdge>& LogicalGraph::routing(
+    NodeId producer) const {
+  if (routing_cache_.size() != nodes.size()) {
+    routing_cache_.assign(nodes.size(), {});
+    for (const LogicalNode& consumer : nodes) {
+      for (size_t i = 0; i < consumer.inputs.size(); ++i) {
+        const EdgeRef& edge = consumer.inputs[i];
+        routing_cache_[static_cast<size_t>(edge.from)].push_back(
+            RoutingEdge{consumer.id, static_cast<int>(i), edge.kind,
+                        edge.shuffle_key, edge.conditional, consumer.block,
+                        consumer.parallelism});
+      }
+    }
+  }
+  return routing_cache_[static_cast<size_t>(producer)];
+}
+
 std::string ToString(const LogicalGraph& graph) {
   std::ostringstream out;
   for (const LogicalNode& node : graph.nodes) {

@@ -109,6 +109,23 @@ struct LogicalGraph {
     int input_index;
   };
   std::vector<std::vector<OutEdge>> BuildOutEdges() const;
+
+  // Pre-resolved routing/partitioning metadata for a producer's physical
+  // out-edges: everything a host needs to emit without consulting the
+  // consumer node again. Built once per graph, lazily, and shared by every
+  // operator instance (the simulator is single-threaded; the cache is
+  // `mutable` so a translated graph can stay const for the whole run).
+  struct RoutingEdge {
+    NodeId consumer;
+    int input_index;
+    EdgeKind kind;
+    ShuffleKey shuffle_key;
+    bool conditional;
+    ir::BlockId consumer_block;
+    int consumer_par;
+  };
+  const std::vector<RoutingEdge>& routing(NodeId producer) const;
+  mutable std::vector<std::vector<RoutingEdge>> routing_cache_;
 };
 
 std::string ToString(const LogicalGraph& graph);

@@ -38,14 +38,24 @@ bool Cfg::CanReach(BlockId from, BlockId target) const {
 bool Cfg::CanReachAvoiding(BlockId from, BlockId target,
                            BlockId banned) const {
   if (from == target) return true;
+  // Pure function of the static CFG, queried by every host on every path
+  // append (the Sec. 5.2.4 discard rule) — memoize per (from, target,
+  // banned) so the BFS runs once per distinct query.
+  const auto key = std::make_tuple(from, target, banned);
+  auto it = reach_cache_.find(key);
+  if (it != reach_cache_.end()) return it->second;
   std::vector<bool> visited(static_cast<size_t>(num_blocks()), false);
   std::vector<BlockId> stack = {from};
   visited[static_cast<size_t>(from)] = true;
-  while (!stack.empty()) {
+  bool reached = false;
+  while (!reached && !stack.empty()) {
     BlockId b = stack.back();
     stack.pop_back();
     for (BlockId s : successors(b)) {
-      if (s == target) return true;
+      if (s == target) {
+        reached = true;
+        break;
+      }
       if (s == banned) continue;  // may not pass through `banned`
       if (!visited[static_cast<size_t>(s)]) {
         visited[static_cast<size_t>(s)] = true;
@@ -53,7 +63,8 @@ bool Cfg::CanReachAvoiding(BlockId from, BlockId target,
       }
     }
   }
-  return false;
+  reach_cache_.emplace(key, reached);
+  return reached;
 }
 
 void Cfg::ComputeDominators() {

@@ -8,6 +8,8 @@
 #ifndef MITOS_IR_CFG_H_
 #define MITOS_IR_CFG_H_
 
+#include <map>
+#include <tuple>
 #include <vector>
 
 #include "ir/ir.h"
@@ -51,6 +53,9 @@ class Cfg {
   std::vector<std::vector<BlockId>> preds_;
   std::vector<BlockId> idom_;
   std::vector<int> rpo_index_;  // reverse-postorder number, -1 if unreachable
+  // CanReachAvoiding memo — the CFG is immutable after construction, so
+  // answers never change (mutable: the query is logically const).
+  mutable std::map<std::tuple<BlockId, BlockId, BlockId>, bool> reach_cache_;
 };
 
 }  // namespace mitos::ir

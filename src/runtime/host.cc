@@ -17,6 +17,11 @@ using dataflow::ShuffleKey;
 // per-element cost.
 constexpr double kBookkeepingElements = 5.0;
 
+// Bookkeeping charge for a bag instantiated from a step template: the
+// bag-id resolution, input/output choice, and routing work is replayed
+// from the cache, leaving only the validate-and-instantiate token.
+constexpr double kTemplatedBookkeepingElements = 1.0;
+
 }  // namespace
 
 BagOperatorHost::BagOperatorHost(RuntimeContext* ctx,
@@ -27,7 +32,8 @@ BagOperatorHost::BagOperatorHost(RuntimeContext* ctx,
       node_(node),
       instance_(instance),
       machine_(machine),
-      cfm_(cfm) {
+      cfm_(cfm),
+      out_edges_(ctx->graph().routing(node->id)) {
   kernel_ = dataflow::MakeOperator(*node);
 }
 
@@ -64,23 +70,8 @@ void BagOperatorHost::Init() {
     inputs_.push_back(std::move(state));
   }
 
-  // Out-edges: scan consumers referencing this node.
-  out_edges_.clear();
-  for (const dataflow::LogicalNode& consumer : graph.nodes) {
-    for (size_t i = 0; i < consumer.inputs.size(); ++i) {
-      const dataflow::EdgeRef& edge = consumer.inputs[i];
-      if (edge.from != node_->id) continue;
-      OutEdgeInfo info;
-      info.consumer = consumer.id;
-      info.input_index = static_cast<int>(i);
-      info.kind = edge.kind;
-      info.shuffle_key = edge.shuffle_key;
-      info.conditional = edge.conditional;
-      info.consumer_block = consumer.block;
-      info.consumer_par = consumer.parallelism;
-      out_edges_.push_back(info);
-    }
-  }
+  // Out-edges come pre-resolved from the graph's shared routing table
+  // (bound in the constructor).
 
   cfm_->AddListener(
       [this](int pos, ir::BlockId block) { OnPathAppend(pos, block); });
@@ -99,7 +90,7 @@ void BagOperatorHost::OnPathAppend(int pos, ir::BlockId block) {
   // take references that protect cached bags it still needs (a Φ created at
   // this occurrence may choose a bag this very occurrence supersedes).
   if (block == node_->block) {
-    CreateOutBag(pos + 1);
+    OnBlockOccurrence(pos);
   }
 
   // Cached input bags from this producer block are superseded by the new
@@ -147,9 +138,84 @@ int BagOperatorHost::ChooseInput(int i, int len) const {
   return cfm_->LongestPrefixEndingWith(input.producer_block, max_len);
 }
 
+std::vector<int> BagOperatorHost::ComputeInputLengths(int len) const {
+  std::vector<int> lens(inputs_.size());
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    lens[i] = ChooseInput(static_cast<int>(i), len);
+  }
+  return lens;
+}
+
+void BagOperatorHost::OnBlockOccurrence(int pos) {
+  const int path_len = pos + 1;
+  if (!ctx_->step_templates()) {
+    CreateOutBag(path_len);
+    return;
+  }
+  StepMeta meta;
+  if (!cfm_->step_meta(pos, &meta)) {
+    // Cannot happen from a path listener (the position is known by
+    // definition); stay safe and take the slow path.
+    CreateOutBag(path_len);
+    return;
+  }
+  const int period = step_template_.period();
+  if (step_template_.ReplayCandidate(pos, meta) &&
+      cfm_->SegmentsEqual(pos - period + 1, pos - 2 * period + 1, period)) {
+    // Validate-then-instantiate: the authority vouched for the step shape
+    // (meta.replayable), the spacing matches, and the last two
+    // period-length path segments are block-for-block equal — so the
+    // cached input classification predicts exactly what the backward
+    // scans would compute.
+    std::vector<int> lens;
+    step_template_.PredictLengths(&lens);
+    if (ctx_->validate_templates()) {
+      const std::vector<int> truth = ComputeInputLengths(path_len);
+      if (truth != lens) {
+        std::string detail;
+        for (size_t i = 0; i < lens.size(); ++i) {
+          detail += (i ? "," : "") + std::to_string(lens[i]) + "!=" +
+                    std::to_string(truth[i]);
+        }
+        ctx_->Fail(Status::Internal(
+            "step-template replay mismatch for " + node_->name + "[" +
+            std::to_string(instance_) + "] at path length " +
+            std::to_string(path_len) + " (predicted!=true: " + detail +
+            ")"));
+        return;
+      }
+    }
+    step_template_.CommitReplay(pos);
+    ctx_->CountTemplateHit();
+    if (obs::TraceRecorder* tr = ctx_->trace()) {
+      tr->Instant(obs::MachinePid(machine_), TraceLane(), "template-replay",
+                  "template", ctx_->cluster()->sim()->now(),
+                  {{"path_len", path_len},
+                   {"period", period},
+                   {"saved_cpu",
+                    2 * (kBookkeepingElements - kTemplatedBookkeepingElements) *
+                        PerElementCost()}});
+    }
+    CreateOutBagFromLengths(path_len, lens, /*templated=*/true);
+    return;
+  }
+  ctx_->CountTemplateMiss();
+  const std::vector<int> lens = ComputeInputLengths(path_len);
+  step_template_.Observe(pos, meta, lens);
+  CreateOutBagFromLengths(path_len, lens, /*templated=*/false);
+}
+
 void BagOperatorHost::CreateOutBag(int path_len) {
+  CreateOutBagFromLengths(path_len, ComputeInputLengths(path_len),
+                          /*templated=*/false);
+}
+
+void BagOperatorHost::CreateOutBagFromLengths(int path_len,
+                                              const std::vector<int>& lens,
+                                              bool templated) {
   OutBag bag;
   bag.path_len = path_len;
+  bag.templated = templated;
   // Recovery replay: this bag's output survived a failed attempt, so the
   // kernel re-runs over the real data (reconstructing state exactly) but
   // charges no CPU and uses memory-speed I/O.
@@ -166,9 +232,8 @@ void BagOperatorHost::CreateOutBag(int path_len) {
     int best_input = -1;
     int best_len = 0;
     for (size_t i = 0; i < n; ++i) {
-      int l = ChooseInput(static_cast<int>(i), path_len);
-      if (l > best_len) {
-        best_len = l;
+      if (lens[i] > best_len) {
+        best_len = lens[i];
         best_input = static_cast<int>(i);
       }
     }
@@ -182,14 +247,13 @@ void BagOperatorHost::CreateOutBag(int path_len) {
     bag.chosen[static_cast<size_t>(best_input)] = best_len;
   } else {
     for (size_t i = 0; i < n; ++i) {
-      int l = ChooseInput(static_cast<int>(i), path_len);
-      if (l == 0) {
+      if (lens[i] == 0) {
         ctx_->Fail(Status::Internal(
             "operator " + node_->name + " input " + std::to_string(i) +
             " has no available bag (definition should dominate use)"));
         return;
       }
-      bag.chosen[i] = l;
+      bag.chosen[i] = lens[i];
     }
   }
 
@@ -283,7 +347,9 @@ void BagOperatorHost::TryFeed() {
       }
     }
     std::vector<bool> reuse = bag.reuse;
-    EnqueueWork(bag.replay ? 0 : kBookkeepingElements * PerElementCost(),
+    const double open_elements = bag.templated ? kTemplatedBookkeepingElements
+                                               : kBookkeepingElements;
+    EnqueueWork(bag.replay ? 0 : open_elements * PerElementCost(),
                 "open", [this, reuse] {
       if (kernel_) {
         for (size_t i = 0; i < reuse.size(); ++i) {
@@ -367,7 +433,9 @@ void BagOperatorHost::TryFeed() {
 
 void BagOperatorHost::EnqueueFinish(OutBag& bag) {
   const int bag_len = bag.path_len;
-  double cpu = kBookkeepingElements * PerElementCost();
+  double cpu = (bag.templated ? kTemplatedBookkeepingElements
+                              : kBookkeepingElements) *
+               PerElementCost();
   if (node_->kind == NodeKind::kBagLit) {
     cpu += static_cast<double>(node_->literal.size()) * PerElementCost();
   }
@@ -396,7 +464,14 @@ void BagOperatorHost::FlushShuffleBuffers(int bag_len) {
 }
 
 void BagOperatorHost::FinalizeActiveBag() {
-  MITOS_CHECK(!out_bags_.empty());
+  if (out_bags_.empty()) {
+    // A finish callback fired with no active bag — a host-protocol
+    // violation; surface it instead of aborting the simulator.
+    ctx_->Fail(Status::Internal(
+        "operator " + node_->name + "[" + std::to_string(instance_) +
+        "] finalized with no active output bag"));
+    return;
+  }
   OutBag& bag = out_bags_.front();
   const int bag_len = bag.path_len;
 
@@ -408,7 +483,14 @@ void BagOperatorHost::FinalizeActiveBag() {
       continue;
     }
     PendingSend* ps = FindPendingSend(bag_len, e);
-    MITOS_CHECK(ps != nullptr);
+    if (ps == nullptr) {
+      ctx_->Fail(Status::Internal(
+          "operator " + node_->name + "[" + std::to_string(instance_) +
+          "] bag @" + std::to_string(bag_len) +
+          " finished without gating state on conditional edge " +
+          std::to_string(e)));
+      return;
+    }
     ps->bag_finished = true;
     if (ps->state == PendingSend::State::kSending) {
       SendMarkerOnEdge(e, bag_len);
@@ -442,7 +524,16 @@ void BagOperatorHost::ReleaseAndPop() {
   for (size_t i = 0; i < inputs_.size(); ++i) {
     if (bag.chosen[i] > 0) {
       auto it = inputs_[i].bags.find(bag.chosen[i]);
-      MITOS_CHECK(it != inputs_[i].bags.end());
+      if (it == inputs_[i].bags.end()) {
+        // The chosen input bag vanished while this bag still held a
+        // reference — an eviction-accounting bug; fail with context.
+        ctx_->Fail(Status::Internal(
+            "operator " + node_->name + "[" + std::to_string(instance_) +
+            "] released bag @" + std::to_string(bag.path_len) +
+            " but its chosen input " + std::to_string(i) + " bag @" +
+            std::to_string(bag.chosen[i]) + " was already evicted"));
+        return;
+      }
       --it->second.refs;
       MaybeEvict(i);
     }
@@ -650,8 +741,14 @@ void BagOperatorHost::EmitChunk(int bag_len, DatumVector&& chunk) {
         continue;
       }
       PendingSend* ps = FindPendingSend(bag_len, e);
-      MITOS_CHECK(ps != nullptr)
-          << node_->name << " emitting without gating state";
+      if (ps == nullptr) {
+        ctx_->Fail(Status::Internal(
+            "operator " + node_->name + "[" + std::to_string(instance_) +
+            "] emitted on conditional edge " + std::to_string(e) +
+            " for bag @" + std::to_string(bag_len) +
+            " without gating state"));
+        return;
+      }
       switch (ps->state) {
         case PendingSend::State::kSending:
           SendOnEdge(e, bag_len, piece);

@@ -71,6 +71,15 @@ class RuntimeContext {
   // Execution-trace recorder; nullptr when tracing is disabled.
   virtual obs::TraceRecorder* trace() const = 0;
 
+  // Step-template caching (runtime/step_template.h). Defaulted off so
+  // existing direct users of ExecuteJob are untouched.
+  virtual bool step_templates() const { return false; }
+  // Paranoid mode: every template replay is cross-checked against the
+  // slow-path computation; a mismatch fails the job with Status::Internal.
+  virtual bool validate_templates() const { return false; }
+  virtual void CountTemplateHit() {}
+  virtual void CountTemplateMiss() {}
+
   virtual BagOperatorHost* host(dataflow::NodeId node, int instance) = 0;
   virtual int MachineOf(dataflow::NodeId node, int instance) const = 0;
 
@@ -158,15 +167,9 @@ class BagOperatorHost {
 
  private:
   // ----- static routing info -----
-  struct OutEdgeInfo {
-    dataflow::NodeId consumer;
-    int input_index;
-    dataflow::EdgeKind kind;
-    dataflow::ShuffleKey shuffle_key;
-    bool conditional;
-    ir::BlockId consumer_block;
-    int consumer_par;
-  };
+  // Pre-built once per graph and shared by every instance
+  // (dataflow::LogicalGraph::routing); the host only holds a reference.
+  using OutEdgeInfo = dataflow::LogicalGraph::RoutingEdge;
 
   struct InputBagEntry {
     std::vector<DatumVector> chunks;
@@ -192,6 +195,9 @@ class BagOperatorHost {
     bool opened = false;
     bool finish_enqueued = false;
     bool replay = false;  // survived a failed attempt: zero-cost re-run
+    // Created by a step-template replay: the open/finish bookkeeping that
+    // re-derives bag ids and routing is skipped (reduced CPU charge).
+    bool templated = false;
     int64_t elements_in = 0;
     double t_open = 0;  // virtual time processing started (tracing)
   };
@@ -210,9 +216,18 @@ class BagOperatorHost {
   // ----- path events -----
   void OnPathAppend(int pos, ir::BlockId block);
   void OnPathComplete();
+  // The path reached this operator's block at position `pos`: replay the
+  // step template when it validates, otherwise compute input choices the
+  // slow way and feed the template.
+  void OnBlockOccurrence(int pos);
   void CreateOutBag(int path_len);
+  void CreateOutBagFromLengths(int path_len, const std::vector<int>& lens,
+                               bool templated);
   // Longest-prefix rule (5.2.3) for input `i` of a bag with prefix `len`.
   int ChooseInput(int i, int len) const;
+  // True per-input longest-prefix lengths for a bag with prefix `len`
+  // (including non-best Φ inputs — the template classifies all of them).
+  std::vector<int> ComputeInputLengths(int len) const;
 
   // ----- processing -----
   void TryFeed();
@@ -254,7 +269,8 @@ class BagOperatorHost {
 
   std::unique_ptr<dataflow::BagOperator> kernel_;
   std::vector<InputState> inputs_;
-  std::vector<OutEdgeInfo> out_edges_;
+  const std::vector<OutEdgeInfo>& out_edges_;
+  HostStepTemplate step_template_;
 
   std::deque<OutBag> out_bags_;
   std::list<PendingSend> pending_sends_;

@@ -60,7 +60,14 @@ PathAuthority::PathAuthority(const ir::Program* program,
 PathAuthority::~PathAuthority() { *alive_ = false; }
 
 void PathAuthority::Start(int machine) {
-  MITOS_CHECK_EQ(path_->size(), 0);
+  if (path_->size() != 0) {
+    // A non-empty path at job start means the caller reused the path
+    // object across jobs — a wiring bug; report it instead of aborting.
+    on_error_(Status::Internal(
+        "PathAuthority::Start on a non-empty path (len " +
+        std::to_string(path_->size()) + ")"));
+    return;
+  }
   AppendChain(program_->entry(), machine, /*initial=*/true);
 }
 
@@ -164,27 +171,38 @@ void PathAuthority::RecordStep(bool initial) {
 
 void PathAuthority::AppendChain(ir::BlockId block, int machine,
                                 bool initial) {
-  // Append the decided block and every block that follows unconditionally;
+  // Collect the decided block and every block that follows unconditionally;
   // stop at a conditional branch (its condition node will decide later) or
   // at program exit.
+  std::vector<ir::BlockId> chain;
+  bool complete = false;
   ir::BlockId current = block;
   while (true) {
-    if (path_->size() >= options_.max_path_len) {
+    if (path_->size() + static_cast<int>(chain.size()) >=
+        options_.max_path_len) {
       on_error_(Status::FailedPrecondition(
           "execution path exceeded max_path_len (runaway loop?)"));
       return;
     }
-    path_->Append(current);
+    chain.push_back(current);
     const ir::Terminator& term = program_->block(current).term;
     if (term.kind == ir::Terminator::Kind::kJump) {
       current = term.target;
       continue;
     }
-    if (term.kind == ir::Terminator::Kind::kExit) {
-      path_->MarkComplete();
-    }
+    if (term.kind == ir::Terminator::Kind::kExit) complete = true;
     break;
   }
+
+  // Every position of a step's chain carries the same template metadata;
+  // the initial (job-start) seed is never a cached step.
+  StepMeta meta;
+  if (options_.step_templates && !initial) {
+    meta = tracker_.OnStep(pending_step_.block, pending_step_.value, chain);
+  }
+  last_step_replayable_ = !initial && meta.replayable;
+  for (ir::BlockId b : chain) path_->Append(b, meta);
+  if (complete) path_->MarkComplete();
   Broadcast(machine, initial);
 }
 
@@ -232,10 +250,23 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
   const bool complete = path_->complete();
   sim::Simulator* sim = cluster_->sim();
 
-  auto do_broadcast = [this, new_len, complete, from_machine, initial] {
+  // A replayable step needs no decision metadata on the wire — receivers
+  // validate against their cached template — so its broadcast shrinks to
+  // the template acknowledgment size. Fault handling keeps full messages
+  // (the ack/retry protocol carries the complete step either way).
+  const bool templated = last_step_replayable_ && options_.faults == nullptr;
+
+  auto do_broadcast = [this, new_len, complete, from_machine, initial,
+                       templated] {
     if (options_.trace != nullptr || options_.metrics != nullptr) {
       RecordStep(initial);
     }
+    if (templated && options_.metrics != nullptr) {
+      options_.metrics->Inc("templated_broadcasts");
+    }
+    const size_t bytes = templated
+                             ? cluster_->config().template_control_message_bytes
+                             : cluster_->config().control_message_bytes;
     for (int m = 0; m < static_cast<int>(managers_.size()); ++m) {
       ControlFlowManager* manager = managers_[static_cast<size_t>(m)];
       if (m == from_machine) {
@@ -247,8 +278,7 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
         SendControl(from_machine, m, new_len, complete, /*attempt=*/0);
         continue;
       }
-      cluster_->Send(from_machine, m,
-                     cluster_->config().control_message_bytes,
+      cluster_->Send(from_machine, m, bytes,
                      [manager, new_len, complete] {
                        manager->AdvanceTo(new_len, complete);
                      });

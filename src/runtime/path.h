@@ -32,6 +32,7 @@
 #include "ir/ir.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/step_template.h"
 #include "sim/cluster.h"
 
 namespace mitos::runtime {
@@ -60,7 +61,18 @@ class ExecutionPath {
     MITOS_CHECK_LT(pos, size());
     return blocks_[static_cast<size_t>(pos)];
   }
-  void Append(ir::BlockId block) { blocks_.push_back(block); }
+  void Append(ir::BlockId block, StepMeta meta = {}) {
+    blocks_.push_back(block);
+    meta_.push_back(meta);
+  }
+
+  // Step-template metadata stamped by the authority at append time
+  // (runtime/step_template.h).
+  const StepMeta& meta(int pos) const {
+    MITOS_CHECK_GE(pos, 0);
+    MITOS_CHECK_LT(pos, size());
+    return meta_[static_cast<size_t>(pos)];
+  }
 
   bool complete() const { return complete_; }
   void MarkComplete() { complete_ = true; }
@@ -74,10 +86,27 @@ class ExecutionPath {
     return 0;
   }
 
+  // Block-for-block equality of the segments [a_start, a_start + len) and
+  // [b_start, b_start + len); false when either is out of range.
+  bool SegmentsEqual(int a_start, int b_start, int len) const {
+    if (len < 0 || a_start < 0 || b_start < 0 ||
+        a_start + len > size() || b_start + len > size()) {
+      return false;
+    }
+    for (int k = 0; k < len; ++k) {
+      if (blocks_[static_cast<size_t>(a_start + k)] !=
+          blocks_[static_cast<size_t>(b_start + k)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   std::string ToString() const;
 
  private:
   std::vector<ir::BlockId> blocks_;
+  std::vector<StepMeta> meta_;
   bool complete_ = false;
 };
 
@@ -101,6 +130,23 @@ class ControlFlowManager {
   int LongestPrefixEndingWith(ir::BlockId block, int max_len) const {
     return path_->LongestPrefixEndingWith(block,
                                           std::min(max_len, known_len_));
+  }
+
+  // Step-template metadata of a known position; false when `pos` is not
+  // yet known to this machine (hosts then take the slow path).
+  bool step_meta(int pos, StepMeta* out) const {
+    if (pos < 0 || pos >= known_len_) return false;
+    *out = path_->meta(pos);
+    return true;
+  }
+
+  // Segment equality restricted to the known path prefix (template
+  // validation); false for anything not yet known here.
+  bool SegmentsEqual(int a_start, int b_start, int len) const {
+    if (a_start + len > known_len_ || b_start + len > known_len_) {
+      return false;
+    }
+    return path_->SegmentsEqual(a_start, b_start, len);
   }
 
   // `fn(pos, block)` fires once per newly-known position, in order.
@@ -142,6 +188,11 @@ class PathAuthority {
     double decision_overhead = 0.0;
     // Runaway-loop guard.
     int max_path_len = 1'000'000;
+    // Step-template caching (runtime/step_template.h): stamp every path
+    // position with template metadata and shrink the broadcast for
+    // replayable steps to template_control_message_bytes (the receivers
+    // validate against cached state instead of full decision metadata).
+    bool step_templates = false;
     // Observability (both optional; see src/obs/). The recorder gets one
     // instant event per control-flow decision plus a per-step span on the
     // engine process; the registry gets one StepRecord per decision.
@@ -179,6 +230,11 @@ class PathAuthority {
 
   const ExecutionPath& path() const { return *path_; }
   int decisions() const { return decisions_; }
+  // Times a cached step shape was contradicted by a decision (0 with
+  // step templates off).
+  int64_t template_invalidations() const {
+    return tracker_.invalidations();
+  }
 
  private:
   // Appends `block` and everything that unconditionally follows it; then
@@ -200,6 +256,9 @@ class PathAuthority {
   std::function<void(Status)> on_error_;
   ExecutionPath* path_;
   int decisions_ = 0;
+  // Step-template state (inert when options_.step_templates is false).
+  StepTemplateTracker tracker_;
+  bool last_step_replayable_ = false;
 
   // Step-timeline state (only maintained when trace/metrics are attached).
   struct PendingStep {

@@ -16,6 +16,12 @@ inline bool IsCacheFile(const std::string& filename) {
   return filename.rfind(kCacheFilePrefix, 0) == 0;
 }
 
+// Canonical cache-file name: "mem:<stem>". Keeps every producer of cached
+// datasets on the one naming convention IsCacheFile recognizes.
+inline std::string CacheFileName(const std::string& stem) {
+  return std::string(kCacheFilePrefix) + stem;
+}
+
 }  // namespace mitos::runtime
 
 #endif  // MITOS_RUNTIME_SPARK_CACHE_H_

@@ -1,0 +1,88 @@
+#include "runtime/step_template.h"
+
+namespace mitos::runtime {
+
+StepMeta StepTemplateTracker::OnStep(ir::BlockId block, bool value,
+                                     const std::vector<ir::BlockId>& chain) {
+  auto it = history_.find(block);
+  if (it != history_.end() && it->second.value == value &&
+      it->second.chain == chain) {
+    ++it->second.steady;
+  } else {
+    if (it != history_.end()) ++invalidations_;
+    // Any divergence invalidates *every* template: steady counts restart
+    // everywhere and the generation bump forces host templates to
+    // re-record. This is deliberately coarse — it keeps replays sound
+    // under nested loops with varying inner trip counts and if-inside-loop
+    // branch flips, where the path segment between two occurrences of a
+    // block can differ even though the block's own decision repeated.
+    ++generation_;
+    for (auto& [b, h] : history_) h.steady = 0;
+    BlockHistory& h = history_[block];
+    h.value = value;
+    h.chain = chain;
+    h.steady = 0;
+  }
+  return StepMeta{generation_,
+                  history_[block].steady >= kSteadyStepsBeforeReplay};
+}
+
+void HostStepTemplate::PredictLengths(std::vector<int>* lengths) const {
+  lengths->resize(lengths_.size());
+  for (size_t i = 0; i < lengths_.size(); ++i) {
+    (*lengths)[i] = kinds_[i] == InputKind::kCarried
+                        ? lengths_[i] + period_
+                        : lengths_[i];
+  }
+}
+
+void HostStepTemplate::CommitReplay(int pos) {
+  for (size_t i = 0; i < lengths_.size(); ++i) {
+    if (kinds_[i] == InputKind::kCarried) lengths_[i] += period_;
+  }
+  last_pos_ = pos;
+}
+
+void HostStepTemplate::Observe(int pos, const StepMeta& meta,
+                               const std::vector<int>& lengths) {
+  if (state_ != State::kEmpty && meta.generation == generation_ &&
+      pos > last_pos_ && lengths.size() == lengths_.size()) {
+    // Classify each input against the previous occurrence. An input whose
+    // chosen prefix length is unchanged is loop-invariant (its producer
+    // did not re-occur in between); one whose length advanced by exactly
+    // the occurrence spacing is loop-carried (its producer's latest
+    // occurrence shifted with the path). Anything else has no stable
+    // shape — start over from this occurrence.
+    const int d = pos - last_pos_;
+    std::vector<InputKind> kinds(lengths.size());
+    bool classified = true;
+    for (size_t i = 0; i < lengths.size(); ++i) {
+      if (lengths[i] == lengths_[i]) {
+        kinds[i] = InputKind::kInvariant;
+      } else if (lengths_[i] > 0 && lengths[i] == lengths_[i] + d) {
+        kinds[i] = InputKind::kCarried;
+      } else {
+        classified = false;
+        break;
+      }
+    }
+    if (classified) {
+      state_ = State::kReady;
+      period_ = d;
+      kinds_ = std::move(kinds);
+      last_pos_ = pos;
+      lengths_ = lengths;
+      return;
+    }
+  }
+  // First observation, generation change, or classification failure:
+  // re-record from scratch.
+  state_ = State::kRecorded;
+  generation_ = meta.generation;
+  last_pos_ = pos;
+  lengths_ = lengths;
+  kinds_.clear();
+  period_ = 0;
+}
+
+}  // namespace mitos::runtime

@@ -1,0 +1,128 @@
+// Step templates: caching control-plane decisions across loop iterations.
+//
+// Most control-flow steps of a loop repeat the *structure* of the previous
+// one: the same condition block decided the same way, appending the same
+// chain of blocks. Following "Execution Templates: Caching Control Plane
+// Decisions for Strong Scaling of Data Analytics" (see PAPERS.md), the
+// runtime caches the per-step control decisions the first time a step shape
+// occurs, validates that a new step matches the cached shape, and replays
+// the cached decisions instead of recomputing them:
+//   * the PathAuthority runs a StepTemplateTracker that stamps every path
+//     position with a StepMeta (template generation + replayability);
+//   * each BagOperatorHost keeps a HostStepTemplate that records the true
+//     per-input longest-prefix lengths (Sec. 5.2.3) at two consecutive
+//     occurrences of its block, classifies each input as loop-invariant or
+//     loop-carried, and on later occurrences replays the predicted choices
+//     after an O(period) validation instead of an O(path) backward scan.
+//
+// Validate-then-instantiate: a replay happens only when (a) the authority
+// marked the step replayable — meaning the last kSteadyStepsBeforeReplay
+// decisions at this block were identical in value and appended chain, with
+// no divergence anywhere since (the tracker resets *all* steady counts on
+// any mismatch, so nested-loop divergence and if-inside-loop flips
+// invalidate globally); (b) the occurrence spacing equals the recorded
+// period; and (c) the two most recent path segments of that period are
+// block-for-block equal. Anything else falls back to the slow path, which
+// is always correct. Faults/recovery invalidate trivially: each execution
+// attempt builds fresh tracker and host templates.
+#ifndef MITOS_RUNTIME_STEP_TEMPLATE_H_
+#define MITOS_RUNTIME_STEP_TEMPLATE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace mitos::runtime {
+
+// A step becomes replayable after this many consecutive identical
+// occurrences beyond the first (record at the 1st, validate at the 2nd,
+// replay from the 3rd).
+inline constexpr int kSteadyStepsBeforeReplay = 2;
+
+// Per-path-position template metadata, stamped by the PathAuthority when it
+// appends a step's chain and read by every host through its local
+// ControlFlowManager view.
+struct StepMeta {
+  // Template generation: bumped on every divergence (a condition block
+  // deciding differently than last time, or a first-ever decision). Host
+  // templates recorded under an older generation must re-record.
+  int generation = 0;
+  // True when the authority observed >= kSteadyStepsBeforeReplay
+  // consecutive identical decisions at this step's block with no
+  // divergence anywhere in between.
+  bool replayable = false;
+};
+
+// Authority-side tracker: one per PathAuthority (and thus per execution
+// attempt — recovery starts from a clean template state).
+class StepTemplateTracker {
+ public:
+  // A condition block decided `value`, appending `chain`. Returns the meta
+  // to stamp on every position of the appended chain.
+  StepMeta OnStep(ir::BlockId block, bool value,
+                  const std::vector<ir::BlockId>& chain);
+
+  // Times a previously-recorded step shape was contradicted (excludes
+  // first-ever decisions at a block, which merely start a template).
+  int64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct BlockHistory {
+    bool value = false;
+    std::vector<ir::BlockId> chain;
+    int steady = 0;  // consecutive identical repeats since last divergence
+  };
+  std::map<ir::BlockId, BlockHistory> history_;
+  int generation_ = 0;
+  int64_t invalidations_ = 0;
+};
+
+// Host-side template for one operator instance: caches the input-bag
+// choices of the latest occurrence of the host's block and, once two
+// consecutive occurrences classified cleanly, predicts the next
+// occurrence's choices by shifting loop-carried inputs forward one period.
+class HostStepTemplate {
+ public:
+  // True when the occurrence at path position `pos` (0-based; the bag's
+  // path_len is pos + 1) may be replayed, *given* that the caller also
+  // verified the two most recent period-length path segments are equal.
+  bool ReplayCandidate(int pos, const StepMeta& meta) const {
+    return state_ == State::kReady && meta.replayable &&
+           meta.generation == generation_ && pos - last_pos_ == period_;
+  }
+
+  int period() const { return period_; }
+
+  // Fills the predicted per-input longest-prefix lengths for the occurrence
+  // one period after the last recorded one. Only valid after
+  // ReplayCandidate returned true.
+  void PredictLengths(std::vector<int>* lengths) const;
+
+  // Commits a successful replay at position `pos`: the predicted lengths
+  // become the new recorded ones.
+  void CommitReplay(int pos);
+
+  // Slow-path observation: the occurrence at `pos` chose the true
+  // per-input lengths `lengths`. Records, classifies against the previous
+  // occurrence (invariant: unchanged; carried: advanced by exactly the
+  // occurrence spacing), or re-records when classification fails.
+  void Observe(int pos, const StepMeta& meta,
+               const std::vector<int>& lengths);
+
+ private:
+  enum class State { kEmpty, kRecorded, kReady };
+  enum class InputKind { kInvariant, kCarried };
+
+  State state_ = State::kEmpty;
+  int generation_ = 0;
+  int last_pos_ = -1;
+  int period_ = 0;
+  std::vector<int> lengths_;      // per input, at the last occurrence
+  std::vector<InputKind> kinds_;  // per input, valid when kReady
+};
+
+}  // namespace mitos::runtime
+
+#endif  // MITOS_RUNTIME_STEP_TEMPLATE_H_

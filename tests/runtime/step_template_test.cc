@@ -1,0 +1,262 @@
+// Step-template cache (DESIGN.md "Step templates"): validated replay of
+// per-step control-plane decisions must be invisible in results — every
+// test here pins templates-on against templates-off, byte for byte — and
+// must never replay across control-flow divergence: flipping branches,
+// nested loops with changing inner trip counts, and fault injection all
+// have to produce the exact templates-off virtual timeline.
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "lang/builder.h"
+#include "runtime/executor.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::runtime {
+namespace {
+
+struct Outcome {
+  RunStats stats;
+  std::map<std::string, DatumVector> files;
+};
+
+StatusOr<Outcome> RunProgram(const lang::Program& program,
+                             const sim::SimFileSystem& inputs,
+                             bool step_templates,
+                             const sim::FaultPlan* faults = nullptr,
+                             int machines = 4) {
+  sim::SimFileSystem fs = inputs;
+  api::RunConfig config;
+  config.machines = machines;
+  config.step_templates = step_templates;
+  config.faults = faults;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  MITOS_RETURN_IF_ERROR(result.status());
+  Outcome outcome;
+  outcome.stats = result->stats;
+  for (const std::string& name : fs.ListFiles()) {
+    if (inputs.Exists(name)) continue;  // compare outputs only
+    outcome.files[name] = *fs.Read(name);
+  }
+  return outcome;
+}
+
+// Exact equality, element order included: replay must reconstruct the
+// slow path's run, not just something equivalent.
+void ExpectSameFiles(const Outcome& a, const Outcome& b) {
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (const auto& [name, data] : a.files) {
+    auto it = b.files.find(name);
+    ASSERT_TRUE(it != b.files.end()) << name;
+    EXPECT_EQ(data, it->second) << name;
+  }
+}
+
+// A loop whose if-branch flips every iteration: no two consecutive steps
+// take the same decision, so no template may ever reach replayable state.
+lang::Program FlippingIfProgram(int steps) {
+  lang::ProgramBuilder pb;
+  pb.Assign("i", lang::LitInt(0));
+  pb.Assign("acc", lang::BagLit({Datum::Int64(0)}));
+  pb.While(lang::Lt(lang::Var("i"), lang::LitInt(steps)), [&] {
+    pb.If(lang::Eq(lang::Mod(lang::Var("i"), lang::LitInt(2)),
+                   lang::LitInt(0)),
+          [&] {
+            pb.Assign("acc",
+                      lang::Map(lang::Var("acc"), lang::fns::AddInt64(1)));
+          },
+          [&] {
+            pb.Assign("acc",
+                      lang::Map(lang::Var("acc"), lang::fns::AddInt64(2)));
+          });
+    pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1)));
+  });
+  pb.WriteFile(lang::Var("acc"), lang::LitString("out"));
+  return pb.Build();
+}
+
+// Nested loops; the inner trip count is `1 + (i mod 2)` when alternating
+// (so the step sequence never settles) or a constant when not.
+lang::Program NestedLoopProgram(int outer, bool alternating, int inner) {
+  lang::ProgramBuilder pb;
+  pb.Assign("i", lang::LitInt(0));
+  pb.Assign("acc", lang::BagLit({Datum::Int64(0)}));
+  pb.While(lang::Lt(lang::Var("i"), lang::LitInt(outer)), [&] {
+    pb.Assign("j", lang::LitInt(0));
+    if (alternating) {
+      pb.Assign("trips", lang::Add(lang::LitInt(1),
+                                   lang::Mod(lang::Var("i"),
+                                             lang::LitInt(2))));
+    } else {
+      pb.Assign("trips", lang::LitInt(inner));
+    }
+    pb.While(lang::Lt(lang::Var("j"), lang::Var("trips")), [&] {
+      pb.Assign("acc", lang::Map(lang::Var("acc"), lang::fns::AddInt64(1)));
+      pb.Assign("j", lang::Add(lang::Var("j"), lang::LitInt(1)));
+    });
+    pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1)));
+  });
+  pb.WriteFile(lang::Var("acc"), lang::LitString("out"));
+  return pb.Build();
+}
+
+TEST(StepTemplateTest, SteadyLoopReplaysAndPreservesResults) {
+  lang::Program program = workloads::StepOverheadProgram(30);
+  auto off = RunProgram(program, {}, /*step_templates=*/false);
+  auto on = RunProgram(program, {}, /*step_templates=*/true);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+  // The loop repeats one decision 30 times; templates kick in after the
+  // steady threshold and replay the rest.
+  EXPECT_GT(on->stats.template_hits, 0);
+  EXPECT_GT(on->stats.template_misses, 0);  // warm-up steps
+  // Replay saves control-plane work, it never adds any.
+  EXPECT_LT(on->stats.total_seconds, off->stats.total_seconds);
+  // Same decisions, same bags, same bytes out.
+  EXPECT_EQ(on->stats.decisions, off->stats.decisions);
+  EXPECT_EQ(on->stats.bags, off->stats.bags);
+  ExpectSameFiles(*off, *on);
+}
+
+TEST(StepTemplateTest, ReplayIsDeterministic) {
+  lang::Program program = workloads::StepOverheadProgram(30);
+  auto first = RunProgram(program, {}, /*step_templates=*/true);
+  auto second = RunProgram(program, {}, /*step_templates=*/true);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->stats.total_seconds, second->stats.total_seconds);
+  EXPECT_EQ(first->stats.template_hits, second->stats.template_hits);
+  EXPECT_EQ(first->stats.template_misses, second->stats.template_misses);
+  ExpectSameFiles(*first, *second);
+}
+
+TEST(StepTemplateTest, ValidatedReplayMatchesSlowPath) {
+  // Paranoid mode re-derives every replayed decision through the slow path
+  // and fails the run on any mismatch; a clean pass is a direct proof that
+  // instantiated templates equal fresh derivations on this program.
+  lang::Program program = workloads::StepOverheadProgram(30);
+  sim::SimFileSystem fs;
+  sim::Simulator sim;
+  sim::ClusterConfig cluster_config;
+  cluster_config.num_machines = 4;
+  sim::Cluster cluster(&sim, cluster_config);
+  ExecutorOptions options;
+  options.step_templates = true;
+  options.validate_templates = true;
+  MitosExecutor executor(&sim, &cluster, &fs, options);
+  auto stats = executor.Run(program);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->template_hits, 0);
+}
+
+TEST(StepTemplateTest, FlippingBranchNeverReplays) {
+  lang::Program program = FlippingIfProgram(12);
+  auto off = RunProgram(program, {}, /*step_templates=*/false);
+  auto on = RunProgram(program, {}, /*step_templates=*/true);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_EQ(on->stats.template_hits, 0);
+  EXPECT_GT(on->stats.template_invalidations, 0);
+  // No replay anywhere means the timeline is the templates-off timeline,
+  // to the last virtual nanosecond.
+  EXPECT_EQ(on->stats.total_seconds, off->stats.total_seconds);
+  ExpectSameFiles(*off, *on);
+}
+
+TEST(StepTemplateTest, NestedLoopChangingInnerTripsNeverReplays) {
+  lang::Program program =
+      NestedLoopProgram(/*outer=*/6, /*alternating=*/true, /*inner=*/0);
+  auto off = RunProgram(program, {}, /*step_templates=*/false);
+  auto on = RunProgram(program, {}, /*step_templates=*/true);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  // The 1,2,1,2 inner trip counts keep perturbing the step sequence before
+  // any template reaches the steady threshold.
+  EXPECT_EQ(on->stats.template_hits, 0);
+  EXPECT_GT(on->stats.template_invalidations, 0);
+  EXPECT_EQ(on->stats.total_seconds, off->stats.total_seconds);
+  ExpectSameFiles(*off, *on);
+}
+
+TEST(StepTemplateTest, NestedLoopConstantInnerTripsReplays) {
+  lang::Program program =
+      NestedLoopProgram(/*outer=*/4, /*alternating=*/false, /*inner=*/8);
+  auto off = RunProgram(program, {}, /*step_templates=*/false);
+  auto on = RunProgram(program, {}, /*step_templates=*/true);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  // Long constant inner loops settle into runs of identical steps, which
+  // do replay (mid-run), while every outer-step boundary invalidates.
+  EXPECT_GT(on->stats.template_hits, 0);
+  EXPECT_GT(on->stats.template_invalidations, 0);
+  EXPECT_LE(on->stats.total_seconds, off->stats.total_seconds);
+  EXPECT_EQ(on->stats.decisions, off->stats.decisions);
+  ExpectSameFiles(*off, *on);
+}
+
+TEST(StepTemplateTest, CrashMidLoopIdenticalToTemplatesOff) {
+  // Fault injection disables replay wholesale (recovery depends on
+  // full-fidelity control messages and freshly derived step state), so a
+  // faulted templates-on run must be event-identical to templates-off.
+  sim::SimFileSystem inputs;
+  workloads::GeneratePoints(&inputs, {.num_points = 2000,
+                                      .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+
+  auto fault_free = RunProgram(program, inputs, /*step_templates=*/true);
+  ASSERT_TRUE(fault_free.ok()) << fault_free.status().ToString();
+  const double crash_at =
+      fault_free->stats.launch_seconds +
+      0.4 * (fault_free->stats.total_seconds -
+             fault_free->stats.launch_seconds);
+
+  sim::FaultPlan plan;
+  plan.crashes.push_back(
+      {.machine = 1, .at = crash_at, .restart_after = 0.5});
+  auto off = RunProgram(program, inputs, /*step_templates=*/false, &plan);
+  auto on = RunProgram(program, inputs, /*step_templates=*/true, &plan);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_GE(on->stats.attempts, 2);
+  EXPECT_EQ(on->stats.template_hits, 0);
+  EXPECT_EQ(on->stats.total_seconds, off->stats.total_seconds);
+  EXPECT_EQ(on->stats.attempts, off->stats.attempts);
+  EXPECT_EQ(on->stats.recomputed_bags, off->stats.recomputed_bags);
+  ExpectSameFiles(*off, *on);
+  // And recovery itself still reconstructs the fault-free results.
+  ExpectSameFiles(*fault_free, *on);
+}
+
+TEST(StepTemplateTest, BaselineEnginesIgnoreTheFlag) {
+  // The flag is a Mitos control-plane feature; baseline engines must be
+  // byte-identical with it on and off.
+  sim::SimFileSystem inputs;
+  workloads::GenerateVisitLogs(&inputs, {.days = 6,
+                                         .entries_per_day = 500,
+                                         .num_pages = 50});
+  lang::Program program = workloads::VisitCountProgram({.days = 6});
+  for (api::EngineKind engine :
+       {api::EngineKind::kSpark, api::EngineKind::kFlink}) {
+    sim::SimFileSystem fs_on = inputs;
+    sim::SimFileSystem fs_off = inputs;
+    api::RunConfig config;
+    config.machines = 3;
+    config.step_templates = true;
+    auto on = api::Run(engine, program, &fs_on, config);
+    config.step_templates = false;
+    auto off = api::Run(engine, program, &fs_off, config);
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    EXPECT_EQ(on->stats.total_seconds, off->stats.total_seconds)
+        << api::EngineKindName(engine);
+  }
+}
+
+}  // namespace
+}  // namespace mitos::runtime

@@ -2,7 +2,11 @@
 // written by the figure benchmarks' --baseline-out flag) and flag runs whose
 // virtual time regressed beyond a threshold.
 //
-//   bench_diff BASE.json CURRENT.json [--threshold=0.10]
+//   bench_diff BASE.json CURRENT.json [--threshold=0.10 | --no-worse]
+//
+// --no-worse tightens the threshold to a hair above zero (1e-9 relative),
+// i.e. CURRENT must not be slower than BASE on any run at all; used by the
+// CI perf-smoke gate to assert step-templates-on never loses to off.
 //
 // Exit status: 0 when no regression, 1 when any run regressed (or a run
 // present in BASE is missing from CURRENT), 2 on usage or I/O errors.
@@ -31,6 +35,8 @@ int main(int argc, char** argv) {
                      arg.c_str());
         return 2;
       }
+    } else if (arg == "--no-worse") {
+      threshold = 1e-9;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "bench_diff: unknown flag: %s\n", arg.c_str());
       return 2;
@@ -46,7 +52,7 @@ int main(int argc, char** argv) {
   if (current_path.empty()) {
     std::fprintf(stderr,
                  "usage: bench_diff BASE.json CURRENT.json "
-                 "[--threshold=0.10]\n");
+                 "[--threshold=0.10 | --no-worse]\n");
     return 2;
   }
 
@@ -67,12 +73,12 @@ int main(int argc, char** argv) {
   std::printf("%s", diff.ToString().c_str());
   if (diff.failed()) {
     std::printf("FAIL: %d regression(s), %zu missing run(s) "
-                "(threshold %.0f%%)\n",
+                "(threshold %g%%)\n",
                 diff.regressions, diff.missing.size(), threshold * 100);
     return 1;
   }
   std::printf("OK: %zu run(s) compared, %d improvement(s), %zu new run(s) "
-              "(threshold %.0f%%)\n",
+              "(threshold %g%%)\n",
               diff.rows.size(), diff.improvements, diff.added.size(),
               threshold * 100);
   return 0;

@@ -28,6 +28,10 @@
 //                       timeline as JSON
 //   --profile           print the per-operator CPU table and the per-step
 //                       timeline (step index, path, barrier wait, data moved)
+//   --step-templates=on|off  step-template control-plane caching (Mitos
+//                       engines; default on): validated replay of per-step
+//                       bag-id/input-choice/routing decisions across
+//                       structurally identical loop iterations
 //   --faults=SPEC       deterministic fault injection (Mitos engines only):
 //                       "crash=M@T[+R]; drop=P[@SEED]; slow=MxF; ckpt=K"
 //                       e.g. --faults="crash=1@2.5+0.5" crashes machine 1 at
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
   std::string explain_format;  // "", "dot", or "json"
   std::string trace_out, metrics_out, report_out, faults_spec;
   bool have_faults = false;
+  bool step_templates = true;
   sim::SimFileSystem fs;
   std::vector<std::string> input_files;
 
@@ -156,6 +161,12 @@ int main(int argc, char** argv) {
       trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = value_of("--metrics-out=");
+    } else if (arg.rfind("--step-templates=", 0) == 0) {
+      const std::string value = value_of("--step-templates=");
+      if (value != "on" && value != "off") {
+        return Fail("--step-templates expects on or off, got " + value);
+      }
+      step_templates = value == "on";
     } else if (arg.rfind("--faults=", 0) == 0) {
       faults_spec = value_of("--faults=");
       have_faults = true;
@@ -214,6 +225,7 @@ int main(int argc, char** argv) {
   sim::FaultPlan fault_plan;
   const bool want_report = report || !report_out.empty();
   api::RunConfig config{.machines = machines};
+  config.step_templates = step_templates;
   // The analyzer consumes the same recorder the trace export does; both are
   // purely observational, so enabling them never changes virtual time.
   if (!trace_out.empty() || want_report) config.trace = &trace;
