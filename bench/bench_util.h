@@ -20,6 +20,7 @@
 #include "common/logging.h"
 #include "obs/analysis/analysis.h"
 #include "obs/analysis/baseline.h"
+#include "obs/live/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/filesystem.h"
@@ -31,6 +32,7 @@ struct BenchContext {
   std::string figure;        // e.g. "fig9"; names baseline entries
   std::string metrics_out;   // --metrics-out=FILE (JSON Lines), "" = off
   std::string baseline_out;  // --baseline-out=FILE (BENCH_*.json), "" = off
+  std::string event_log_out;  // --event-log=FILE (JSONL), "" = off
   obs::analysis::BaselineFile baseline;
   int run_index = 0;
   // --step-templates=on|off override; -1 = keep each benchmark's default.
@@ -57,6 +59,13 @@ inline std::string& MetricsOutPath() { return Context().metrics_out; }
 //                        for every run (default: the engine default, on);
 //                        CI's perf-smoke job uses this to produce the
 //                        on-vs-off baselines bench_diff --no-worse gates.
+//   --event-log=FILE     append every run's live event stream (obs/live/,
+//                        JSONL; steps, decisions, template activity,
+//                        snapshots) to FILE. Observational only — the
+//                        watchdog stays off and virtual time is untouched,
+//                        so baselines match unlogged runs byte for byte.
+//                        CI's perf-smoke job uploads the result as an
+//                        artifact.
 // `figure` is the benchmark's stable name ("fig9"); it keys baseline
 // entries so bench_diff can match runs across builds.
 inline void ParseBenchArgs(int argc, char** argv, const char* figure) {
@@ -65,6 +74,7 @@ inline void ParseBenchArgs(int argc, char** argv, const char* figure) {
   context.baseline.figure = figure;
   constexpr const char kMetricsPrefix[] = "--metrics-out=";
   constexpr const char kBaselinePrefix[] = "--baseline-out=";
+  constexpr const char kEventLogPrefix[] = "--event-log=";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind(kMetricsPrefix, 0) == 0) {
@@ -72,6 +82,9 @@ inline void ParseBenchArgs(int argc, char** argv, const char* figure) {
       std::ofstream(context.metrics_out, std::ios::trunc);  // start fresh
     } else if (arg.rfind(kBaselinePrefix, 0) == 0) {
       context.baseline_out = arg.substr(sizeof(kBaselinePrefix) - 1);
+    } else if (arg.rfind(kEventLogPrefix, 0) == 0) {
+      context.event_log_out = arg.substr(sizeof(kEventLogPrefix) - 1);
+      std::ofstream(context.event_log_out, std::ios::trunc);  // start fresh
     } else if (arg == "--step-templates=on") {
       context.step_templates_override = 1;
     } else if (arg == "--step-templates=off") {
@@ -123,6 +136,21 @@ inline runtime::RunStats RunOrDie(api::EngineKind engine,
   // Purely observational (regression-tested): attaching the recorder never
   // changes virtual time, so baselines match unobserved runs byte for byte.
   if (want_baseline) run_config.trace = &trace;
+  // Ditto for the live event log: snapshots and step records ride on
+  // observational hooks, and the watchdog stays off, so a logged run's
+  // baseline is byte-identical to an unlogged one.
+  obs::live::EventLog::Options log_options;
+  if (!context.event_log_out.empty()) {
+    log_options.sink = [&context](const std::string& text) {
+      std::ofstream(context.event_log_out, std::ios::app) << text;
+    };
+  }
+  obs::live::EventLog event_log(std::move(log_options));
+  if (!context.event_log_out.empty()) {
+    run_config.live.event_log = &event_log;
+    run_config.metrics = &metrics;
+    run_config.live.snapshots.enabled = true;
+  }
   auto result = api::Run(engine, program, &fs, run_config);
   MITOS_CHECK(result.ok()) << api::EngineKindName(engine) << ": "
                            << result.status().ToString();

@@ -122,6 +122,15 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
   // Observability: resource spans are recorded by the cluster itself, so
   // attaching here covers every engine (including the multi-job baselines).
   cluster.set_trace(config.trace);
+  obs::live::EventLog* elog = config.live.event_log;
+  if (elog != nullptr) {
+    // Attach before InstallFaultPlan so the plan's crash/restart/slowdown
+    // timeline lands in the log as "fault" records.
+    cluster.set_event_log(elog);
+    elog->Append(sim.now(), "run_begin",
+                 {{"engine", EngineKindName(engine)},
+                  {"machines", config.machines}});
+  }
   cluster.InstallFaultPlan(faults);
   ScopedLogClock log_clock(&sim);
   MITOS_VLOG(1) << "run: engine=" << EngineKindName(engine)
@@ -143,6 +152,7 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
       options.step_templates = config.step_templates;
       options.trace = config.trace;
       options.metrics = config.metrics;
+      options.live = config.live;
       options.faults = faults;
       runtime::MitosExecutor executor(&sim, &cluster, fs, options);
       stats = executor.Run(program);
@@ -181,7 +191,18 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
   }
   if (!stats.ok()) return stats.status();
   result.stats = *stats;
-  RecordRunSummary(config, engine, sim.now(), result.stats);
+  // busy_until() is when real work finished; with live observability or
+  // fault handling on, trailing background timers may have pushed now()
+  // past it (they are equal otherwise).
+  RecordRunSummary(config, engine, sim.busy_until(), result.stats);
+  if (elog != nullptr) {
+    elog->Append(sim.busy_until(), "run_end",
+                 {{"engine", EngineKindName(engine)},
+                  {"total_seconds", result.stats.total_seconds},
+                  {"decisions", result.stats.decisions},
+                  {"attempts", result.stats.attempts}});
+    elog->Flush();
+  }
   return result;
 }
 

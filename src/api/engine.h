@@ -89,6 +89,16 @@ struct RunConfig {
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 
+  // Live observability plane (obs/live/): a streaming event log (JSONL
+  // records for steps, decisions, template activity, faults, recovery,
+  // checkpoints), periodic in-run metrics snapshots, a step-level stall
+  // watchdog, and a progress callback. All default-off and observational:
+  // the run's virtual-time behavior (trace, stats, outputs) is
+  // byte-identical with the plane on or off. The event log also receives
+  // cluster-level fault records for every engine; snapshots, the watchdog,
+  // and progress are wired for the Mitos engines.
+  obs::live::LiveOptions live;
+
   // Deterministic fault injection (sim/fault.h). Caller-owned; null or an
   // empty plan leaves fault handling disabled and the run byte-identical
   // to one without fault support. Only the Mitos engines recover from

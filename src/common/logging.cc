@@ -16,7 +16,8 @@ int ParseLogLevel(const char* value) {
     if (level > kFATAL) return kFATAL;
     return level;
   }
-  char c = static_cast<char>(std::tolower(static_cast<unsigned char>(value[0])));
+  char c =
+      static_cast<char>(std::tolower(static_cast<unsigned char>(value[0])));
   switch (c) {
     case 'i': return kINFO;
     case 'w': return kWARNING;

@@ -37,7 +37,8 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 std::string BaselineFile::ToJson() const {
-  std::string out = "{\"figure\":\"" + JsonEscape(figure) + "\",";
+  std::string out = "{\"schema\":" + std::to_string(schema) + ",";
+  out += "\"figure\":\"" + JsonEscape(figure) + "\",";
   out += "\"entries\":[\n";
   bool first = true;
   for (const BaselineEntry& entry : entries) {
@@ -69,6 +70,7 @@ StatusOr<BaselineFile> BaselineFile::Parse(const std::string& json_text) {
     return Status::InvalidArgument("baseline: top level must be an object");
   }
   BaselineFile file;
+  file.schema = static_cast<int>(parsed->NumberOr("schema", 0));
   file.figure = parsed->StringOr("figure", "");
   const json::Value* entries = parsed->Find("entries");
   if (entries == nullptr || !entries->is_array()) {

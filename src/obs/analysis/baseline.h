@@ -32,6 +32,12 @@ struct BaselineEntry {
 };
 
 struct BaselineFile {
+  // Export-shape version. Writers stamp kSchemaVersion; Parse accepts
+  // files without the field (schema 0, the pre-versioned shape) so
+  // committed baselines keep loading. tools/bench_diff reports both
+  // sides' versions when they differ.
+  static constexpr int kSchemaVersion = 1;
+  int schema = kSchemaVersion;
   std::string figure;
   std::vector<BaselineEntry> entries;
 

@@ -1,0 +1,99 @@
+#include "obs/live/event_log.h"
+
+#include <cstdio>
+
+namespace mitos::obs::live {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void EventLog::Append(double vt, const std::string& kind,
+                      const TraceArgs& fields) {
+  std::string body;
+  for (const TraceArg& arg : fields) {
+    body += ",\"" + JsonEscape(arg.key) + "\":";
+    switch (arg.kind) {
+      case TraceArg::Kind::kInt:
+        body += std::to_string(arg.int_value);
+        break;
+      case TraceArg::Kind::kDouble:
+        AppendDouble(&body, arg.double_value);
+        break;
+      case TraceArg::Kind::kString:
+        body += '"' + JsonEscape(arg.string_value) + '"';
+        break;
+    }
+  }
+  AppendRaw(vt, kind, body.empty() ? body : body.substr(1));
+}
+
+void EventLog::AppendRaw(double vt, const std::string& kind,
+                         const std::string& body) {
+  std::string line = "{\"vt\":";
+  AppendDouble(&line, vt);
+  line += ",\"kind\":\"" + JsonEscape(kind) + '"';
+  if (options_.wall_clock_ms) {
+    line += ",\"wall_ms\":" + std::to_string(options_.wall_clock_ms());
+  }
+  if (!body.empty()) line += ',' + body;
+  line += "}\n";
+  Push(std::move(line), kind);
+}
+
+void EventLog::Push(std::string line, const std::string& kind) {
+  ++appended_;
+  ++kind_counts_[kind];
+  buffered_.push_back(std::move(line));
+  if (buffered_.size() <= options_.max_buffered) return;
+  if (options_.sink) {
+    Flush();
+    return;
+  }
+  buffered_.pop_front();
+  ++dropped_;
+}
+
+void EventLog::Flush() {
+  if (!options_.sink || buffered_.empty()) return;
+  std::string text;
+  for (const std::string& line : buffered_) text += line;
+  buffered_.clear();
+  options_.sink(text);
+}
+
+int64_t EventLog::CountKind(const std::string& kind) const {
+  auto it = kind_counts_.find(kind);
+  return it == kind_counts_.end() ? 0 : it->second;
+}
+
+std::string EventLog::BufferedToJsonl() const {
+  std::string out;
+  for (const std::string& line : buffered_) out += line;
+  return out;
+}
+
+}  // namespace mitos::obs::live

@@ -1,0 +1,267 @@
+#include "obs/live/prom.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace mitos::obs::live {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+// Metric-name charset: [a-zA-Z0-9_], anything else becomes '_'.
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+// One exposition family: its # HELP/# TYPE header plus sample lines.
+struct Family {
+  std::string type;
+  std::string help;
+  std::vector<std::string> samples;
+};
+
+bool LegalMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsRegistry& metrics,
+                             double virtual_seconds) {
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, value] : metrics.counters()) {
+    const std::string family = "mitos_" + Sanitize(name) + "_total";
+    Family& f = families[family];
+    f.type = "counter";
+    f.help = "Mitos counter " + EscapeHelp(name);
+    std::string sample = family + ' ' + std::to_string(value);
+    f.samples.push_back(std::move(sample));
+  }
+
+  auto add_gauge = [&families](const std::string& family,
+                               const std::string& help,
+                               const std::string& label_value, double value) {
+    Family& f = families[family];
+    f.type = "gauge";
+    f.help = help;
+    std::string sample = family;
+    if (!label_value.empty()) {
+      sample += "{op=\"" + EscapeLabelValue(label_value) + "\"}";
+    }
+    sample += ' ';
+    AppendDouble(&sample, value);
+    f.samples.push_back(std::move(sample));
+  };
+
+  for (const auto& [name, value] : metrics.gauges()) {
+    // "family/member" gauges (operator_cpu/<name>) fold into one labeled
+    // family so per-operator series share a # TYPE header.
+    const size_t slash = name.find('/');
+    if (slash != std::string::npos && slash > 0 && slash + 1 < name.size()) {
+      const std::string base = name.substr(0, slash);
+      add_gauge("mitos_" + Sanitize(base),
+                "Mitos per-member gauge " + EscapeHelp(base),
+                name.substr(slash + 1), value);
+      continue;
+    }
+    add_gauge("mitos_" + Sanitize(name), "Mitos gauge " + EscapeHelp(name),
+              "", value);
+  }
+  add_gauge("mitos_virtual_time_seconds",
+            "Virtual end time of the simulated run", "", virtual_seconds);
+
+  for (const auto& [name, h] : metrics.histograms()) {
+    const std::string family = "mitos_" + Sanitize(name);
+    Family& f = families[family];
+    f.type = "summary";
+    f.help = "Mitos histogram " + EscapeHelp(name);
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", h.p50()}, {"0.95", h.p95()}, {"0.99", h.p99()}};
+    for (const auto& [q, value] : quantiles) {
+      std::string sample = family + "{quantile=\"" + q + "\"} ";
+      AppendDouble(&sample, value);
+      f.samples.push_back(std::move(sample));
+    }
+    std::string sum = family + "_sum ";
+    AppendDouble(&sum, h.sum);
+    f.samples.push_back(std::move(sum));
+    f.samples.push_back(family + "_count " + std::to_string(h.count));
+  }
+
+  std::string out;
+  for (const auto& [family, f] : families) {
+    out += "# HELP " + family + ' ' + f.help + '\n';
+    out += "# TYPE " + family + ' ' + f.type + '\n';
+    for (const std::string& sample : f.samples) out += sample + '\n';
+  }
+  return out;
+}
+
+Status ValidatePrometheusText(const std::string& text) {
+  // family -> declared type; declaration order is enforced (HELP, then
+  // TYPE, then samples) and re-declaration is a duplicate-family error.
+  std::map<std::string, std::string> types;
+  std::map<std::string, bool> helps;
+
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    auto fail = [&line, line_no](const std::string& what) {
+      return Status::InvalidArgument("prometheus text line " +
+                                     std::to_string(line_no) + ": " + what +
+                                     ": " + line);
+    };
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const bool is_help = line.rfind("# HELP ", 0) == 0;
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      if (!is_help && !is_type) continue;  // plain comment
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      if (space == std::string::npos || space == 0) {
+        return fail("malformed # HELP/# TYPE");
+      }
+      const std::string family = rest.substr(0, space);
+      if (!LegalMetricName(family)) return fail("illegal metric name");
+      if (is_help) {
+        if (helps.count(family) > 0) return fail("duplicate # HELP");
+        helps[family] = true;
+        continue;
+      }
+      const std::string type = rest.substr(space + 1);
+      if (type != "counter" && type != "gauge" && type != "summary" &&
+          type != "histogram" && type != "untyped") {
+        return fail("unknown TYPE");
+      }
+      if (types.count(family) > 0) {
+        return fail("duplicate metric family");
+      }
+      types[family] = type;
+      continue;
+    }
+
+    // Sample line: name[{labels}] value.
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail("sample without value");
+    const std::string name = line.substr(0, name_end);
+    if (!LegalMetricName(name)) return fail("illegal sample name");
+    size_t value_begin = name_end;
+    if (line[name_end] == '{') {
+      // Scan past the label set, honoring quoted (escaped) values.
+      bool in_quotes = false;
+      size_t i = name_end + 1;
+      for (; i < line.size(); ++i) {
+        if (in_quotes) {
+          if (line[i] == '\\') {
+            ++i;
+          } else if (line[i] == '"') {
+            in_quotes = false;
+          }
+          continue;
+        }
+        if (line[i] == '"') in_quotes = true;
+        if (line[i] == '}') break;
+      }
+      if (i >= line.size()) return fail("unterminated label set");
+      value_begin = i + 1;
+    }
+    while (value_begin < line.size() && line[value_begin] == ' ') {
+      ++value_begin;
+    }
+    if (value_begin >= line.size()) return fail("sample without value");
+    const std::string value = line.substr(value_begin);
+    char* parse_end = nullptr;
+    std::strtod(value.c_str(), &parse_end);
+    if (parse_end == value.c_str() ||
+        (*parse_end != '\0' && *parse_end != ' ')) {
+      return fail("unparseable sample value");
+    }
+
+    // The sample must belong to an already-declared family — either the
+    // exact family name or its summary/histogram _sum/_count series.
+    std::string family = name;
+    if (types.count(family) == 0) {
+      for (const char* suffix : {"_sum", "_count", "_bucket"}) {
+        if (EndsWith(name, suffix)) {
+          const std::string base =
+              name.substr(0, name.size() - std::string(suffix).size());
+          if (types.count(base) > 0) {
+            family = base;
+            break;
+          }
+        }
+      }
+    }
+    if (types.count(family) == 0) {
+      return fail("sample precedes its # TYPE declaration");
+    }
+    if (helps.count(family) == 0) {
+      return fail("sample family has no # HELP");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mitos::obs::live

@@ -1,0 +1,44 @@
+// Prometheus text exposition (format 0.0.4) over a MetricsRegistry,
+// behind `mitos_run --metrics-format=prom` (DESIGN.md §10).
+//
+// Naming conventions:
+//   * every family is prefixed "mitos_" and sanitized to
+//     [a-zA-Z_][a-zA-Z0-9_]*;
+//   * counters become "<name>_total" with TYPE counter;
+//   * gauges keep their name with TYPE gauge — except gauge names of the
+//     form "family/member" (e.g. "operator_cpu/counts.push"), which fold
+//     into ONE labeled family: mitos_operator_cpu{op="counts.push"};
+//   * histograms export as TYPE summary: quantile-labeled samples for
+//     p50/p95/p99 plus "<name>_sum" and "<name>_count";
+//   * "mitos_virtual_time_seconds" carries the run's virtual end time so
+//     scrapes of the DES and the future real-parallel backend share one
+//     schema.
+//
+// Output is byte-deterministic for a given registry (sorted families,
+// %.9g numbers) and each family's # HELP/# TYPE header appears exactly
+// once — ValidatePrometheusText enforces that structure for tests and the
+// CI exposition smoke check.
+#ifndef MITOS_OBS_LIVE_PROM_H_
+#define MITOS_OBS_LIVE_PROM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace mitos::obs::live {
+
+// Renders `metrics` as Prometheus text exposition. `virtual_seconds` is
+// the run's virtual end time (mitos_virtual_time_seconds).
+std::string ToPrometheusText(const MetricsRegistry& metrics,
+                             double virtual_seconds);
+
+// Structural validation of exposition text: every sample line parses as
+// `name[{labels}] value`, names are legal, every sample belongs to a
+// family announced by a preceding # HELP + # TYPE pair, no family is
+// declared twice, and TYPE values are legal. Returns the first violation.
+Status ValidatePrometheusText(const std::string& text);
+
+}  // namespace mitos::obs::live
+
+#endif  // MITOS_OBS_LIVE_PROM_H_

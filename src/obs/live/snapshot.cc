@@ -1,0 +1,107 @@
+#include "obs/live/snapshot.h"
+
+#include <cstdio>
+
+namespace mitos::obs::live {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(const MetricsRegistry* metrics, EventLog* log,
+                               SnapshotOptions options)
+    : metrics_(metrics), log_(log), options_(options) {}
+
+void SnapshotWriter::OnStepBoundary(double vt, int step_index) {
+  if (!options_.enabled || !options_.at_step_boundaries) return;
+  Emit(vt, "step", step_index);
+}
+
+void SnapshotWriter::OnTimerTick(double vt) {
+  if (!options_.enabled) return;
+  Emit(vt, "timer", -1);
+}
+
+void SnapshotWriter::OnRunEnd(double vt) {
+  if (!options_.enabled) return;
+  Emit(vt, "final", -1);
+}
+
+void SnapshotWriter::Emit(double vt, const char* reason, int step_index) {
+  if (log_ == nullptr || metrics_ == nullptr) return;
+  std::string body = "\"seq\":" + std::to_string(seq_++) + ",\"reason\":\"" +
+                     reason + '"';
+  if (step_index >= 0) body += ",\"step\":" + std::to_string(step_index);
+
+  body += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics_->counters()) {
+    if (!first) body += ',';
+    first = false;
+    body += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  // Delta since the previous snapshot: only counters that moved, so a
+  // tail consumer sees per-interval rates without diffing itself.
+  body += "},\"deltas\":{";
+  first = true;
+  for (const auto& [name, value] : metrics_->counters()) {
+    auto it = last_counters_.find(name);
+    const int64_t delta = value - (it == last_counters_.end() ? 0
+                                                              : it->second);
+    if (delta == 0) continue;
+    if (!first) body += ',';
+    first = false;
+    body += '"' + JsonEscape(name) + "\":" + std::to_string(delta);
+  }
+  body += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : metrics_->gauges()) {
+    if (!first) body += ',';
+    first = false;
+    body += '"' + JsonEscape(name) + "\":";
+    AppendDouble(&body, value);
+  }
+  body += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics_->histograms()) {
+    if (!first) body += ',';
+    first = false;
+    body += '"' + JsonEscape(name) +
+            "\":{\"count\":" + std::to_string(h.count) + ",\"p50\":";
+    AppendDouble(&body, h.p50());
+    body += ",\"p95\":";
+    AppendDouble(&body, h.p95());
+    body += ",\"p99\":";
+    AppendDouble(&body, h.p99());
+    body += '}';
+  }
+  body += "},\"steps\":" + std::to_string(metrics_->steps().size());
+
+  last_counters_ = metrics_->counters();
+  log_->AppendRaw(vt, "snapshot", body);
+}
+
+}  // namespace mitos::obs::live

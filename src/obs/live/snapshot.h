@@ -1,0 +1,64 @@
+// SnapshotWriter: periodic in-run metrics snapshots (DESIGN.md §10).
+//
+// While a job runs, the executor calls OnStepBoundary at every control-flow
+// step and (when a cadence is configured) OnTimerTick every
+// `every_virtual_seconds` of virtual time, driven by a *background*
+// simulator timer — so snapshots observe the run without perturbing it.
+// Each snapshot serializes the MetricsRegistry as one "snapshot" record in
+// the EventLog: full counters plus the delta since the previous snapshot,
+// gauges, histogram summaries (count/p50/p95/p99), and the step-timeline
+// length. Dual timestamps come for free from the EventLog record shape
+// (virtual "vt" always; "wall_ms" when a wall clock is wired).
+#ifndef MITOS_OBS_LIVE_SNAPSHOT_H_
+#define MITOS_OBS_LIVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/live/event_log.h"
+#include "obs/metrics.h"
+
+namespace mitos::obs::live {
+
+struct SnapshotOptions {
+  bool enabled = false;
+  // Virtual-time cadence of timer snapshots; <= 0 disables the timer and
+  // keeps step-boundary snapshots only.
+  double every_virtual_seconds = 0;
+  // Snapshot at every control-flow step boundary.
+  bool at_step_boundaries = true;
+};
+
+class SnapshotWriter {
+ public:
+  // `metrics` and `log` are caller-owned and must outlive the writer.
+  SnapshotWriter(const MetricsRegistry* metrics, EventLog* log,
+                 SnapshotOptions options);
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  // A control-flow step completed (step_index is the 0-based decision).
+  void OnStepBoundary(double vt, int step_index);
+  // The background cadence timer fired.
+  void OnTimerTick(double vt);
+  // Final snapshot at job completion (reason "final").
+  void OnRunEnd(double vt);
+
+  int64_t snapshots() const { return seq_; }
+  const SnapshotOptions& options() const { return options_; }
+
+ private:
+  void Emit(double vt, const char* reason, int step_index);
+
+  const MetricsRegistry* metrics_;
+  EventLog* log_;
+  SnapshotOptions options_;
+  // Previous snapshot's counter values, for the delta section.
+  std::map<std::string, int64_t> last_counters_;
+  int64_t seq_ = 0;
+};
+
+}  // namespace mitos::obs::live
+
+#endif  // MITOS_OBS_LIVE_SNAPSHOT_H_

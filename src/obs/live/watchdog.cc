@@ -1,0 +1,78 @@
+#include "obs/live/watchdog.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mitos::obs::live {
+
+StepWatchdog::StepWatchdog(sim::Simulator* sim, EventLog* log,
+                           WatchdogConfig config)
+    : sim_(sim), log_(log), config_(config) {}
+
+StepWatchdog::~StepWatchdog() { *alive_ = false; }
+
+double StepWatchdog::MedianGap() const {
+  if (gaps_.empty()) return 0;
+  std::vector<double> sorted(gaps_.begin(), gaps_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+void StepWatchdog::OnStepCompleted(double vt, int step_index) {
+  if (step_index >= 0) {
+    if (origin_set_) {
+      gaps_.push_back(vt - last_step_time_);
+      while (static_cast<int>(gaps_.size()) > config_.window_steps) {
+        gaps_.pop_front();
+      }
+    }
+    ++completed_;
+  }
+  origin_set_ = true;
+  last_step_time_ = vt;
+  last_step_index_ = step_index;
+
+  if (!config_.enabled || completed_ < config_.min_samples ||
+      reports_ >= config_.max_reports) {
+    return;
+  }
+  const double median = MedianGap();
+  const double window =
+      std::max(config_.min_window_seconds, config_.multiplier * median);
+  Arm(window, median);
+}
+
+void StepWatchdog::Arm(double window, double median) {
+  const int armed_step = last_step_index_;
+  std::shared_ptr<bool> alive = alive_;
+  sim_->ScheduleBackgroundAfter(
+      window, [this, alive, armed_step, window, median] {
+        if (!*alive) return;
+        Check(armed_step, window, median);
+      });
+}
+
+void StepWatchdog::Check(int armed_step, double window, double median) {
+  if (last_step_index_ != armed_step) return;  // a newer step completed
+  if (quiescent_ && quiescent_()) return;      // the job finished cleanly
+  if (reports_ >= config_.max_reports) return;
+  ++stalls_;
+  ++reports_;
+  if (log_ != nullptr) {
+    TraceArgs args = {{"step", armed_step + 1},
+                      {"last_step", armed_step},
+                      {"silent_for", window},
+                      {"median_gap", median},
+                      {"report", reports_}};
+    if (diagnose_) args.emplace_back("diagnosis", diagnose_());
+    log_->Append(sim_->now(), "watchdog_stall", args);
+    log_->Flush();
+  }
+  // Back off: a persistent stall re-reports with a doubled window until
+  // max_reports, then the watchdog goes quiet and the queue can drain.
+  if (reports_ < config_.max_reports) Arm(window * 2, median);
+}
+
+}  // namespace mitos::obs::live

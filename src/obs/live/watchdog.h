@@ -1,0 +1,107 @@
+// StepWatchdog: step-level stall detection over the live event plane
+// (DESIGN.md §10).
+//
+// The runtime reports every completed control-flow step; the watchdog
+// keeps a rolling window of inter-step gaps and, after each step, arms a
+// *background* simulator timer at
+//     max(min_window_seconds, multiplier × median(recent gaps)).
+// If the timer fires with no newer step completed and the job not yet
+// quiescent, the watchdog emits a structured "watchdog_stall" record with
+// an actionable diagnosis (the runtime wires a probe that lists the
+// hosts/operators still holding work, machine states included — the same
+// attribution the post-run straggler report uses). Detection then re-arms
+// with a doubled window, up to max_reports per run.
+//
+// Arming uses ScheduleBackgroundAfter exclusively, so an enabled watchdog
+// never holds the superstep barrier, never advances busy_until(), and
+// leaves the virtual-time event stream byte-identical to a run without it
+// (the zero-perturbation regression in tests/obs/live_test.cc).
+//
+// The rolling-median window (not a fixed threshold) is what keeps the
+// watchdog silent across workloads whose step durations differ by orders
+// of magnitude: it adapts to each run's own cadence and only fires when a
+// step falls far outside that run's recent behavior. min_samples delays
+// arming until a cadence exists (first steps include job launch and cold
+// input reads), and min_window_seconds floors the window for
+// sub-millisecond-step microbenchmarks.
+#ifndef MITOS_OBS_LIVE_WATCHDOG_H_
+#define MITOS_OBS_LIVE_WATCHDOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/live/event_log.h"
+#include "sim/simulator.h"
+
+namespace mitos::obs::live {
+
+// Plain-data watchdog thresholds (carried through RunConfig; the runtime
+// wires the probes and constructs the StepWatchdog per attempt).
+struct WatchdogConfig {
+  bool enabled = false;
+  // Stall window = multiplier × rolling median inter-step gap.
+  double multiplier = 8.0;
+  // Floor on the stall window (seconds of virtual time).
+  double min_window_seconds = 0.5;
+  // Rolling window length (completed-step gaps).
+  int window_steps = 16;
+  // Completed steps required before the watchdog arms.
+  int min_samples = 3;
+  // Stall reports per run before the watchdog goes quiet.
+  int max_reports = 4;
+};
+
+class StepWatchdog {
+ public:
+  StepWatchdog(sim::Simulator* sim, EventLog* log, WatchdogConfig config);
+  ~StepWatchdog();
+  StepWatchdog(const StepWatchdog&) = delete;
+  StepWatchdog& operator=(const StepWatchdog&) = delete;
+
+  // Probe returning a short human-readable list of what is behind
+  // (non-idle hosts with machine/queue state). Wired by the executor.
+  void set_diagnose(std::function<std::string()> fn) {
+    diagnose_ = std::move(fn);
+  }
+  // Probe: true once the job completed or failed (checks become no-ops).
+  void set_quiescent(std::function<bool()> fn) {
+    quiescent_ = std::move(fn);
+  }
+
+  // A control-flow step completed at virtual time `vt`. `step_index` is
+  // the 0-based decision index; pass -1 for the initial path seed (it
+  // establishes the timing origin without recording a gap).
+  void OnStepCompleted(double vt, int step_index);
+
+  int64_t stalls() const { return stalls_; }
+  const WatchdogConfig& config() const { return config_; }
+
+ private:
+  void Arm(double window, double armed_for_extra);
+  void Check(int armed_step, double window, double median);
+  double MedianGap() const;
+
+  sim::Simulator* sim_;
+  EventLog* log_;
+  WatchdogConfig config_;
+  std::function<std::string()> diagnose_;
+  std::function<bool()> quiescent_;
+
+  std::deque<double> gaps_;  // most recent window_steps inter-step gaps
+  double last_step_time_ = 0;
+  int last_step_index_ = -1;
+  bool origin_set_ = false;
+  int completed_ = 0;
+  int64_t stalls_ = 0;
+  int reports_ = 0;
+  // Turns queued background checks inert once the watchdog is destroyed
+  // (an attempt ended while its final check was still queued).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mitos::obs::live
+
+#endif  // MITOS_OBS_LIVE_WATCHDOG_H_

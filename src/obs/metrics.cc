@@ -103,7 +103,10 @@ const HistogramData* MetricsRegistry::histogram(
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::string out = "{\"counters\":{";
+  // "schema" versions the export shape for downstream consumers
+  // (tools/bench_diff, dashboards); bump it when a key is renamed or
+  // removed, not when new keys appear.
+  std::string out = "{\"schema\":1,\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters_) {
     if (!first) out += ',';

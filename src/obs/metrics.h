@@ -85,8 +85,9 @@ class MetricsRegistry {
   }
   const std::vector<StepRecord>& steps() const { return steps_; }
 
-  // {"counters":{…},"gauges":{…},"histograms":{…},"steps":[…]} — sorted
-  // keys, fixed number formatting: byte-deterministic.
+  // {"schema":1,"counters":{…},"gauges":{…},"histograms":{…},"steps":[…]}
+  // — sorted keys, fixed number formatting: byte-deterministic. "schema"
+  // versions the export shape (bumped on renames/removals only).
   std::string ToJson() const;
 
   // Human-readable per-step table (used by mitos_run --profile).

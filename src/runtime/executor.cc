@@ -12,6 +12,8 @@
 #include "ir/fusion.h"
 #include "ir/ssa.h"
 #include "ir/verify.h"
+#include "obs/live/snapshot.h"
+#include "obs/live/watchdog.h"
 #include "runtime/host.h"
 #include "runtime/recovery.h"
 #include "runtime/translator.h"
@@ -108,6 +110,32 @@ class Job : public RuntimeContext {
       auth_options.on_checkpoint = [this] { OnCheckpoint(); };
     }
 
+    // Live observability plane (obs/live/). All hooks are observational
+    // and the periodic machinery (snapshot cadence, watchdog checks) runs
+    // on background timers, so the foreground schedule — and therefore the
+    // run's virtual-time behavior — is untouched.
+    obs::live::EventLog* elog = options_.live.event_log;
+    if (elog != nullptr) {
+      auth_options.event_log = elog;
+      if (cluster_->event_log() == nullptr) cluster_->set_event_log(elog);
+    }
+    if (options_.live.any()) {
+      auth_options.on_step = [this](int step, bool initial) {
+        OnLiveStep(step, initial);
+      };
+    }
+    if (elog != nullptr && options_.metrics != nullptr &&
+        options_.live.snapshots.enabled) {
+      snapshots_ = std::make_unique<obs::live::SnapshotWriter>(
+          options_.metrics, elog, options_.live.snapshots);
+    }
+    if (elog != nullptr && options_.live.watchdog.enabled) {
+      watchdog_ = std::make_unique<obs::live::StepWatchdog>(
+          sim_, elog, options_.live.watchdog);
+      watchdog_->set_quiescent([this] { return failed() || JobDone(); });
+      watchdog_->set_diagnose([this] { return StuckHosts(); });
+    }
+
     managers_.clear();
     manager_ptrs_.clear();
     for (int m = 0; m < machines; ++m) {
@@ -149,6 +177,13 @@ class Job : public RuntimeContext {
       MonitorTick();
     }
 
+    // Periodic snapshot cadence (every K virtual seconds, on top of the
+    // per-step-boundary snapshots OnLiveStep emits).
+    if (snapshots_ != nullptr &&
+        options_.live.snapshots.every_virtual_seconds > 0) {
+      SnapshotTick();
+    }
+
     sim_->Run();
 
     if (!status_.ok()) return status_;
@@ -169,12 +204,17 @@ class Job : public RuntimeContext {
     }
 
     RunStats stats;
-    // Under fault handling, trailing background timers (heartbeats, ack
-    // timeouts) may outlive the real work; busy_until() is when the last
-    // foreground event ran.
-    const double t_end =
-        faults_ != nullptr ? std::max(t_start, sim_->busy_until())
-                           : sim_->now();
+    // Under fault handling or live observability, trailing background
+    // timers (heartbeats, ack timeouts, watchdog checks, snapshot ticks)
+    // may outlive the real work; busy_until() is when the last foreground
+    // event ran. Without background events busy_until() == now(), so this
+    // never changes a plain run's reported time.
+    const bool background_timers = faults_ != nullptr ||
+                                   watchdog_ != nullptr ||
+                                   snapshots_ != nullptr;
+    const double t_end = background_timers
+                             ? std::max(t_start, sim_->busy_until())
+                             : sim_->now();
     stats.total_seconds = t_end - t_start;
     stats.launch_seconds = launch;
     stats.jobs = 1;
@@ -206,7 +246,7 @@ class Job : public RuntimeContext {
       int lane = tr->Lane(obs::kEnginePid, "jobs");
       tr->Span(obs::kEnginePid, lane, "launch", "job", t_start,
                t_start + launch, {{"machines", machines}});
-      tr->Span(obs::kEnginePid, lane, "job", "job", t_start, sim_->now(),
+      tr->Span(obs::kEnginePid, lane, "job", "job", t_start, t_end,
                {{"operators", graph_.num_nodes()},
                 {"decisions", stats.decisions},
                 {"bags", stats.bags}});
@@ -225,6 +265,7 @@ class Job : public RuntimeContext {
       mr->Observe("job_launch_seconds", launch);
       mr->Observe("job_seconds", stats.total_seconds);
     }
+    if (snapshots_ != nullptr) snapshots_->OnRunEnd(t_end);
     MITOS_VLOG(1) << "job done: " << stats.ToString();
     return stats;
   }
@@ -242,7 +283,16 @@ class Job : public RuntimeContext {
   bool validate_templates() const override {
     return options_.validate_templates;
   }
-  void CountTemplateHit() override { ++template_hits_; }
+  void CountTemplateHit(dataflow::NodeId node, int instance,
+                        int path_len) override {
+    ++template_hits_;
+    if (obs::live::EventLog* elog = options_.live.event_log) {
+      elog->Append(sim_->now(), "template_hit",
+                   {{"node", graph_.node(node).name},
+                    {"instance", instance},
+                    {"path_len", path_len}});
+    }
+  }
   void CountTemplateMiss() override { ++template_misses_; }
   obs::TraceRecorder* trace() const override {
     return options_.trace != nullptr ? options_.trace : cluster_->trace();
@@ -386,10 +436,18 @@ class Job : public RuntimeContext {
   void MonitorTick() {
     if (failed() || JobDone()) return;  // chain ends; queue can drain
     const double now = sim_->now();
+    obs::live::EventLog* elog = options_.live.event_log;
     for (int m = 0; m < cluster_->num_machines(); ++m) {
       if (!cluster_->machine_up(m) &&
           now - cluster_->machine_down_since(m) >=
               faults_->heartbeat_timeout) {
+        if (elog != nullptr) {
+          elog->Append(now, "fault",
+                       {{"what", "machine_lost"},
+                        {"machine", m},
+                        {"down_for",
+                         now - cluster_->machine_down_since(m)}});
+        }
         Fail(Status::Unavailable(
             "machine " + std::to_string(m) + " lost (no heartbeat for " +
             std::to_string(now - cluster_->machine_down_since(m)) + "s)"));
@@ -397,6 +455,11 @@ class Job : public RuntimeContext {
       }
     }
     if (now - last_progress_ > faults_->stall_timeout) {
+      if (elog != nullptr) {
+        elog->Append(now, "fault",
+                     {{"what", "attempt_stalled"},
+                      {"silent_for", now - last_progress_}});
+      }
       Fail(Status::Unavailable(
           "attempt stalled: no delivery or completed work for " +
           std::to_string(now - last_progress_) + "s"));
@@ -404,6 +467,44 @@ class Job : public RuntimeContext {
     }
     sim_->ScheduleBackgroundAfter(faults_->heartbeat_interval,
                                   [this] { MonitorTick(); });
+  }
+
+  // Background snapshot cadence; the chain ends at job completion (or
+  // failure) so the simulator's queue can drain.
+  void SnapshotTick() {
+    sim_->ScheduleBackgroundAfter(
+        options_.live.snapshots.every_virtual_seconds, [this] {
+          if (failed() || JobDone()) return;
+          snapshots_->OnTimerTick(sim_->now());
+          SnapshotTick();
+        });
+  }
+
+  // Fired by the path authority at every broadcast (step_index = the
+  // completed 0-based decision, -1 for the initial path seed).
+  void OnLiveStep(int step, bool initial) {
+    const double now = sim_->now();
+    if (snapshots_ != nullptr && !initial &&
+        options_.live.snapshots.at_step_boundaries) {
+      snapshots_->OnStepBoundary(now, step);
+    }
+    if (watchdog_ != nullptr) {
+      watchdog_->OnStepCompleted(now, initial ? -1 : step);
+    }
+    if (options_.live.progress) {
+      obs::live::Progress p;
+      p.virtual_time = now;
+      p.step = step;
+      p.path_len = path_.size();
+      p.attempt = attempt_;
+      p.template_hits = template_hits_;
+      p.template_misses = template_misses_;
+      p.faults_seen = options_.live.event_log != nullptr
+                          ? options_.live.event_log->CountKind("fault")
+                          : 0;
+      p.complete = path_.complete();
+      options_.live.progress(p);
+    }
   }
 
   // Every k-th control-flow decision: everything finished so far becomes
@@ -426,6 +527,11 @@ class Job : public RuntimeContext {
                   "checkpoint", "fault", sim_->now(),
                   {{"decisions", authority_->decisions()},
                    {"bytes", static_cast<int64_t>(per_machine) * machines}});
+    }
+    if (obs::live::EventLog* elog = options_.live.event_log) {
+      elog->Append(sim_->now(), "checkpoint",
+                   {{"decisions", authority_->decisions()},
+                    {"bytes", static_cast<int64_t>(per_machine) * machines}});
     }
     if (options_.metrics != nullptr) options_.metrics->Inc("checkpoints");
   }
@@ -458,6 +564,10 @@ class Job : public RuntimeContext {
   std::vector<ControlFlowManager*> manager_ptrs_;
   std::unique_ptr<PathAuthority> authority_;
   std::vector<std::vector<std::unique_ptr<BagOperatorHost>>> hosts_;
+
+  // Live observability (null when the plane is off; see obs/live/).
+  std::unique_ptr<obs::live::SnapshotWriter> snapshots_;
+  std::unique_ptr<obs::live::StepWatchdog> watchdog_;
 
   Status status_;
   int64_t bags_ = 0;
@@ -543,6 +653,13 @@ StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
                                 {"survivors", recovery.num_survivors()},
                                 {"durable", recovery.num_durable()}});
       }
+      if (options.live.event_log != nullptr) {
+        options.live.event_log->Append(
+            sim->now(), "recovery",
+            {{"attempt", attempt},
+             {"survivors", recovery.num_survivors()},
+             {"durable", recovery.num_durable()}});
+      }
     }
     const double attempt_start = sim->now();
     Job job(sim, cluster, fs, program, graph, options, &recovery, attempt);
@@ -595,6 +712,13 @@ StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
       options.trace->Instant(
           obs::kEnginePid, lane, "attempt-failed", "fault", sim->now(),
           {{"attempt", attempt}, {"error", last_error.message()}});
+    }
+    if (options.live.event_log != nullptr) {
+      options.live.event_log->Append(
+          sim->now(), "fault",
+          {{"what", "attempt_failed"},
+           {"attempt", attempt},
+           {"error", last_error.message()}});
     }
   }
   return last_error;

@@ -17,6 +17,7 @@
 #include "dataflow/graph.h"
 #include "ir/ir.h"
 #include "lang/ast.h"
+#include "obs/live/live.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/path.h"
@@ -71,6 +72,12 @@ struct ExecutorOptions {
   // entirely — no events, no extra allocations, no simulated cost.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Live observability plane (obs/live/): streaming event log, periodic
+  // metrics snapshots, step-level stall watchdog, and progress callback.
+  // All default-off; when enabled, everything runs on background timers
+  // and observational hooks only, so the virtual-time schedule of the run
+  // is byte-identical to a run with the plane disabled.
+  obs::live::LiveOptions live;
   // Fault plan (caller-owned, already installed on the cluster; nullptr =
   // fault handling off). With a plan, ExecuteJob runs an attempt loop:
   // failed attempts (machine lost, stalled) are discarded and the job

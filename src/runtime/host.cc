@@ -186,7 +186,7 @@ void BagOperatorHost::OnBlockOccurrence(int pos) {
       }
     }
     step_template_.CommitReplay(pos);
-    ctx_->CountTemplateHit();
+    ctx_->CountTemplateHit(node_->id, instance_, path_len);
     if (obs::TraceRecorder* tr = ctx_->trace()) {
       tr->Instant(obs::MachinePid(machine_), TraceLane(), "template-replay",
                   "template", ctx_->cluster()->sim()->now(),

@@ -77,7 +77,14 @@ class RuntimeContext {
   // Paranoid mode: every template replay is cross-checked against the
   // slow-path computation; a mismatch fails the job with Status::Internal.
   virtual bool validate_templates() const { return false; }
-  virtual void CountTemplateHit() {}
+  // A template replay/miss on `node`'s `instance` for the bag at
+  // `path_len` (the executor counts these and feeds the live event log).
+  virtual void CountTemplateHit(dataflow::NodeId node, int instance,
+                                int path_len) {
+    (void)node;
+    (void)instance;
+    (void)path_len;
+  }
   virtual void CountTemplateMiss() {}
 
   virtual BagOperatorHost* host(dataflow::NodeId node, int instance) = 0;

@@ -111,6 +111,14 @@ void PathAuthority::OnDecision(ir::BlockId block, int at_len, bool value,
          {"path_len", at_len}});
   }
   if (options_.metrics != nullptr) options_.metrics->Inc("decisions");
+  if (options_.event_log != nullptr) {
+    options_.event_log->Append(cluster_->sim()->now(), "decision",
+                               {{"step", decisions_ - 1},
+                                {"block", block},
+                                {"value", value},
+                                {"path_len", at_len},
+                                {"machine", machine}});
+  }
   const double now = cluster_->sim()->now();
   pending_step_ = PendingStep{block, value, now, now};
   AppendChain(value ? term.target : term.target_else, machine);
@@ -162,11 +170,33 @@ void PathAuthority::RecordStep(bool initial) {
       options_.metrics->Observe("step_decision_overhead_seconds",
                                 record.decision_overhead);
     }
+    if (options_.event_log != nullptr) {
+      options_.event_log->Append(
+          now, "step_end",
+          {{"step", step},
+           {"block", pending_step_.block},
+           {"value", pending_step_.value},
+           {"path_len", path_->size()},
+           {"barrier_wait", barrier_wait},
+           {"decision_overhead", decision_overhead},
+           {"elements", elements - last_elements_},
+           {"net_bytes", cm.network_bytes - last_net_bytes_},
+           {"disk_bytes", cm.disk_bytes - last_disk_bytes_}});
+    }
   }
   last_broadcast_time_ = now;
   last_elements_ = elements;
   last_net_bytes_ = cm.network_bytes;
   last_disk_bytes_ = cm.disk_bytes;
+  if (options_.event_log != nullptr && !path_->complete()) {
+    // The next step starts at this broadcast: it runs until the next
+    // decision's broadcast closes it with a matching step_end.
+    options_.event_log->Append(
+        now, "step_begin",
+        {{"step", decisions_}, {"path_len", path_->size()}});
+  }
+  if (options_.on_step) options_.on_step(initial ? -1 : decisions_ - 1,
+                                         initial);
 }
 
 void PathAuthority::AppendChain(ir::BlockId block, int machine,
@@ -198,7 +228,17 @@ void PathAuthority::AppendChain(ir::BlockId block, int machine,
   // the initial (job-start) seed is never a cached step.
   StepMeta meta;
   if (options_.step_templates && !initial) {
+    const int64_t invalidations_before = tracker_.invalidations();
     meta = tracker_.OnStep(pending_step_.block, pending_step_.value, chain);
+    if (options_.event_log != nullptr &&
+        tracker_.invalidations() > invalidations_before) {
+      options_.event_log->Append(cluster_->sim()->now(),
+                                 "template_invalidation",
+                                 {{"step", decisions_ - 1},
+                                  {"block", pending_step_.block},
+                                  {"value", pending_step_.value},
+                                  {"path_len", path_->size()}});
+    }
   }
   last_step_replayable_ = !initial && meta.replayable;
   for (ir::BlockId b : chain) path_->Append(b, meta);
@@ -258,7 +298,8 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
 
   auto do_broadcast = [this, new_len, complete, from_machine, initial,
                        templated] {
-    if (options_.trace != nullptr || options_.metrics != nullptr) {
+    if (options_.trace != nullptr || options_.metrics != nullptr ||
+        options_.event_log != nullptr || options_.on_step) {
       RecordStep(initial);
     }
     if (templated && options_.metrics != nullptr) {

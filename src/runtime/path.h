@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "dataflow/graph.h"
 #include "ir/ir.h"
+#include "obs/live/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/step_template.h"
@@ -198,6 +199,15 @@ class PathAuthority {
     // engine process; the registry gets one StepRecord per decision.
     obs::TraceRecorder* trace = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
+    // Live observability (obs/live/, all optional). The event log gets one
+    // "decision" record per control-flow decision, "step_begin"/"step_end"
+    // records bracketing every step, and "template_invalidation" records
+    // when a cached step shape is contradicted. `on_step` fires at every
+    // broadcast (step_index = the completed 0-based decision, -1 for the
+    // initial path seed) — the executor drives snapshots, the watchdog,
+    // and progress reporting from it. Both are observational only.
+    obs::live::EventLog* event_log = nullptr;
+    std::function<void(int step_index, bool initial)> on_step;
     // Supplies the job's running operator-input element count, so step
     // records can report per-step element deltas (wired by the executor).
     std::function<int64_t()> elements_probe;

@@ -67,6 +67,30 @@ void Cluster::InstallFaultPlan(const FaultPlan* plan) {
       }
     }
   }
+  if (event_log_ != nullptr) {
+    // Same timeline for live consumers. The records carry the *scheduled*
+    // virtual times (possibly in the future of the append), which lets a
+    // tail show upcoming injected failures; consumers sort by "vt".
+    for (const FaultPlan::Crash& crash : plan->crashes) {
+      event_log_->Append(crash.at, "fault",
+                         {{"what", "crash"}, {"machine", crash.machine}});
+      if (crash.restart_after >= 0) {
+        event_log_->Append(crash.at + crash.restart_after, "fault",
+                           {{"what", "restart"},
+                            {"machine", crash.machine}});
+      }
+    }
+    for (const FaultPlan::Slowdown& slow : plan->slowdowns) {
+      obs::TraceArgs args = {{"what", "slowdown"},
+                             {"machine", slow.machine},
+                             {"multiplier", slow.multiplier},
+                             {"from", slow.from}};
+      if (slow.until != FaultPlan::kForever) {
+        args.emplace_back("until", slow.until);
+      }
+      event_log_->Append(slow.from, "fault", args);
+    }
+  }
 }
 
 int Cluster::EpochAt(int machine, SimTime t) const {
@@ -136,7 +160,7 @@ void Cluster::ExecCpu(int machine, double cpu_seconds,
   if (faults_ != nullptr) {
     RefreshFaultView(machine);
     if (!machine_up(machine)) return;  // work issued on a dead machine
-    cpu_seconds *= faults_->SlowdownFor(machine);
+    cpu_seconds *= faults_->SlowdownFor(machine, sim_->now());
   }
   metrics_.cpu_seconds += cpu_seconds;
   CoreSlot slot = AcquireCore(machine, cpu_seconds);
@@ -223,6 +247,13 @@ void Cluster::SendRemote(int src, int dst, size_t bytes,
         int pid = obs::MachinePid(src);
         trace_->Instant(pid, trace_->Lane(pid, "nic-out"), "drop", "fault",
                         sent, {{"dst", dst}, {"try", tries}});
+      }
+      if (event_log_ != nullptr) {
+        event_log_->Append(sent, "fault",
+                           {{"what", "drop"},
+                            {"src", src},
+                            {"dst", dst},
+                            {"try", tries}});
       }
       if (tries >= faults_->max_retransmits) {  // message lost for good
         out_free = sent;

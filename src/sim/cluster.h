@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/live/event_log.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -86,6 +87,12 @@ class Cluster {
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
   obs::TraceRecorder* trace() const { return trace_; }
 
+  // Attaches a streaming event log (obs/live/); nullptr disables it. Like
+  // the recorder it is purely observational: the cluster appends fault
+  // records (drops, the crash/restart timeline) without changing the run.
+  void set_event_log(obs::live::EventLog* log) { event_log_ = log; }
+  obs::live::EventLog* event_log() const { return event_log_; }
+
   // Installs a fault plan (caller-owned; may be nullptr). A null or empty
   // plan disables fault handling entirely — every operation then behaves
   // byte-identically to a cluster without fault support. With a plan
@@ -155,6 +162,7 @@ class Cluster {
   Simulator* sim_;
   ClusterConfig config_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::live::EventLog* event_log_ = nullptr;
   // core_free_[m][c]: time when core c of machine m becomes free.
   std::vector<std::vector<SimTime>> core_free_;
   std::vector<SimTime> nic_out_free_;

@@ -53,8 +53,13 @@ std::string FaultPlan::ToString() const {
         std::to_string(drop_seed));
   }
   for (const Slowdown& s : slowdowns) {
-    add("slow=" + std::to_string(s.machine) + "x" +
-        FormatDouble(s.multiplier));
+    std::string piece = "slow=" + std::to_string(s.machine) + "x" +
+                        FormatDouble(s.multiplier);
+    if (s.from > 0 || s.until != kForever) {
+      piece += "@" + FormatDouble(s.from);
+      if (s.until != kForever) piece += ":" + FormatDouble(s.until);
+    }
+    add(piece);
   }
   if (checkpoint_every > 0) add("ckpt=" + std::to_string(checkpoint_every));
   return out;
@@ -116,15 +121,39 @@ StatusOr<FaultPlan> FaultPlan::Parse(const std::string& spec) {
         plan.drop_seed = static_cast<uint64_t>(seed);
       }
     } else if (key == "slow") {
-      // MxF
+      // MxF[@FROM[:UNTIL]]
       size_t x = value.find('x');
+      size_t at = value.find('@');
+      std::string f_str = at == std::string::npos
+                              ? value.substr(x == std::string::npos
+                                                 ? value.size()
+                                                 : x + 1)
+                              : value.substr(x + 1, at - x - 1);
       Slowdown slow;
-      if (x == std::string::npos ||
+      if (x == std::string::npos || (at != std::string::npos && at < x) ||
           !ParseInt(value.substr(0, x), &slow.machine) ||
-          !ParseDouble(value.substr(x + 1), &slow.multiplier) ||
-          slow.machine < 0 || slow.multiplier < 1.0) {
-        return Status::InvalidArgument("slow expects MxF with F >= 1: " +
-                                       value);
+          !ParseDouble(f_str, &slow.multiplier) || slow.machine < 0 ||
+          slow.multiplier < 1.0) {
+        return Status::InvalidArgument(
+            "slow expects MxF[@FROM[:UNTIL]] with F >= 1: " + value);
+      }
+      if (at != std::string::npos) {
+        std::string window = value.substr(at + 1);
+        size_t colon = window.find(':');
+        std::string from_str = colon == std::string::npos
+                                   ? window
+                                   : window.substr(0, colon);
+        if (!ParseDouble(from_str, &slow.from) || slow.from < 0) {
+          return Status::InvalidArgument(
+              "slow expects MxF[@FROM[:UNTIL]]: " + value);
+        }
+        if (colon != std::string::npos &&
+            (!ParseDouble(window.substr(colon + 1), &slow.until) ||
+             slow.until <= slow.from)) {
+          return Status::InvalidArgument(
+              "slow expects MxF[@FROM[:UNTIL]] with UNTIL > FROM: " +
+              value);
+        }
       }
       plan.slowdowns.push_back(slow);
     } else if (key == "hb") {

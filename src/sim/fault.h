@@ -17,6 +17,7 @@
 #define MITOS_SIM_FAULT_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,9 @@
 namespace mitos::sim {
 
 struct FaultPlan {
+  static constexpr double kForever =
+      std::numeric_limits<double>::infinity();
+
   // Machine `machine` crashes at virtual time `at`, losing all in-flight
   // deliveries, queued work, and cached state. With `restart_after` >= 0 it
   // comes back (empty) that many seconds later; < 0 means gone for good.
@@ -35,10 +39,15 @@ struct FaultPlan {
   };
 
   // Machine `machine` executes CPU work `multiplier` times slower
-  // (straggler model).
+  // (straggler model) while virtual time is in [from, until). The default
+  // window covers the whole run; a mid-run `from` models a machine that
+  // degrades (thermal throttling, a noisy neighbor arriving) — the regime
+  // the step-level watchdog (obs/live/watchdog.h) is tested against.
   struct Slowdown {
     int machine = 0;
     double multiplier = 1.0;
+    double from = 0;
+    double until = kForever;
   };
 
   std::vector<Crash> crashes;
@@ -80,12 +89,16 @@ struct FaultPlan {
     return crashes.empty() && slowdowns.empty() && drop_probability <= 0;
   }
 
-  // CPU multiplier for `machine` (1.0 when not slowed).
-  double SlowdownFor(int machine) const {
+  // CPU multiplier for `machine` at virtual time `t` (1.0 when no
+  // slowdown window covers `t`). Overlapping windows multiply.
+  double SlowdownFor(int machine, double t) const {
+    double multiplier = 1.0;
     for (const Slowdown& s : slowdowns) {
-      if (s.machine == machine) return s.multiplier;
+      if (s.machine == machine && t >= s.from && t < s.until) {
+        multiplier *= s.multiplier;
+      }
     }
-    return 1.0;
+    return multiplier;
   }
 
   // Round-trippable textual form in the Parse grammar.
@@ -94,7 +107,9 @@ struct FaultPlan {
   // Parses a semicolon-separated spec (whitespace tolerated):
   //   crash=M@T[+R]   machine M crashes at time T, restarts after R
   //   drop=P[@SEED]   drop probability P, optional RNG seed
-  //   slow=MxF        machine M runs CPU F times slower
+  //   slow=MxF[@FROM[:UNTIL]]  machine M runs CPU F times slower, over the
+  //                   virtual-time window [FROM, UNTIL) (whole run when
+  //                   omitted)
   //   hb=I/T          heartbeat interval I, timeout T
   //   stall=S         progress-stall timeout
   //   retry=B/N       broadcast retry backoff B, max retries N

@@ -198,7 +198,9 @@ TEST(EngineAgreementTest, ConnectedComponentsConvergenceLoop) {
   std::vector<int64_t> parent(vertices->size());
   for (size_t i = 0; i < parent.size(); ++i) parent[i] = (int64_t)i;
   std::function<int64_t(int64_t)> find = [&](int64_t x) {
-    while (parent[(size_t)x] != x) x = parent[(size_t)x] = parent[(size_t)parent[(size_t)x]];
+    while (parent[(size_t)x] != x) {
+      x = parent[(size_t)x] = parent[(size_t)parent[(size_t)x]];
+    }
     return x;
   };
   for (const Datum& e : *edges) {
@@ -341,7 +343,8 @@ TEST(EngineTest, SparkCountsOneJobPerStepForVisitCount) {
   workloads::GenerateVisitLogs(&fs, {.days = 6, .entries_per_day = 50,
                                      .num_pages = 10});
   lang::Program program = workloads::VisitCountProgram({.days = 6});
-  auto result = ::mitos::api::Run(EngineKind::kSpark, program, &fs, {.machines = 2});
+  auto result =
+      ::mitos::api::Run(EngineKind::kSpark, program, &fs, {.machines = 2});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // One action (the diff write) per day except day 1: 5 jobs... plus the
   // job count must scale with steps, not stay constant.
@@ -354,7 +357,8 @@ TEST(EngineTest, MitosRunsSingleJob) {
   workloads::GenerateVisitLogs(&fs, {.days = 6, .entries_per_day = 50,
                                      .num_pages = 10});
   lang::Program program = workloads::VisitCountProgram({.days = 6});
-  auto result = ::mitos::api::Run(EngineKind::kMitos, program, &fs, {.machines = 2});
+  auto result =
+      ::mitos::api::Run(EngineKind::kMitos, program, &fs, {.machines = 2});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->stats.jobs, 1);
   // Two decisions per day: the if and the loop exit.

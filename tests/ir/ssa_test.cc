@@ -82,8 +82,9 @@ TEST(SsaTest, DoWhileLoopCreatesPhisInBodyHead) {
 TEST(SsaTest, PhiInputsAreInitAndBackedge) {
   ProgramBuilder pb;
   pb.Assign("x", lang::LitInt(0));
-  pb.DoWhile([&] { pb.Assign("x", lang::Add(lang::Var("x"), lang::LitInt(1))); },
-             lang::Lt(lang::Var("x"), lang::LitInt(3)));
+  pb.DoWhile(
+      [&] { pb.Assign("x", lang::Add(lang::Var("x"), lang::LitInt(1))); },
+      lang::Lt(lang::Var("x"), lang::LitInt(3)));
   auto ir = CompileToIr(pb.Build());
   ASSERT_TRUE(ir.ok());
   const Stmt* phi = nullptr;
@@ -185,8 +186,9 @@ TEST(SsaTest, VisitCountDiffMatchesPaperShape) {
         pb.Assign("counts", lang::ReduceByKey(lang::Var("visitsMapped"),
                                               lang::fns::SumInt64()));
         pb.If(lang::Ne(lang::Var("day"), lang::LitInt(1)), [&] {
-          pb.Assign("joinedYesterday",
-                    lang::Join(lang::Var("yesterdayCnts"), lang::Var("counts")));
+          pb.Assign(
+              "joinedYesterday",
+              lang::Join(lang::Var("yesterdayCnts"), lang::Var("counts")));
           pb.Assign("diffs", lang::Map(lang::Var("joinedYesterday"),
                                        lang::fns::AbsDiffFields12()));
           pb.Assign("summed",

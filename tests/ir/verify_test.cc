@@ -12,8 +12,9 @@ namespace {
 Program GoodProgram() {
   lang::ProgramBuilder pb;
   pb.Assign("x", lang::LitInt(0));
-  pb.DoWhile([&] { pb.Assign("x", lang::Add(lang::Var("x"), lang::LitInt(1))); },
-             lang::Lt(lang::Var("x"), lang::LitInt(3)));
+  pb.DoWhile(
+      [&] { pb.Assign("x", lang::Add(lang::Var("x"), lang::LitInt(1))); },
+      lang::Lt(lang::Var("x"), lang::LitInt(3)));
   pb.WriteFile(lang::FromScalar(lang::Var("x")), lang::LitString("out"));
   auto ir = CompileToIr(pb.Build());
   MITOS_CHECK(ir.ok());

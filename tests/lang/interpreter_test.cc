@@ -146,9 +146,10 @@ TEST_F(InterpreterTest, ReduceFoldsWholeBag) {
 
 TEST_F(InterpreterTest, JoinEmitsKeyBuildProbeTuples) {
   ProgramBuilder pb;
-  pb.Assign("build", BagLit({Datum::Pair(Datum::Int64(1), Datum::String("a")),
-                             Datum::Pair(Datum::Int64(2), Datum::String("b")),
-                             Datum::Pair(Datum::Int64(1), Datum::String("c"))}));
+  pb.Assign("build",
+            BagLit({Datum::Pair(Datum::Int64(1), Datum::String("a")),
+                    Datum::Pair(Datum::Int64(2), Datum::String("b")),
+                    Datum::Pair(Datum::Int64(1), Datum::String("c"))}));
   pb.Assign("probe", BagLit({Datum::Pair(Datum::Int64(1), Datum::Int64(10)),
                              Datum::Pair(Datum::Int64(3), Datum::Int64(30))}));
   pb.Assign("j", Join(Var("build"), Var("probe")));

@@ -1,0 +1,430 @@
+// Tests for the live observability plane (obs/live/): the bounded
+// streaming EventLog, in-run metrics snapshots, the Prometheus exposition,
+// the step-level watchdog — and the plane's core invariant, regression-
+// tested here: with every live feature enabled, the run's virtual-time
+// behavior (trace, stats) is byte-identical to a run with them all off.
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "common/json.h"
+#include "json_lint.h"
+#include "obs/live/event_log.h"
+#include "obs/live/prom.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::obs::live {
+namespace {
+
+using obs_testing::JsonLint;
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(EventLogTest, AppendsOneValidJsonlLinePerRecord) {
+  EventLog log;
+  log.Append(0.25, "step_end",
+             {{"step", 3}, {"value", true}, {"note", "a\"b"}});
+  log.Append(0.5, "decision", {{"path_len", 7}});
+  log.AppendRaw(0.75, "snapshot", "\"seq\":0,\"counters\":{}");
+
+  EXPECT_EQ(log.appended(), 3);
+  EXPECT_EQ(log.dropped(), 0);
+  EXPECT_EQ(log.buffered(), 3u);
+  EXPECT_EQ(log.CountKind("step_end"), 1);
+  EXPECT_EQ(log.CountKind("snapshot"), 1);
+  EXPECT_EQ(log.CountKind("absent"), 0);
+
+  std::vector<std::string> lines = SplitLines(log.BufferedToJsonl());
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    std::string error;
+    EXPECT_TRUE(JsonLint::IsValid(line, &error)) << error << "\n" << line;
+    auto parsed = json::Value::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_TRUE(parsed->Find("vt") != nullptr) << line;
+    EXPECT_FALSE(parsed->StringOr("kind", "").empty()) << line;
+    // Tests leave the wall clock off: records must be pure functions of
+    // virtual time.
+    EXPECT_EQ(parsed->Find("wall_ms"), nullptr) << line;
+  }
+  auto first = json::Value::Parse(lines[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_DOUBLE_EQ(first->NumberOr("vt", -1), 0.25);
+  EXPECT_EQ(first->NumberOr("step", -1), 3);
+  EXPECT_EQ(first->StringOr("note", ""), "a\"b");
+}
+
+TEST(EventLogTest, StampsWallClockWhenWired) {
+  EventLog::Options options;
+  options.wall_clock_ms = [] { return int64_t{1722345678901}; };
+  EventLog log(std::move(options));
+  log.Append(1.0, "fault", {{"machine", 2}});
+  auto parsed = json::Value::Parse(SplitLines(log.BufferedToJsonl())[0]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->NumberOr("wall_ms", 0), 1722345678901.0);
+}
+
+TEST(EventLogTest, DropsOldestWhenFullWithoutSink) {
+  EventLog::Options options;
+  options.max_buffered = 4;
+  EventLog log(std::move(options));
+  for (int i = 0; i < 10; ++i) {
+    log.Append(static_cast<double>(i), "tick", {{"i", i}});
+  }
+  EXPECT_EQ(log.appended(), 10);
+  EXPECT_EQ(log.dropped(), 6);
+  EXPECT_EQ(log.buffered(), 4u);
+  // Drop-oldest: the survivors are the newest four records.
+  std::vector<std::string> lines = SplitLines(log.BufferedToJsonl());
+  ASSERT_EQ(lines.size(), 4u);
+  auto oldest = json::Value::Parse(lines.front());
+  ASSERT_TRUE(oldest.ok());
+  EXPECT_EQ(oldest->NumberOr("i", -1), 6);
+  // Kind counts survive the drops.
+  EXPECT_EQ(log.CountKind("tick"), 10);
+}
+
+TEST(EventLogTest, FlushesIncrementallyToSink) {
+  std::string out;
+  EventLog::Options options;
+  options.max_buffered = 4;
+  options.sink = [&out](const std::string& text) { out += text; };
+  EventLog log(std::move(options));
+  for (int i = 0; i < 10; ++i) {
+    log.Append(static_cast<double>(i), "tick", {{"i", i}});
+  }
+  // A full buffer flushed to the sink instead of dropping.
+  EXPECT_EQ(log.dropped(), 0);
+  EXPECT_GE(SplitLines(out).size(), 6u);
+  log.Flush();
+  EXPECT_EQ(log.buffered(), 0u);
+  std::vector<std::string> lines = SplitLines(out);
+  ASSERT_EQ(lines.size(), 10u);
+  // Sink output preserves append order.
+  for (int i = 0; i < 10; ++i) {
+    auto parsed = json::Value::Parse(lines[static_cast<size_t>(i)]);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->NumberOr("i", -1), i);
+  }
+}
+
+// The tentpole invariant: a run with every live feature enabled (event
+// log, step + timer snapshots, watchdog, progress callback) produces a
+// byte-identical trace and identical stats to a run with the plane off.
+TEST(LivePlaneTest, ZeroPerturbationWithEverythingEnabled) {
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+
+  // Plain run: trace only.
+  sim::SimFileSystem fs_off;
+  workloads::GeneratePoints(&fs_off, {.num_points = 120, .num_clusters = 3});
+  TraceRecorder trace_off;
+  api::RunConfig config_off{.machines = 3};
+  config_off.trace = &trace_off;
+  auto off = api::Run(api::EngineKind::kMitos, program, &fs_off, config_off);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  // Fully instrumented run.
+  sim::SimFileSystem fs_on;
+  workloads::GeneratePoints(&fs_on, {.num_points = 120, .num_clusters = 3});
+  TraceRecorder trace_on;
+  MetricsRegistry metrics;
+  EventLog log;
+  int progress_calls = 0;
+  bool saw_complete = false;
+  api::RunConfig config_on{.machines = 3};
+  config_on.trace = &trace_on;
+  config_on.metrics = &metrics;
+  config_on.live.event_log = &log;
+  config_on.live.snapshots.enabled = true;
+  config_on.live.snapshots.every_virtual_seconds = 0.05;
+  config_on.live.watchdog.enabled = true;
+  config_on.live.progress = [&](const Progress& p) {
+    ++progress_calls;
+    saw_complete = saw_complete || p.complete;
+  };
+  auto on = api::Run(api::EngineKind::kMitos, program, &fs_on, config_on);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+  // Identical virtual-time behavior, byte for byte.
+  EXPECT_EQ(trace_off.ToJson(), trace_on.ToJson());
+  EXPECT_DOUBLE_EQ(off->stats.total_seconds, on->stats.total_seconds);
+  EXPECT_EQ(off->stats.decisions, on->stats.decisions);
+  EXPECT_EQ(off->stats.elements, on->stats.elements);
+
+  // And the plane actually ran.
+  EXPECT_GT(log.appended(), 0);
+  EXPECT_GT(progress_calls, 0);
+  EXPECT_TRUE(saw_complete);
+}
+
+// End-to-end event stream: kinds, cardinalities, and record shape.
+TEST(LivePlaneTest, EmitsStructuredEventStream) {
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+  MetricsRegistry metrics;
+  EventLog log;
+  api::RunConfig config{.machines = 3};
+  config.metrics = &metrics;
+  config.live.event_log = &log;
+  config.live.snapshots.enabled = true;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(log.CountKind("run_begin"), 1);
+  EXPECT_EQ(log.CountKind("run_end"), 1);
+  EXPECT_EQ(log.CountKind("decision"), result->stats.decisions);
+  EXPECT_EQ(log.CountKind("step_end"), result->stats.decisions);
+  // One snapshot per step boundary plus the final one.
+  EXPECT_EQ(log.CountKind("snapshot"), result->stats.decisions + 1);
+  // Fault-free run: no fault/recovery records, no stalls.
+  EXPECT_EQ(log.CountKind("fault"), 0);
+  EXPECT_EQ(log.CountKind("watchdog_stall"), 0);
+
+  std::map<std::string, int> reasons;
+  double last_vt = 0;
+  for (const std::string& line : SplitLines(log.BufferedToJsonl())) {
+    std::string error;
+    ASSERT_TRUE(JsonLint::IsValid(line, &error)) << error << "\n" << line;
+    auto parsed = json::Value::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const double vt = parsed->NumberOr("vt", -1);
+    EXPECT_GE(vt, last_vt) << "records out of order: " << line;
+    last_vt = vt;
+    const std::string kind = parsed->StringOr("kind", "");
+    if (kind == "decision") {
+      EXPECT_NE(parsed->Find("step"), nullptr) << line;
+      EXPECT_NE(parsed->Find("path_len"), nullptr) << line;
+      EXPECT_NE(parsed->Find("machine"), nullptr) << line;
+    } else if (kind == "step_end") {
+      EXPECT_NE(parsed->Find("barrier_wait"), nullptr) << line;
+      EXPECT_NE(parsed->Find("elements"), nullptr) << line;
+    } else if (kind == "snapshot") {
+      ++reasons[parsed->StringOr("reason", "")];
+      const json::Value* counters = parsed->Find("counters");
+      ASSERT_NE(counters, nullptr) << line;
+      EXPECT_TRUE(counters->is_object());
+      EXPECT_NE(parsed->Find("deltas"), nullptr) << line;
+      EXPECT_NE(parsed->Find("histograms"), nullptr) << line;
+      EXPECT_NE(parsed->Find("steps"), nullptr) << line;
+      EXPECT_NE(parsed->Find("seq"), nullptr) << line;
+    }
+  }
+  EXPECT_GT(reasons["step"], 0);
+  EXPECT_EQ(reasons["final"], 1);
+
+  // The final snapshot's counters agree with the registry.
+  std::vector<std::string> lines = SplitLines(log.BufferedToJsonl());
+  for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+    auto parsed = json::Value::Parse(*it);
+    ASSERT_TRUE(parsed.ok());
+    if (parsed->StringOr("kind", "") != "snapshot") continue;
+    const json::Value* counters = parsed->Find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->NumberOr("decisions", -1),
+                     static_cast<double>(metrics.counter("decisions")));
+    EXPECT_DOUBLE_EQ(
+        parsed->NumberOr("steps", -1),
+        static_cast<double>(metrics.steps().size()));
+    break;
+  }
+}
+
+TEST(PromTest, ExpositionValidatesAndIsDeterministic) {
+  MetricsRegistry metrics;
+  metrics.Inc("decisions", 12);
+  metrics.Inc("net_bytes", 4096);
+  metrics.Set("total_seconds", 1.5);
+  metrics.Set("operator_cpu/counts.push", 0.25);
+  metrics.Set("operator_cpu/join.probe", 0.75);
+  for (int i = 1; i <= 20; ++i) metrics.Observe("barrier_wait", i * 1e-3);
+
+  std::string text = ToPrometheusText(metrics, 2.25);
+  Status status = ValidatePrometheusText(text);
+  EXPECT_TRUE(status.ok()) << status.ToString() << "\n" << text;
+  EXPECT_EQ(text, ToPrometheusText(metrics, 2.25));
+
+  // Naming conventions: mitos_ prefix, counters get _total, histograms
+  // export as quantile summaries, family/member gauges fold into labels.
+  EXPECT_NE(text.find("mitos_decisions_total 12"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE mitos_barrier_wait summary"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_barrier_wait{quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_barrier_wait_count 20"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_operator_cpu{op=\"counts.push\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_virtual_time_seconds 2.25"), std::string::npos)
+      << text;
+}
+
+TEST(PromTest, ValidatorRejectsMalformedExposition) {
+  // A sample with no preceding # HELP/# TYPE header.
+  EXPECT_FALSE(ValidatePrometheusText("mitos_orphan 1\n").ok());
+  // Duplicate family declaration.
+  EXPECT_FALSE(ValidatePrometheusText("# HELP mitos_a a\n"
+                                      "# TYPE mitos_a counter\n"
+                                      "mitos_a 1\n"
+                                      "# HELP mitos_a a\n"
+                                      "# TYPE mitos_a counter\n"
+                                      "mitos_a 2\n")
+                   .ok());
+  // Illegal TYPE value.
+  EXPECT_FALSE(ValidatePrometheusText("# HELP mitos_a a\n"
+                                      "# TYPE mitos_a widget\n"
+                                      "mitos_a 1\n")
+                   .ok());
+  // Unparseable sample line.
+  EXPECT_FALSE(ValidatePrometheusText("# HELP mitos_a a\n"
+                                      "# TYPE mitos_a gauge\n"
+                                      "mitos_a one\n")
+                   .ok());
+  // The real exposition of an empty registry still validates.
+  MetricsRegistry empty;
+  EXPECT_TRUE(ValidatePrometheusText(ToPrometheusText(empty, 0)).ok());
+}
+
+// The watchdog fires when a machine degrades mid-run (FaultPlan windowed
+// slowdown) and the inter-step gap blows past the rolling-median window.
+TEST(WatchdogTest, FiresOnInjectedMidRunSlowdown) {
+  // K-means does real per-machine CPU work every iteration, so a straggler
+  // drags the superstep barrier (a pure coordination microbenchmark would
+  // shrug off a CPU slowdown).
+  lang::Program program = workloads::KMeansProgram({.iterations = 10});
+
+  // Probe run: measure the healthy duration so the slowdown window can
+  // start mid-run (a slowdown from t=0 would just set a slower cadence
+  // for the median to adapt to).
+  sim::SimFileSystem fs_probe;
+  workloads::GeneratePoints(&fs_probe,
+                            {.num_points = 2000, .num_clusters = 3});
+  auto probe =
+      api::Run(api::EngineKind::kMitos, program, &fs_probe, {.machines = 4});
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double healthy = probe->stats.total_seconds;
+  ASSERT_GT(healthy, 0);
+
+  sim::FaultPlan plan;
+  plan.slowdowns.push_back(
+      {.machine = 1, .multiplier = 60.0, .from = healthy * 0.5});
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 2000, .num_clusters = 3});
+  EventLog log;
+  api::RunConfig config{.machines = 4};
+  config.faults = &plan;
+  config.live.event_log = &log;
+  config.live.watchdog.enabled = true;
+  // The default floor (0.5s) is sized for real deployments; this
+  // microbenchmark's steps are milliseconds, so drop the floor and let the
+  // rolling median carry the threshold.
+  config.live.watchdog.min_window_seconds = 0.001;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_GE(log.CountKind("watchdog_stall"), 1) << log.BufferedToJsonl();
+  // Backoff: at most max_reports stall records per run.
+  EXPECT_LE(log.CountKind("watchdog_stall"),
+            config.live.watchdog.max_reports);
+  // The stall record carries an actionable diagnosis.
+  bool found = false;
+  for (const std::string& line : SplitLines(log.BufferedToJsonl())) {
+    auto parsed = json::Value::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    if (parsed->StringOr("kind", "") != "watchdog_stall") continue;
+    found = true;
+    EXPECT_GT(parsed->NumberOr("silent_for", 0), 0) << line;
+    EXPECT_GT(parsed->NumberOr("median_gap", 0), 0) << line;
+    EXPECT_FALSE(parsed->StringOr("diagnosis", "").empty()) << line;
+    break;
+  }
+  EXPECT_TRUE(found);
+}
+
+// At default thresholds the watchdog stays silent across the benchmark
+// workloads (the fig7/8/9 program shapes) — no false positives.
+TEST(WatchdogTest, SilentAtDefaultThresholdsOnBenchWorkloads) {
+  struct Workload {
+    const char* name;
+    lang::Program program;
+    bool visits;
+    bool page_types;
+  };
+  const std::vector<Workload> cases = {
+      // Fig. 7: step-overhead microbenchmark.
+      {"fig7", workloads::StepOverheadProgram(30), false, false},
+      // Fig. 9: visit-count loop with per-day diffs.
+      {"fig9", workloads::VisitCountProgram({.days = 20}), true, false},
+      // Fig. 8: same loop joining the loop-invariant pageTypes dataset.
+      {"fig8",
+       workloads::VisitCountProgram({.days = 20, .with_page_types = true}),
+       true, true},
+  };
+  for (const Workload& w : cases) {
+    sim::SimFileSystem fs;
+    if (w.visits) {
+      workloads::GenerateVisitLogs(&fs,
+                                   {.days = 20, .entries_per_day = 2000});
+    }
+    if (w.page_types) workloads::GeneratePageTypes(&fs, {});
+    EventLog log;
+    api::RunConfig config{.machines = 4};
+    config.live.event_log = &log;
+    config.live.watchdog.enabled = true;  // default thresholds
+    auto result = api::Run(api::EngineKind::kMitos, w.program, &fs, config);
+    ASSERT_TRUE(result.ok()) << w.name << ": " << result.status().ToString();
+    EXPECT_EQ(log.CountKind("watchdog_stall"), 0)
+        << w.name << ":\n"
+        << log.BufferedToJsonl();
+  }
+}
+
+// Fault runs land fault/recovery/checkpoint records in the log, and the
+// stream stays valid JSONL throughout.
+TEST(LivePlaneTest, FaultRunEmitsRecoveryRecords) {
+  auto plan = sim::FaultPlan::Parse("crash=1@0.2+0.1; ckpt=5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 6});
+  MetricsRegistry metrics;
+  EventLog log;
+  api::RunConfig config{.machines = 3};
+  config.faults = &*plan;
+  config.metrics = &metrics;
+  config.live.event_log = &log;
+  config.live.snapshots.enabled = true;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_GT(log.CountKind("fault"), 0);
+  EXPECT_GT(log.CountKind("checkpoint"), 0);
+  EXPECT_EQ(log.CountKind("recovery"), result->stats.attempts - 1);
+  for (const std::string& line : SplitLines(log.BufferedToJsonl())) {
+    std::string error;
+    EXPECT_TRUE(JsonLint::IsValid(line, &error)) << error << "\n" << line;
+  }
+}
+
+}  // namespace
+}  // namespace mitos::obs::live

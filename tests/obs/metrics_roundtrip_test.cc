@@ -1,0 +1,143 @@
+// Round-trip of the metrics JSON export through common/json.h: everything
+// MetricsRegistry::ToJson writes — schema version, counters, histogram
+// summaries (p50/p95/p99), and the per-step timeline — parses back to the
+// in-memory values, for fault-free and faulted runs alike. This is the
+// consumer-side contract behind `mitos_run --metrics-out` and the
+// "schema":1 version stamp.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "sim/fault.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::obs {
+namespace {
+
+// The export writes doubles with %.9g (9 significant digits), so a parsed
+// value matches the in-memory one to relative 1e-8.
+void ExpectNear9(double parsed, double expected, const std::string& what) {
+  EXPECT_NEAR(parsed, expected, std::max(1e-12, std::abs(expected) * 1e-8))
+      << what;
+}
+
+// Parses `metrics.ToJson()` and cross-checks every section against the
+// registry and the run's stats.
+void CheckRoundTrip(const MetricsRegistry& metrics,
+                    const runtime::RunStats& stats) {
+  auto parsed = json::Value::Parse(metrics.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+
+  // The export shape is versioned.
+  EXPECT_DOUBLE_EQ(parsed->NumberOr("schema", -1), 1.0);
+
+  const json::Value* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  ASSERT_EQ(counters->object().size(), metrics.counters().size());
+  for (const auto& [name, value] : metrics.counters()) {
+    EXPECT_DOUBLE_EQ(counters->NumberOr(name, -1),
+                     static_cast<double>(value))
+        << name;
+  }
+  // Counters accumulate across recovery attempts, so they are bounded
+  // below by the final successful attempt's stats.
+  EXPECT_GE(counters->NumberOr("decisions", -1),
+            static_cast<double>(stats.decisions));
+  EXPECT_GE(counters->NumberOr("elements", -1),
+            static_cast<double>(stats.elements));
+
+  const json::Value* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  for (const auto& [name, value] : metrics.gauges()) {
+    ExpectNear9(gauges->NumberOr(name, value - 1), value, name);
+  }
+
+  const json::Value* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_TRUE(histograms->is_object());
+  ASSERT_EQ(histograms->object().size(), metrics.histograms().size());
+  for (const auto& [name, h] : metrics.histograms()) {
+    const json::Value* exported = histograms->Find(name);
+    ASSERT_NE(exported, nullptr) << name;
+    EXPECT_DOUBLE_EQ(exported->NumberOr("count", -1),
+                     static_cast<double>(h.count))
+        << name;
+    ExpectNear9(exported->NumberOr("p50", -1), h.p50(), name);
+    ExpectNear9(exported->NumberOr("p95", -1), h.p95(), name);
+    ExpectNear9(exported->NumberOr("p99", -1), h.p99(), name);
+    // Summary sanity: quantiles are monotone within [min, max].
+    EXPECT_LE(exported->NumberOr("p50", 0), exported->NumberOr("p95", 0))
+        << name;
+    EXPECT_LE(exported->NumberOr("p95", 0), exported->NumberOr("p99", 0))
+        << name;
+    EXPECT_GE(exported->NumberOr("p50", 0), exported->NumberOr("min", 1))
+        << name;
+    EXPECT_LE(exported->NumberOr("p99", 0), exported->NumberOr("max", -1))
+        << name;
+  }
+
+  // Per-step timeline: one record per control-flow decision, faithful to
+  // the in-memory StepRecords.
+  const json::Value* steps = parsed->Find("steps");
+  ASSERT_NE(steps, nullptr);
+  ASSERT_TRUE(steps->is_array());
+  ASSERT_EQ(steps->array().size(), metrics.steps().size());
+  for (size_t i = 0; i < metrics.steps().size(); ++i) {
+    const StepRecord& step = metrics.steps()[i];
+    const json::Value& exported = steps->array()[i];
+    EXPECT_DOUBLE_EQ(exported.NumberOr("index", -1),
+                     static_cast<double>(step.index));
+    EXPECT_DOUBLE_EQ(exported.NumberOr("path_len", -1),
+                     static_cast<double>(step.path_len));
+    ExpectNear9(exported.NumberOr("barrier_wait", -1), step.barrier_wait,
+                "barrier_wait");
+    EXPECT_DOUBLE_EQ(exported.NumberOr("elements", -1),
+                     static_cast<double>(step.elements));
+    const json::Value* value = exported.Find("value");
+    ASSERT_NE(value, nullptr);
+    ASSERT_TRUE(value->is_bool());
+    EXPECT_EQ(value->boolean(), step.value);
+  }
+}
+
+TEST(MetricsRoundTripTest, FaultFreeRun) {
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+  MetricsRegistry metrics;
+  api::RunConfig config{.machines = 3};
+  config.metrics = &metrics;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->stats.decisions, 0);
+  CheckRoundTrip(metrics, result->stats);
+}
+
+TEST(MetricsRoundTripTest, FaultedRun) {
+  auto plan = sim::FaultPlan::Parse("crash=1@0.2+0.1; ckpt=5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 6});
+  MetricsRegistry metrics;
+  api::RunConfig config{.machines = 3};
+  config.metrics = &metrics;
+  config.faults = &*plan;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The crash forced at least one recovery; the timeline and counters
+  // still round-trip exactly.
+  ASSERT_GT(result->stats.attempts, 1);
+  CheckRoundTrip(metrics, result->stats);
+}
+
+}  // namespace
+}  // namespace mitos::obs

@@ -98,8 +98,9 @@ TEST(MitosExecutorTest, SimpleCountingLoop) {
 TEST(MitosExecutorTest, DoWhileLoop) {
   ProgramBuilder pb;
   pb.Assign("i", lang::LitInt(0));
-  pb.DoWhile([&] { pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1))); },
-             lang::Lt(lang::Var("i"), lang::LitInt(4)));
+  pb.DoWhile(
+      [&] { pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1))); },
+      lang::Lt(lang::Var("i"), lang::LitInt(4)));
   pb.WriteFile(lang::FromScalar(lang::Var("i")), lang::LitString("out"));
   RunStats stats = ExpectMitosMatchesReference(pb.Build(), {}, 2);
   EXPECT_EQ(stats.decisions, 4);
@@ -122,7 +123,9 @@ TEST(MitosExecutorTest, IfInsideLoopBothBranches) {
   pb.While(lang::Lt(lang::Var("i"), lang::LitInt(6)), [&] {
     pb.If(lang::Eq(lang::Mod(lang::Var("i"), lang::LitInt(2)),
                    lang::LitInt(0)),
-          [&] { pb.Assign("acc", lang::Add(lang::Var("acc"), lang::Var("i"))); },
+          [&] {
+            pb.Assign("acc", lang::Add(lang::Var("acc"), lang::Var("i")));
+          },
           [&] {
             pb.Assign("acc", lang::Sub(lang::Var("acc"), lang::LitInt(1)));
           });
@@ -233,9 +236,10 @@ TEST(MitosExecutorTest, NestedLoopWithInvariantOuterJoinInput) {
     pb.While(lang::Lt(lang::Var("j"), lang::LitInt(3)), [&] {
       pb.Assign("y", lang::FromScalar(lang::Mul(lang::Var("j"),
                                                 lang::LitInt(10))));
-      pb.Assign("ypairs", lang::Map(lang::Var("y"), {"pair0", [](const Datum& v) {
-                                      return Datum::Pair(Datum::Int64(0), v);
-                                    }}));
+      pb.Assign("ypairs",
+                lang::Map(lang::Var("y"), {"pair0", [](const Datum& v) {
+                            return Datum::Pair(Datum::Int64(0), v);
+                          }}));
       pb.Assign("joined", lang::Join(lang::Var("x"), lang::Var("ypairs")));
       pb.Assign("total", lang::Union(lang::Var("total"), lang::Var("joined")));
       pb.Assign("j", lang::Add(lang::Var("j"), lang::LitInt(1)));

@@ -41,8 +41,9 @@ int CountNodes(const LogicalGraph& g, NodeKind kind) {
 TEST(TranslatorTest, OneNodePerStatementPlusConditions) {
   lang::ProgramBuilder pb;
   pb.Assign("i", lang::LitInt(0));
-  pb.DoWhile([&] { pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1))); },
-             lang::Lt(lang::Var("i"), lang::LitInt(3)));
+  pb.DoWhile(
+      [&] { pb.Assign("i", lang::Add(lang::Var("i"), lang::LitInt(1))); },
+      lang::Lt(lang::Var("i"), lang::LitInt(3)));
   LogicalGraph g = TranslateProgram(pb.Build(), 4);
   // One condition node (the loop's branch).
   EXPECT_EQ(CountNodes(g, NodeKind::kCondition), 1);

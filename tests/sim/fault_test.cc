@@ -171,7 +171,9 @@ TEST(ClusterFaultTest, RestartResetsResourceClocks) {
   // ...then run fresh work after the restart: it must not wait for the
   // pre-crash occupancy (the restarted machine comes back idle).
   double done_at = 0;
-  sim.Schedule(7.0, [&] { cluster.ExecCpu(0, 1.0, [&] { done_at = sim.now(); }); });
+  sim.Schedule(7.0, [&] {
+    cluster.ExecCpu(0, 1.0, [&] { done_at = sim.now(); });
+  });
   sim.Run();
   EXPECT_DOUBLE_EQ(done_at, 8.0);
 }

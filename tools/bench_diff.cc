@@ -69,6 +69,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Baseline files carry a schema version ("schema":1; absent = 0, the
+  // pre-versioned shape). Any version parses — report a mismatch so a
+  // cross-version comparison is visible, but never fail on it.
+  if (base->schema != current->schema) {
+    std::printf("note: baseline schema versions differ (base %d, "
+                "current %d)\n",
+                base->schema, current->schema);
+  }
   BaselineDiff diff = Compare(*base, *current, threshold);
   std::printf("%s", diff.ToString().c_str());
   if (diff.failed()) {

@@ -26,6 +26,24 @@
 //                       at https://ui.perfetto.dev or chrome://tracing
 //   --metrics-out=FILE  write counters/gauges/histograms + the per-step
 //                       timeline as JSON
+//   --metrics-format=json|prom  format for --metrics-out: schema-versioned
+//                       JSON (default) or Prometheus text exposition
+//                       (mitos_-prefixed families; counters, gauges, and
+//                       summary quantiles — see DESIGN.md §10)
+//   --event-log=FILE    stream structured JSONL events (steps, decisions,
+//                       template activity, faults, recovery, checkpoints,
+//                       snapshots, watchdog stalls) to FILE as the run
+//                       executes; each record carries virtual time and a
+//                       wall-clock timestamp
+//   --snapshot-every=K  with --event-log: also emit a metrics snapshot
+//                       record every K virtual seconds (snapshots at every
+//                       control-flow step boundary are always on)
+//   --watchdog=on|off   step-level stall watchdog (default on with
+//                       --event-log): flags a stall when no step completes
+//                       within an 8x rolling-median window and emits a
+//                       watchdog_stall record naming the operators behind
+//   --progress          render a one-line live status on stderr (current
+//                       step, path length, template hit rate, faults seen)
 //   --profile           print the per-operator CPU table and the per-step
 //                       timeline (step index, path, barrier wait, data moved)
 //   --step-templates=on|off  step-template control-plane caching (Mitos
@@ -40,9 +58,11 @@
 // Logging: MITOS_LOG_LEVEL=info|warning|error and MITOS_VLOG=N environment
 // variables control diagnostic output on stderr (see src/common/logging.h).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +71,8 @@
 #include "lang/parser.h"
 #include "mitos.h"
 #include "obs/analysis/analysis.h"
+#include "obs/live/event_log.h"
+#include "obs/live/prom.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/translator.h"
@@ -95,6 +117,11 @@ int main(int argc, char** argv) {
   bool profile = false, report = false;
   std::string explain_format;  // "", "dot", or "json"
   std::string trace_out, metrics_out, report_out, faults_spec;
+  std::string metrics_format = "json";
+  std::string event_log_out;
+  double snapshot_every = 0;
+  bool progress = false;
+  std::string watchdog_flag = "auto";  // on with --event-log by default
   bool have_faults = false;
   bool step_templates = true;
   sim::SimFileSystem fs;
@@ -161,6 +188,28 @@ int main(int argc, char** argv) {
       trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = value_of("--metrics-out=");
+    } else if (arg.rfind("--metrics-format=", 0) == 0) {
+      metrics_format = value_of("--metrics-format=");
+      if (metrics_format != "json" && metrics_format != "prom") {
+        return Fail("--metrics-format expects json or prom, got " +
+                    metrics_format);
+      }
+    } else if (arg.rfind("--event-log=", 0) == 0) {
+      event_log_out = value_of("--event-log=");
+      if (event_log_out.empty()) return Fail("--event-log expects a file");
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      snapshot_every = std::atof(value_of("--snapshot-every=").c_str());
+      if (snapshot_every <= 0) {
+        return Fail("--snapshot-every expects a positive virtual-second "
+                    "interval");
+      }
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      watchdog_flag = value_of("--watchdog=");
+      if (watchdog_flag != "on" && watchdog_flag != "off") {
+        return Fail("--watchdog expects on or off, got " + watchdog_flag);
+      }
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg.rfind("--step-templates=", 0) == 0) {
       const std::string value = value_of("--step-templates=");
       if (value != "on" && value != "off") {
@@ -232,6 +281,52 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty() || profile || want_report) {
     config.metrics = &metrics;
   }
+  std::unique_ptr<obs::live::EventLog> event_log;
+  if (!event_log_out.empty()) {
+    auto sink_file =
+        std::make_shared<std::ofstream>(event_log_out, std::ios::binary);
+    if (!*sink_file) return Fail("cannot write " + event_log_out);
+    obs::live::EventLog::Options log_options;
+    // Flush per batch so the file can be tailed while the run executes.
+    log_options.sink = [sink_file](const std::string& text) {
+      (*sink_file) << text;
+      sink_file->flush();
+    };
+    log_options.wall_clock_ms = [] {
+      return static_cast<int64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+    };
+    event_log =
+        std::make_unique<obs::live::EventLog>(std::move(log_options));
+    config.live.event_log = event_log.get();
+    // Snapshot records read the metrics registry, so the log pulls it in.
+    config.metrics = &metrics;
+    config.live.snapshots.enabled = true;
+    config.live.snapshots.every_virtual_seconds = snapshot_every;
+    config.live.watchdog.enabled = watchdog_flag != "off";
+  } else if (snapshot_every > 0) {
+    return Fail("--snapshot-every requires --event-log");
+  } else if (watchdog_flag == "on") {
+    return Fail("--watchdog=on requires --event-log");
+  }
+  if (progress) {
+    config.live.progress = [](const obs::live::Progress& p) {
+      const double total =
+          static_cast<double>(p.template_hits + p.template_misses);
+      const double hit_rate =
+          total > 0 ? 100.0 * static_cast<double>(p.template_hits) / total
+                    : 0.0;
+      std::fprintf(stderr,
+                   "\r[t=%8.3fs] step %d  path %d  attempt %d  "
+                   "tmpl %5.1f%%  faults %lld%s",
+                   p.virtual_time, p.step + 1, p.path_len, p.attempt,
+                   hit_rate, static_cast<long long>(p.faults_seen),
+                   p.complete ? "  done\n" : "");
+      std::fflush(stderr);
+    };
+  }
   if (have_faults) {
     auto parsed = sim::FaultPlan::Parse(faults_spec);
     if (!parsed.ok()) {
@@ -257,10 +352,27 @@ int main(int argc, char** argv) {
                 trace_out.c_str(), trace.events().size());
   }
   if (!metrics_out.empty()) {
-    if (!WriteTextFile(metrics_out, metrics.ToJson())) {
+    const std::string text =
+        metrics_format == "prom"
+            ? obs::live::ToPrometheusText(metrics,
+                                          result->stats.total_seconds)
+            : metrics.ToJson();
+    if (!WriteTextFile(metrics_out, text)) {
       return Fail("cannot write " + metrics_out);
     }
-    std::printf("metrics:  %s\n", metrics_out.c_str());
+    std::printf("metrics:  %s (%s)\n", metrics_out.c_str(),
+                metrics_format.c_str());
+  }
+  if (event_log != nullptr) {
+    event_log->Flush();
+    std::printf("events:   %s (%lld records", event_log_out.c_str(),
+                static_cast<long long>(event_log->appended()));
+    if (event_log->CountKind("watchdog_stall") > 0) {
+      std::printf(", %lld stall warnings",
+                  static_cast<long long>(
+                      event_log->CountKind("watchdog_stall")));
+    }
+    std::printf(")\n");
   }
   if (profile) {
     std::vector<std::pair<double, std::string>> rows;
