@@ -4,27 +4,54 @@
 #include "baselines/spark.h"
 #include "common/logging.h"
 #include "lang/interpreter.h"
+#include "runtime/threads_backend.h"
 #include "sim/simulator.h"
 
 namespace mitos::api {
 
 namespace {
 
-// Stamps MITOS_LOG / MITOS_VLOG lines with this run's virtual time.
+// Stamps MITOS_LOG / MITOS_VLOG lines with this run's clock — virtual time
+// under the DES, wall-clock seconds under the threads backend.
 class ScopedLogClock {
  public:
-  explicit ScopedLogClock(const sim::Simulator* sim) : sim_(sim) {
-    internal_logging::AttachLogClock(sim, [](const void* ctx) {
-      return static_cast<const sim::Simulator*>(ctx)->now();
-    });
+  using ClockFn = double (*)(const void*);
+  ScopedLogClock(const void* ctx, ClockFn fn) : ctx_(ctx) {
+    internal_logging::AttachLogClock(ctx, fn);
   }
-  ~ScopedLogClock() { internal_logging::DetachLogClock(sim_); }
+  ~ScopedLogClock() { internal_logging::DetachLogClock(ctx_); }
   ScopedLogClock(const ScopedLogClock&) = delete;
   ScopedLogClock& operator=(const ScopedLogClock&) = delete;
 
  private:
-  const sim::Simulator* sim_;
+  const void* ctx_;
 };
+
+bool IsMitosEngine(EngineKind engine) {
+  return engine == EngineKind::kMitos ||
+         engine == EngineKind::kMitosNoPipelining ||
+         engine == EngineKind::kMitosNoHoisting;
+}
+
+// Executor options shared by the DES and threads paths — the whole point of
+// the backend seam is that the Mitos engine configuration is identical.
+runtime::ExecutorOptions MitosOptions(EngineKind engine,
+                                      const RunConfig& config,
+                                      const sim::FaultPlan* faults) {
+  runtime::ExecutorOptions options;
+  options.pipelining = engine != EngineKind::kMitosNoPipelining;
+  options.hoisting = engine != EngineKind::kMitosNoHoisting;
+  options.launch_base = config.mitos_launch_base;
+  options.launch_per_machine = config.mitos_launch_per_machine;
+  options.max_path_len = config.max_path_len;
+  options.operator_fusion = config.mitos_operator_fusion;
+  options.step_templates = config.step_templates;
+  options.trace = config.trace;
+  options.metrics = config.metrics;
+  options.live = config.live;
+  options.faults = faults;
+  return options;
+}
 
 // Run-level observability epilogue shared by every engine: the run span
 // plus summary gauges mirroring RunStats.
@@ -91,10 +118,7 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
       (config.faults != nullptr && !config.faults->empty()) ? config.faults
                                                             : nullptr;
   if (faults != nullptr) {
-    const bool mitos_engine = engine == EngineKind::kMitos ||
-                              engine == EngineKind::kMitosNoPipelining ||
-                              engine == EngineKind::kMitosNoHoisting;
-    if (!mitos_engine) {
+    if (!IsMitosEngine(engine)) {
       return Status::Unimplemented(
           std::string("fault injection requires a Mitos engine, got ") +
           EngineKindName(engine));
@@ -115,9 +139,58 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
     }
   }
 
-  sim::Simulator sim;
   sim::ClusterConfig cluster_config = config.cluster;
   cluster_config.num_machines = config.machines;
+
+  if (config.backend == BackendKind::kThreads) {
+    // Real-parallel path: thread-per-machine, wall-clock time. The engine
+    // configuration and operator kernels are exactly the DES ones — only
+    // the substrate differs (see runtime/threads_backend.h).
+    if (!IsMitosEngine(engine)) {
+      return Status::Unimplemented(
+          std::string("the threads backend supports the Mitos engines "
+                      "only, got ") +
+          EngineKindName(engine));
+    }
+    if (faults != nullptr) {
+      return Status::Unimplemented(
+          "fault injection requires the DES backend: fault plans are "
+          "virtual-time schedules");
+    }
+    runtime::ThreadsBackend backend(cluster_config);
+    backend.set_trace(config.trace);
+    obs::live::EventLog* threads_elog = config.live.event_log;
+    if (threads_elog != nullptr) {
+      backend.set_event_log(threads_elog);
+      threads_elog->Append(backend.now(), "run_begin",
+                           {{"engine", EngineKindName(engine)},
+                            {"machines", config.machines},
+                            {"backend", "threads"}});
+    }
+    ScopedLogClock log_clock(&backend, [](const void* ctx) {
+      return static_cast<const runtime::ThreadsBackend*>(ctx)->now();
+    });
+    MITOS_VLOG(1) << "run: engine=" << EngineKindName(engine)
+                  << " machines=" << config.machines << " backend=threads";
+    runtime::ExecutorOptions options =
+        MitosOptions(engine, config, /*faults=*/nullptr);
+    runtime::MitosExecutor executor(&backend, fs, options);
+    StatusOr<runtime::RunStats> stats = executor.Run(program);
+    if (!stats.ok()) return stats.status();
+    result.stats = *stats;
+    RecordRunSummary(config, engine, backend.busy_until(), result.stats);
+    if (threads_elog != nullptr) {
+      threads_elog->Append(backend.busy_until(), "run_end",
+                           {{"engine", EngineKindName(engine)},
+                            {"total_seconds", result.stats.total_seconds},
+                            {"decisions", result.stats.decisions},
+                            {"attempts", result.stats.attempts}});
+      threads_elog->Flush();
+    }
+    return result;
+  }
+
+  sim::Simulator sim;
   sim::Cluster cluster(&sim, cluster_config);
   // Observability: resource spans are recorded by the cluster itself, so
   // attaching here covers every engine (including the multi-job baselines).
@@ -132,7 +205,9 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
                   {"machines", config.machines}});
   }
   cluster.InstallFaultPlan(faults);
-  ScopedLogClock log_clock(&sim);
+  ScopedLogClock log_clock(&sim, [](const void* ctx) {
+    return static_cast<const sim::Simulator*>(ctx)->now();
+  });
   MITOS_VLOG(1) << "run: engine=" << EngineKindName(engine)
                 << " machines=" << config.machines;
 
@@ -142,18 +217,7 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
     case EngineKind::kMitos:
     case EngineKind::kMitosNoPipelining:
     case EngineKind::kMitosNoHoisting: {
-      runtime::ExecutorOptions options;
-      options.pipelining = engine != EngineKind::kMitosNoPipelining;
-      options.hoisting = engine != EngineKind::kMitosNoHoisting;
-      options.launch_base = config.mitos_launch_base;
-      options.launch_per_machine = config.mitos_launch_per_machine;
-      options.max_path_len = config.max_path_len;
-      options.operator_fusion = config.mitos_operator_fusion;
-      options.step_templates = config.step_templates;
-      options.trace = config.trace;
-      options.metrics = config.metrics;
-      options.live = config.live;
-      options.faults = faults;
+      runtime::ExecutorOptions options = MitosOptions(engine, config, faults);
       runtime::MitosExecutor executor(&sim, &cluster, fs, options);
       stats = executor.Run(program);
       break;

@@ -47,10 +47,25 @@ enum class EngineKind {
 
 const char* EngineKindName(EngineKind kind);
 
+// Execution substrate (runtime/backend.h). kDes is the deterministic
+// discrete-event oracle (virtual time, byte-reproducible). kThreads is the
+// real-parallel thread-pool backend: thread-per-machine, wall-clock time,
+// element-identical results to the DES (differential-tested in
+// tests/runtime/backend_diff_test.cc). kThreads supports the Mitos engines
+// only and rejects fault plans; the watchdog and snapshot cadence (which
+// need background virtual-time timers) are silently inert under it.
+enum class BackendKind {
+  kDes,
+  kThreads,
+};
+
 struct RunConfig {
   int machines = 4;
   // Full cluster override; `machines` wins for num_machines.
   sim::ClusterConfig cluster;
+
+  // Execution backend; see BackendKind.
+  BackendKind backend = BackendKind::kDes;
 
   // Engine tuning (defaults reproduce the paper's regimes).
   // Fig. 7 calibration: Spark's measured per-step overhead in the paper is

@@ -100,6 +100,42 @@ class Parser {
     return v;
   }
 
+  // Reads exactly four hex digits at pos_ into *code.
+  bool ReadHex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return false;
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      value <<= 4;
+      if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        value |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        value |= static_cast<unsigned>(h - 'A' + 10);
+      else return false;
+    }
+    *code = value;
+    return true;
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   StatusOr<Value> ParseString() {
     if (!Consume('"')) return Error("expected '\"'");
     std::string out;
@@ -127,20 +163,32 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Error("bad \\u escape");
+          if (!ReadHex4(&code)) return Error("bad \\u escape");
+          // Surrogate pair: a high surrogate must be followed by an
+          // escaped low surrogate; together they name a code point above
+          // the BMP. Unpaired surrogates decode to U+FFFD (replacement
+          // character), matching what lenient JSON decoders emit.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            unsigned low = 0;
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              const size_t saved = pos_;
+              pos_ += 2;
+              if (!ReadHex4(&low)) return Error("bad \\u escape");
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                pos_ = saved;  // not a low surrogate; leave it for the loop
+                code = 0xFFFD;
+              }
+            } else {
+              code = 0xFFFD;
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            code = 0xFFFD;  // lone low surrogate
           }
-          // ASCII only (all our writers emit); others become '?'.
-          out += code < 0x80 ? static_cast<char>(code) : '?';
+          AppendUtf8(code, &out);
           break;
         }
         default: return Error("bad escape");

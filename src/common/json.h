@@ -4,8 +4,10 @@
 // formatting keeps exports byte-deterministic); this is the read side:
 // bench baselines (obs/analysis/baseline.h) and tools/bench_diff parse
 // previously-written files back. Scope is deliberately small — UTF-8
-// passthrough, no \uXXXX decoding beyond ASCII, doubles for all numbers —
-// which is exactly what our own writers produce.
+// passthrough, \uXXXX escapes decoded to UTF-8 (surrogate pairs included;
+// unpaired surrogates become U+FFFD), doubles for all numbers — which
+// covers everything our own writers produce and standard escaped output
+// from other tools.
 #ifndef MITOS_COMMON_JSON_H_
 #define MITOS_COMMON_JSON_H_
 

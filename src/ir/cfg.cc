@@ -1,6 +1,8 @@
 #include "ir/cfg.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/logging.h"
 
@@ -42,8 +44,11 @@ bool Cfg::CanReachAvoiding(BlockId from, BlockId target,
   // append (the Sec. 5.2.4 discard rule) — memoize per (from, target,
   // banned) so the BFS runs once per distinct query.
   const auto key = std::make_tuple(from, target, banned);
-  auto it = reach_cache_.find(key);
-  if (it != reach_cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(reach_mu_);
+    auto it = reach_cache_.find(key);
+    if (it != reach_cache_.end()) return it->second;
+  }
   std::vector<bool> visited(static_cast<size_t>(num_blocks()), false);
   std::vector<BlockId> stack = {from};
   visited[static_cast<size_t>(from)] = true;
@@ -63,6 +68,7 @@ bool Cfg::CanReachAvoiding(BlockId from, BlockId target,
       }
     }
   }
+  std::unique_lock<std::shared_mutex> lock(reach_mu_);
   reach_cache_.emplace(key, reached);
   return reached;
 }

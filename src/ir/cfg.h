@@ -9,6 +9,7 @@
 #define MITOS_IR_CFG_H_
 
 #include <map>
+#include <shared_mutex>
 #include <tuple>
 #include <vector>
 
@@ -54,7 +55,12 @@ class Cfg {
   std::vector<BlockId> idom_;
   std::vector<int> rpo_index_;  // reverse-postorder number, -1 if unreachable
   // CanReachAvoiding memo — the CFG is immutable after construction, so
-  // answers never change (mutable: the query is logically const).
+  // answers never change (mutable: the query is logically const). One Cfg
+  // is shared by every host, and under the threads backend hosts query
+  // from different machine threads, so the memo takes a reader-writer
+  // lock; the BFS itself runs unlocked (recomputing a memoizable answer
+  // twice is harmless).
+  mutable std::shared_mutex reach_mu_;
   mutable std::map<std::tuple<BlockId, BlockId, BlockId>, bool> reach_cache_;
 };
 

@@ -65,12 +65,13 @@ void EventLog::AppendRaw(double vt, const std::string& kind,
 }
 
 void EventLog::Push(std::string line, const std::string& kind) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++appended_;
   ++kind_counts_[kind];
   buffered_.push_back(std::move(line));
   if (buffered_.size() <= options_.max_buffered) return;
   if (options_.sink) {
-    Flush();
+    FlushLocked();
     return;
   }
   buffered_.pop_front();
@@ -78,6 +79,11 @@ void EventLog::Push(std::string line, const std::string& kind) {
 }
 
 void EventLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+}
+
+void EventLog::FlushLocked() {
   if (!options_.sink || buffered_.empty()) return;
   std::string text;
   for (const std::string& line : buffered_) text += line;
@@ -85,12 +91,29 @@ void EventLog::Flush() {
   options_.sink(text);
 }
 
+int64_t EventLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+int64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t EventLog::buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffered_.size();
+}
+
 int64_t EventLog::CountKind(const std::string& kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = kind_counts_.find(kind);
   return it == kind_counts_.end() ? 0 : it->second;
 }
 
 std::string EventLog::BufferedToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const std::string& line : buffered_) out += line;
   return out;

@@ -18,6 +18,11 @@
 // decision, template_hit, template_invalidation, fault, recovery,
 // checkpoint, snapshot, watchdog_stall.
 //
+// The log is internally synchronized: on the real-parallel threads
+// backend (runtime/threads_backend.h) machine worker threads append
+// concurrently. Serialization happens outside the lock; only the buffer
+// push and counters are guarded.
+//
 // Bounding: the log buffers at most `max_buffered` serialized records.
 // With a sink wired, a full buffer flushes incrementally (oldest first);
 // without one, the oldest record is dropped and counted, so a forgotten
@@ -29,6 +34,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -71,19 +77,21 @@ class EventLog {
   // Pushes all buffered records to the sink (no-op without one).
   void Flush();
 
-  int64_t appended() const { return appended_; }
-  int64_t dropped() const { return dropped_; }
+  int64_t appended() const;
+  int64_t dropped() const;
   // Records of `kind` appended so far (counted even if later dropped).
   int64_t CountKind(const std::string& kind) const;
 
-  size_t buffered() const { return buffered_.size(); }
+  size_t buffered() const;
   // Buffered (unflushed) records as JSONL text.
   std::string BufferedToJsonl() const;
 
  private:
   void Push(std::string line, const std::string& kind);
+  void FlushLocked();
 
   Options options_;
+  mutable std::mutex mu_;
   std::deque<std::string> buffered_;
   std::map<std::string, int64_t> kind_counts_;
   int64_t appended_ = 0;

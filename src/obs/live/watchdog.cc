@@ -11,6 +11,18 @@ StepWatchdog::StepWatchdog(sim::Simulator* sim, EventLog* log,
 
 StepWatchdog::~StepWatchdog() { *alive_ = false; }
 
+void StepWatchdog::OnAttemptStart() {
+  gaps_.clear();
+  last_step_time_ = 0;
+  last_step_index_ = -1;
+  origin_set_ = false;
+  completed_ = 0;
+  // Invalidate checks armed by the previous attempt: their captured window
+  // and step index belong to a timeline the recovery discarded.
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+}
+
 double StepWatchdog::MedianGap() const {
   if (gaps_.empty()) return 0;
   std::vector<double> sorted(gaps_.begin(), gaps_.end());

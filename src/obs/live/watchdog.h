@@ -39,7 +39,8 @@
 namespace mitos::obs::live {
 
 // Plain-data watchdog thresholds (carried through RunConfig; the runtime
-// wires the probes and constructs the StepWatchdog per attempt).
+// wires the probes and constructs ONE StepWatchdog per run — it spans the
+// fault-recovery attempt loop so max_reports is a genuine per-run cap).
 struct WatchdogConfig {
   bool enabled = false;
   // Stall window = multiplier × rolling median inter-step gap.
@@ -70,6 +71,13 @@ class StepWatchdog {
   void set_quiescent(std::function<bool()> fn) {
     quiescent_ = std::move(fn);
   }
+
+  // A new execution attempt begins (fault recovery re-executes the job).
+  // Clears the rolling gap window and timing origin — pre-fault inter-step
+  // gaps must not mask (or falsely trigger) stalls in the re-execution —
+  // and turns any timer still armed from the previous attempt inert.
+  // reports_/stalls_ are preserved: max_reports caps the whole run.
+  void OnAttemptStart();
 
   // A control-flow step completed at virtual time `vt`. `step_index` is
   // the 0-based decision index; pass -1 for the initial path seed (it

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace mitos::obs {
 
@@ -75,34 +76,41 @@ double HistogramData::Quantile(double q) const {
 }
 
 void MetricsRegistry::Inc(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::Set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   histograms_[name].Observe(value);
 }
 
 int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second;
 }
 
 const HistogramData* MetricsRegistry::histogram(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   // "schema" versions the export shape for downstream consumers
   // (tools/bench_diff, dashboards); bump it when a key is renamed or
   // removed, not when new keys appear.
@@ -179,6 +187,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::StepTableToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out =
       "  step block branch  decision_t      wait  elements  net_bytes "
       "disk_bytes\n";
@@ -194,6 +203,11 @@ std::string MetricsRegistry::StepTableToString() const {
     out += buf;
   }
   return out;
+}
+
+void MetricsRegistry::AddStep(const StepRecord& step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  steps_.push_back(step);
 }
 
 }  // namespace mitos::obs

@@ -3,7 +3,10 @@
 //
 // Like the TraceRecorder this is purely observational — recording never
 // charges virtual time — and call sites hold a nullable pointer, so the
-// disabled path costs one branch.
+// disabled path costs one branch. Recording and point lookups are
+// internally synchronized (real-parallel backends record from machine
+// worker threads); the bulk reference accessors (counters(), steps(), …)
+// are for post-run, single-threaded consumption.
 //
 // The per-step timeline is the tabular twin of the trace's "step" spans:
 // one record per control-flow decision with the decided block, the chosen
@@ -15,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,7 +76,7 @@ class MetricsRegistry {
   void Inc(const std::string& name, int64_t delta = 1);
   void Set(const std::string& name, double value);
   void Observe(const std::string& name, double value);
-  void AddStep(const StepRecord& step) { steps_.push_back(step); }
+  void AddStep(const StepRecord& step);
 
   int64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
@@ -94,6 +98,7 @@ class MetricsRegistry {
   std::string StepTableToString() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, HistogramData> histograms_;

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace mitos::obs {
 
@@ -73,6 +74,7 @@ void AppendArgs(std::string* out, const TraceArgs& args) {
 }  // namespace
 
 int TraceRecorder::Lane(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto key = std::make_pair(pid, name);
   auto it = lanes_.find(key);
   if (it != lanes_.end()) return it->second;
@@ -83,17 +85,20 @@ int TraceRecorder::Lane(int pid, const std::string& name) {
 }
 
 const std::string& TraceRecorder::LaneName(int pid, int tid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   static const std::string kEmpty;
   auto it = lane_names_.find({pid, tid});
   return it == lane_names_.end() ? kEmpty : it->second;
 }
 
 void TraceRecorder::SetProcessName(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   process_names_[pid] = name;
 }
 
 void TraceRecorder::Span(int pid, int tid, std::string name, const char* cat,
                          double t_start, double t_end, TraceArgs args) {
+  std::lock_guard<std::mutex> lock(mu_);
   TraceEvent event;
   event.phase = 'X';
   event.pid = pid;
@@ -108,6 +113,7 @@ void TraceRecorder::Span(int pid, int tid, std::string name, const char* cat,
 
 void TraceRecorder::Instant(int pid, int tid, std::string name,
                             const char* cat, double t, TraceArgs args) {
+  std::lock_guard<std::mutex> lock(mu_);
   TraceEvent event;
   event.phase = 'i';
   event.pid = pid;
@@ -121,6 +127,7 @@ void TraceRecorder::Instant(int pid, int tid, std::string name,
 
 void TraceRecorder::Counter(int pid, std::string name, double t,
                             double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   TraceEvent event;
   event.phase = 'C';
   event.pid = pid;
@@ -133,6 +140,7 @@ void TraceRecorder::Counter(int pid, std::string name, double t,
 }
 
 int64_t TraceRecorder::CountEvents(char phase, const char* cat) const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t n = 0;
   std::string want = cat == nullptr ? "" : cat;
   for (const TraceEvent& e : events_) {
@@ -144,6 +152,7 @@ int64_t TraceRecorder::CountEvents(char phase, const char* cat) const {
 }
 
 std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   out.reserve(events_.size() * 96 + 256);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -198,6 +207,11 @@ std::string TraceRecorder::ToJson() const {
   }
   out += "\n]}\n";
   return out;
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
 }
 
 }  // namespace mitos::obs

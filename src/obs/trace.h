@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -87,6 +88,10 @@ struct TraceEvent {
   TraceArgs args;
 };
 
+// Recording methods are internally synchronized (the real-parallel threads
+// backend records from machine worker threads); the bulk accessors
+// (events(), process_names()) return references and are meant for
+// post-run, single-threaded consumption.
 class TraceRecorder {
  public:
   TraceRecorder() = default;
@@ -113,7 +118,7 @@ class TraceRecorder {
   void Counter(int pid, std::string name, double t, double value);
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  size_t num_events() const { return events_.size(); }
+  size_t num_events() const;
   const std::map<int, std::string>& process_names() const {
     return process_names_;
   }
@@ -132,6 +137,7 @@ class TraceRecorder {
   std::string ToJson() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::pair<int, std::string>, int> lanes_;
   std::map<int, int> next_tid_;
   std::map<std::pair<int, int>, std::string> lane_names_;

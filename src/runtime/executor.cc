@@ -1,8 +1,10 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -51,20 +53,28 @@ std::string RunStats::ToString() const {
 namespace {
 
 // One job execution: owns hosts, managers, and the authority.
+//
+// Thread-safety: on the DES backend everything runs on one host thread and
+// the synchronization below is free of contention. On real-parallel
+// backends the RuntimeContext methods are called from machine worker
+// threads, so the shared tallies are atomics, the file/staging maps and the
+// status are mutex-guarded, and control-flow decisions serialize through
+// control_mu_ (consecutive decisions may arrive from different machines;
+// the mutex publishes each decision's authority-state writes to the next).
 class Job : public RuntimeContext {
  public:
-  Job(sim::Simulator* sim, sim::Cluster* cluster, sim::SimFileSystem* fs,
-      const ir::Program& program, const dataflow::LogicalGraph& graph,
-      const ExecutorOptions& options,
+  Job(Backend* backend, sim::SimFileSystem* fs, const ir::Program& program,
+      const dataflow::LogicalGraph& graph, const ExecutorOptions& options,
+      obs::live::StepWatchdog* watchdog = nullptr,
       FaultRecoveryState* recovery = nullptr, int attempt = 1)
-      : sim_(sim),
-        cluster_(cluster),
+      : backend_(backend),
         fs_(fs),
         program_(program),
         graph_(graph),
         options_(options),
         cfg_(program) {
     faults_ = options.faults;
+    watchdog_ = watchdog;
     recovery_ = recovery;
     attempt_ = attempt;
     // Fault injection disables template replay wholesale: recovery depends
@@ -76,15 +86,15 @@ class Job : public RuntimeContext {
   }
 
   StatusOr<RunStats> Execute() {
-    const int machines = cluster_->num_machines();
-    sim::ClusterMetrics before = cluster_->metrics();
-    double t_start = sim_->now();
+    const int machines = backend_->num_machines();
+    const sim::ClusterMetrics before = backend_->MetricsSnapshot();
+    double t_start = backend_->now();
 
-    // Attach the recorder to the cluster so resource spans (cores, NICs,
+    // Attach the recorder to the backend so resource spans (cores, NICs,
     // disks) are captured; keep an already-attached recorder (api::Run
     // attaches it before any baseline engine launches its jobs).
-    if (options_.trace != nullptr && cluster_->trace() == nullptr) {
-      cluster_->set_trace(options_.trace);
+    if (options_.trace != nullptr && backend_->trace() == nullptr) {
+      backend_->set_trace(options_.trace);
     }
     if (obs::TraceRecorder* tr = trace()) {
       tr->SetProcessName(obs::kEnginePid, "engine");
@@ -104,7 +114,7 @@ class Job : public RuntimeContext {
     auth_options.step_templates = templates_on_;
     auth_options.trace = trace();
     auth_options.metrics = options_.metrics;
-    auth_options.elements_probe = [this] { return elements_; };
+    auth_options.elements_probe = [this] { return elements_.load(); };
     auth_options.faults = faults_;
     if (faults_ != nullptr && faults_->checkpoint_every > 0) {
       auth_options.on_checkpoint = [this] { OnCheckpoint(); };
@@ -112,12 +122,13 @@ class Job : public RuntimeContext {
 
     // Live observability plane (obs/live/). All hooks are observational
     // and the periodic machinery (snapshot cadence, watchdog checks) runs
-    // on background timers, so the foreground schedule — and therefore the
-    // run's virtual-time behavior — is untouched.
+    // on background simulator timers — it exists only on the DES backend,
+    // where it leaves the foreground schedule (and therefore the run's
+    // virtual-time behavior) untouched.
     obs::live::EventLog* elog = options_.live.event_log;
     if (elog != nullptr) {
       auth_options.event_log = elog;
-      if (cluster_->event_log() == nullptr) cluster_->set_event_log(elog);
+      if (backend_->event_log() == nullptr) backend_->set_event_log(elog);
     }
     if (options_.live.any()) {
       auth_options.on_step = [this](int step, bool initial) {
@@ -125,13 +136,17 @@ class Job : public RuntimeContext {
       };
     }
     if (elog != nullptr && options_.metrics != nullptr &&
-        options_.live.snapshots.enabled) {
+        options_.live.snapshots.enabled &&
+        backend_->simulator() != nullptr) {
       snapshots_ = std::make_unique<obs::live::SnapshotWriter>(
           options_.metrics, elog, options_.live.snapshots);
     }
-    if (elog != nullptr && options_.live.watchdog.enabled) {
-      watchdog_ = std::make_unique<obs::live::StepWatchdog>(
-          sim_, elog, options_.live.watchdog);
+    if (watchdog_ != nullptr) {
+      // The watchdog is run-scoped (one instance across the attempt loop,
+      // so max_reports caps the whole run); each attempt resets its gap
+      // window — pre-fault cadence must not leak into the re-execution —
+      // and rewires the probes to this attempt's state.
+      watchdog_->OnAttemptStart();
       watchdog_->set_quiescent([this] { return failed() || JobDone(); });
       watchdog_->set_diagnose([this] { return StuckHosts(); });
     }
@@ -143,13 +158,14 @@ class Job : public RuntimeContext {
       manager_ptrs_.push_back(managers_.back().get());
     }
     authority_ = std::make_unique<PathAuthority>(
-        &program_, cluster_, &path_, manager_ptrs_, auth_options,
+        &program_, backend_, &path_, manager_ptrs_, auth_options,
         [this](Status s) { Fail(std::move(s)); });
 
     // Hosts: one per (node, instance).
     hosts_.clear();
     hosts_.resize(static_cast<size_t>(graph_.num_nodes()));
-    op_cpu_.assign(static_cast<size_t>(graph_.num_nodes()), 0.0);
+    op_cpu_ = std::make_unique<std::atomic<double>[]>(
+        static_cast<size_t>(graph_.num_nodes()));
     for (const dataflow::LogicalNode& node : graph_.nodes) {
       auto& instances = hosts_[static_cast<size_t>(node.id)];
       for (int i = 0; i < node.parallelism; ++i) {
@@ -166,14 +182,15 @@ class Job : public RuntimeContext {
     // Job launch: the coordinator deploys tasks serially across machines.
     double launch =
         options_.launch_base + options_.launch_per_machine * machines;
-    sim_->ScheduleAfter(launch, [this] {
+    backend_->ScheduleAfter(launch, [this] {
       if (!failed()) authority_->Start(/*machine=*/0);
     });
 
     // Failure detection: a background heartbeat tick declares the attempt
-    // lost when a machine stays down or progress stalls.
+    // lost when a machine stays down or progress stalls. DES-only (the
+    // authority rejects fault plans on real-parallel backends).
     if (faults_ != nullptr) {
-      last_progress_ = sim_->now();
+      last_progress_ = backend_->now();
       MonitorTick();
     }
 
@@ -184,9 +201,12 @@ class Job : public RuntimeContext {
       SnapshotTick();
     }
 
-    sim_->Run();
+    backend_->Run();
 
-    if (!status_.ok()) return status_;
+    {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      if (!status_.ok()) return status_;
+    }
 
     // The job must have drained cleanly: path complete, all hosts idle.
     if (!authority_->path().complete()) {
@@ -213,21 +233,21 @@ class Job : public RuntimeContext {
                                    watchdog_ != nullptr ||
                                    snapshots_ != nullptr;
     const double t_end = background_timers
-                             ? std::max(t_start, sim_->busy_until())
-                             : sim_->now();
+                             ? std::max(t_start, backend_->busy_until())
+                             : backend_->now();
     stats.total_seconds = t_end - t_start;
     stats.launch_seconds = launch;
     stats.jobs = 1;
     stats.decisions = authority_->decisions();
-    stats.bags = bags_;
-    stats.elements = elements_;
-    stats.hoisted_reuses = reuses_;
-    stats.peak_buffered_bytes = peak_buffered_bytes_;
+    stats.bags = bags_.load();
+    stats.elements = elements_.load();
+    stats.hoisted_reuses = reuses_.load();
+    stats.peak_buffered_bytes = peak_buffered_bytes_.load();
     for (const dataflow::LogicalNode& node : graph_.nodes) {
-      double cpu = op_cpu_[static_cast<size_t>(node.id)];
+      double cpu = op_cpu_[static_cast<size_t>(node.id)].load();
       if (cpu > 0) stats.operator_cpu[node.name] += cpu;
     }
-    const sim::ClusterMetrics& after = cluster_->metrics();
+    const sim::ClusterMetrics after = backend_->MetricsSnapshot();
     stats.cluster.messages = after.messages - before.messages;
     stats.cluster.network_bytes = after.network_bytes - before.network_bytes;
     stats.cluster.local_bytes = after.local_bytes - before.local_bytes;
@@ -235,11 +255,11 @@ class Job : public RuntimeContext {
     stats.cluster.cpu_seconds = after.cpu_seconds - before.cpu_seconds;
     stats.cluster.dropped_messages =
         after.dropped_messages - before.dropped_messages;
-    stats.recomputed_bags = recomputed_bags_;
-    stats.replayed_bags = replayed_bags_;
+    stats.recomputed_bags = recomputed_bags_.load();
+    stats.replayed_bags = replayed_bags_.load();
     stats.checkpoints = checkpoints_;
-    stats.template_hits = template_hits_;
-    stats.template_misses = template_misses_;
+    stats.template_hits = template_hits_.load();
+    stats.template_misses = template_misses_.load();
     stats.template_invalidations = authority_->template_invalidations();
 
     if (obs::TraceRecorder* tr = trace()) {
@@ -253,12 +273,12 @@ class Job : public RuntimeContext {
     }
     if (obs::MetricsRegistry* mr = options_.metrics) {
       mr->Inc("jobs");
-      mr->Inc("bags", bags_);
-      mr->Inc("elements", elements_);
-      mr->Inc("hoisted_reuses", reuses_);
+      mr->Inc("bags", stats.bags);
+      mr->Inc("elements", stats.elements);
+      mr->Inc("hoisted_reuses", stats.hoisted_reuses);
       if (templates_on_) {
-        mr->Inc("step_template_hits", template_hits_);
-        mr->Inc("step_template_misses", template_misses_);
+        mr->Inc("step_template_hits", stats.template_hits);
+        mr->Inc("step_template_misses", stats.template_misses);
         mr->Inc("step_template_invalidations",
                 stats.template_invalidations);
       }
@@ -271,7 +291,7 @@ class Job : public RuntimeContext {
   }
 
   // ----- RuntimeContext -----
-  sim::Cluster* cluster() override { return cluster_; }
+  Backend* backend() override { return backend_; }
   sim::SimFileSystem* fs() override { return fs_; }
   const dataflow::LogicalGraph& graph() const override { return graph_; }
   const ir::Cfg& cfg() const override { return cfg_; }
@@ -285,17 +305,19 @@ class Job : public RuntimeContext {
   }
   void CountTemplateHit(dataflow::NodeId node, int instance,
                         int path_len) override {
-    ++template_hits_;
+    template_hits_.fetch_add(1, std::memory_order_relaxed);
     if (obs::live::EventLog* elog = options_.live.event_log) {
-      elog->Append(sim_->now(), "template_hit",
+      elog->Append(backend_->now(), "template_hit",
                    {{"node", graph_.node(node).name},
                     {"instance", instance},
                     {"path_len", path_len}});
     }
   }
-  void CountTemplateMiss() override { ++template_misses_; }
+  void CountTemplateMiss() override {
+    template_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   obs::TraceRecorder* trace() const override {
-    return options_.trace != nullptr ? options_.trace : cluster_->trace();
+    return options_.trace != nullptr ? options_.trace : backend_->trace();
   }
 
   BagOperatorHost* host(dataflow::NodeId node, int instance) override {
@@ -307,23 +329,37 @@ class Job : public RuntimeContext {
     const dataflow::LogicalNode& n = graph_.node(node);
     if (n.parallelism == 1) {
       // Spread singleton (control-flow spine) operators across machines.
-      return node % cluster_->num_machines();
+      return node % backend_->num_machines();
     }
-    return instance % cluster_->num_machines();
+    return instance % backend_->num_machines();
   }
 
   void OnDecision(ir::BlockId block, int path_len, bool value,
                   int machine) override {
+    // Decisions are serialized by path order, but consecutive decisions
+    // arrive from different machine threads on real-parallel backends; the
+    // mutex publishes each decision's authority-state writes to the next.
+    // Never reentered on one thread: condition evaluation always reaches
+    // this through an ExecCpu completion, which is asynchronous on every
+    // backend.
+    std::lock_guard<std::mutex> lock(control_mu_);
     if (failed()) return;
     authority_->OnDecision(block, path_len, value, machine);
   }
 
   void Fail(Status status) override {
-    if (status_.ok()) status_ = std::move(status);
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (status_.ok()) {
+      status_ = std::move(status);
+      failed_.store(true, std::memory_order_release);
+    }
   }
-  bool failed() const override { return !status_.ok(); }
+  bool failed() const override {
+    return failed_.load(std::memory_order_acquire);
+  }
 
   void BeginFileWrite(const std::string& filename, BagId bag) override {
+    std::lock_guard<std::mutex> lock(file_mu_);
     auto it = file_writers_.find(filename);
     if (it == file_writers_.end() || !(it->second == bag)) {
       // First partition of this output bag: overwrite semantics.
@@ -338,9 +374,12 @@ class Job : public RuntimeContext {
     // Stage partitions and flush the whole file at once, each partition
     // sorted, partitions in instance order. This canonicalizes the
     // within-partition element order (which chunk arrival order — and
-    // therefore pipelining and recovery replay — would otherwise leak
-    // into the output), making recovered runs byte-identical to
-    // fault-free ones. Bags are unordered, so any fixed order is valid.
+    // therefore pipelining, recovery replay, and real-parallel thread
+    // interleaving — would otherwise leak into the output), making
+    // recovered runs byte-identical to fault-free ones and threads-backend
+    // runs element-identical to DES runs. Bags are unordered, so any fixed
+    // order is valid.
+    std::lock_guard<std::mutex> lock(file_mu_);
     StagedFile& sf = staged_files_[filename];
     if (bag_len > sf.bag_len) {
       // A newer output bag for this file supersedes anything staged.
@@ -365,22 +404,30 @@ class Job : public RuntimeContext {
   }
 
   void CountBag(int64_t elements_in) override {
-    ++bags_;
-    elements_ += elements_in;
+    bags_.fetch_add(1, std::memory_order_relaxed);
+    elements_.fetch_add(elements_in, std::memory_order_relaxed);
     if (options_.metrics != nullptr) {
       options_.metrics->Observe("bag_elements",
                                 static_cast<double>(elements_in));
     }
   }
 
-  void CountReuse() override { ++reuses_; }
+  void CountReuse() override {
+    reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   void TrackMemory(int64_t delta_bytes) override {
-    buffered_bytes_ += delta_bytes;
-    peak_buffered_bytes_ = std::max(peak_buffered_bytes_, buffered_bytes_);
+    const int64_t now_bytes =
+        buffered_bytes_.fetch_add(delta_bytes, std::memory_order_relaxed) +
+        delta_bytes;
+    int64_t peak = peak_buffered_bytes_.load(std::memory_order_relaxed);
+    while (now_bytes > peak &&
+           !peak_buffered_bytes_.compare_exchange_weak(
+               peak, now_bytes, std::memory_order_relaxed)) {
+    }
     if (obs::TraceRecorder* tr = trace()) {
-      tr->Counter(obs::kEnginePid, "buffered_bytes", sim_->now(),
-                  static_cast<double>(buffered_bytes_));
+      tr->Counter(obs::kEnginePid, "buffered_bytes", backend_->now(),
+                  static_cast<double>(now_bytes));
     }
   }
   bool discard_spent_bags() const override {
@@ -388,7 +435,8 @@ class Job : public RuntimeContext {
   }
 
   void ChargeOpCpu(dataflow::NodeId node, double seconds) override {
-    op_cpu_[static_cast<size_t>(node)] += seconds;
+    op_cpu_[static_cast<size_t>(node)].fetch_add(seconds,
+                                                 std::memory_order_relaxed);
   }
 
   bool IsReplayBag(dataflow::NodeId node, int instance,
@@ -399,25 +447,28 @@ class Job : public RuntimeContext {
 
   void OnBagFinished(dataflow::NodeId node, int instance, int path_len,
                      bool replay) override {
-    if (recovery_ == nullptr) return;
+    if (recovery_ == nullptr) return;  // implies a DES backend (see ctor)
     const BagKey key{node, instance, path_len};
     const int machine = MachineOf(node, instance);
-    recovery_->OnBagFinished(key, machine, cluster_->machine_epoch(machine));
+    recovery_->OnBagFinished(key, machine,
+                             backend_->cluster()->machine_epoch(machine));
     if (replay) {
-      ++replayed_bags_;
+      replayed_bags_.fetch_add(1, std::memory_order_relaxed);
     } else if (attempt_ > 1 && recovery_->WasLost(key)) {
-      ++recomputed_bags_;
+      recomputed_bags_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  void NoteProgress() override { last_progress_ = sim_->now(); }
+  void NoteProgress() override {
+    last_progress_.store(backend_->now(), std::memory_order_relaxed);
+  }
 
   // Counters the attempt loop accumulates across failed attempts.
-  int64_t recomputed_bags() const { return recomputed_bags_; }
-  int64_t replayed_bags() const { return replayed_bags_; }
+  int64_t recomputed_bags() const { return recomputed_bags_.load(); }
+  int64_t replayed_bags() const { return replayed_bags_.load(); }
   int checkpoints() const { return checkpoints_; }
-  int64_t template_hits() const { return template_hits_; }
-  int64_t template_misses() const { return template_misses_; }
+  int64_t template_hits() const { return template_hits_.load(); }
+  int64_t template_misses() const { return template_misses_.load(); }
   int64_t template_invalidations() const {
     return authority_ != nullptr ? authority_->template_invalidations() : 0;
   }
@@ -435,47 +486,48 @@ class Job : public RuntimeContext {
 
   void MonitorTick() {
     if (failed() || JobDone()) return;  // chain ends; queue can drain
-    const double now = sim_->now();
+    sim::Cluster* cluster = backend_->cluster();
+    const double now = backend_->now();
     obs::live::EventLog* elog = options_.live.event_log;
-    for (int m = 0; m < cluster_->num_machines(); ++m) {
-      if (!cluster_->machine_up(m) &&
-          now - cluster_->machine_down_since(m) >=
+    for (int m = 0; m < backend_->num_machines(); ++m) {
+      if (!cluster->machine_up(m) &&
+          now - cluster->machine_down_since(m) >=
               faults_->heartbeat_timeout) {
         if (elog != nullptr) {
           elog->Append(now, "fault",
                        {{"what", "machine_lost"},
                         {"machine", m},
                         {"down_for",
-                         now - cluster_->machine_down_since(m)}});
+                         now - cluster->machine_down_since(m)}});
         }
         Fail(Status::Unavailable(
             "machine " + std::to_string(m) + " lost (no heartbeat for " +
-            std::to_string(now - cluster_->machine_down_since(m)) + "s)"));
+            std::to_string(now - cluster->machine_down_since(m)) + "s)"));
         return;
       }
     }
-    if (now - last_progress_ > faults_->stall_timeout) {
+    if (now - last_progress_.load() > faults_->stall_timeout) {
       if (elog != nullptr) {
         elog->Append(now, "fault",
                      {{"what", "attempt_stalled"},
-                      {"silent_for", now - last_progress_}});
+                      {"silent_for", now - last_progress_.load()}});
       }
       Fail(Status::Unavailable(
           "attempt stalled: no delivery or completed work for " +
-          std::to_string(now - last_progress_) + "s"));
+          std::to_string(now - last_progress_.load()) + "s"));
       return;
     }
-    sim_->ScheduleBackgroundAfter(faults_->heartbeat_interval,
-                                  [this] { MonitorTick(); });
+    backend_->simulator()->ScheduleBackgroundAfter(
+        faults_->heartbeat_interval, [this] { MonitorTick(); });
   }
 
   // Background snapshot cadence; the chain ends at job completion (or
   // failure) so the simulator's queue can drain.
   void SnapshotTick() {
-    sim_->ScheduleBackgroundAfter(
+    backend_->simulator()->ScheduleBackgroundAfter(
         options_.live.snapshots.every_virtual_seconds, [this] {
           if (failed() || JobDone()) return;
-          snapshots_->OnTimerTick(sim_->now());
+          snapshots_->OnTimerTick(backend_->now());
           SnapshotTick();
         });
   }
@@ -483,7 +535,7 @@ class Job : public RuntimeContext {
   // Fired by the path authority at every broadcast (step_index = the
   // completed 0-based decision, -1 for the initial path seed).
   void OnLiveStep(int step, bool initial) {
-    const double now = sim_->now();
+    const double now = backend_->now();
     if (snapshots_ != nullptr && !initial &&
         options_.live.snapshots.at_step_boundaries) {
       snapshots_->OnStepBoundary(now, step);
@@ -497,8 +549,8 @@ class Job : public RuntimeContext {
       p.step = step;
       p.path_len = path_.size();
       p.attempt = attempt_;
-      p.template_hits = template_hits_;
-      p.template_misses = template_misses_;
+      p.template_hits = template_hits_.load();
+      p.template_misses = template_misses_.load();
       p.faults_seen = options_.live.event_log != nullptr
                           ? options_.live.event_log->CountKind("fault")
                           : 0;
@@ -514,22 +566,22 @@ class Job : public RuntimeContext {
     if (recovery_ == nullptr || failed()) return;
     recovery_->MarkAllDurable();
     ++checkpoints_;
-    const int machines = cluster_->num_machines();
+    const int machines = backend_->num_machines();
     const size_t per_machine =
-        static_cast<size_t>(std::max<int64_t>(buffered_bytes_, 0)) /
+        static_cast<size_t>(std::max<int64_t>(buffered_bytes_.load(), 0)) /
             static_cast<size_t>(machines) +
         1;
     for (int m = 0; m < machines; ++m) {
-      cluster_->DiskIo(m, per_machine, [] {});
+      backend_->DiskIo(m, per_machine, [] {});
     }
     if (obs::TraceRecorder* tr = trace()) {
       tr->Instant(obs::kEnginePid, tr->Lane(obs::kEnginePid, "recovery"),
-                  "checkpoint", "fault", sim_->now(),
+                  "checkpoint", "fault", backend_->now(),
                   {{"decisions", authority_->decisions()},
                    {"bytes", static_cast<int64_t>(per_machine) * machines}});
     }
     if (obs::live::EventLog* elog = options_.live.event_log) {
-      elog->Append(sim_->now(), "checkpoint",
+      elog->Append(backend_->now(), "checkpoint",
                    {{"decisions", authority_->decisions()},
                     {"bytes", static_cast<int64_t>(per_machine) * machines}});
     }
@@ -549,8 +601,7 @@ class Job : public RuntimeContext {
     return out;
   }
 
-  sim::Simulator* sim_;
-  sim::Cluster* cluster_;
+  Backend* backend_;
   sim::SimFileSystem* fs_;
   const ir::Program& program_;
   const dataflow::LogicalGraph& graph_;
@@ -566,16 +617,27 @@ class Job : public RuntimeContext {
   std::vector<std::vector<std::unique_ptr<BagOperatorHost>>> hosts_;
 
   // Live observability (null when the plane is off; see obs/live/).
+  // Snapshot cadence is per-attempt; the watchdog is run-scoped (owned by
+  // ExecuteJob so its report budget spans the attempt loop).
   std::unique_ptr<obs::live::SnapshotWriter> snapshots_;
-  std::unique_ptr<obs::live::StepWatchdog> watchdog_;
+  obs::live::StepWatchdog* watchdog_ = nullptr;
 
+  // Serializes control-flow decisions into the path authority.
+  std::mutex control_mu_;
+  // Guards status_; failed_ mirrors !status_.ok() for lock-free checks.
+  mutable std::mutex status_mu_;
   Status status_;
-  int64_t bags_ = 0;
-  int64_t elements_ = 0;
-  int64_t reuses_ = 0;
-  int64_t buffered_bytes_ = 0;
-  int64_t peak_buffered_bytes_ = 0;
-  std::vector<double> op_cpu_;
+  std::atomic<bool> failed_{false};
+
+  std::atomic<int64_t> bags_{0};
+  std::atomic<int64_t> elements_{0};
+  std::atomic<int64_t> reuses_{0};
+  std::atomic<int64_t> buffered_bytes_{0};
+  std::atomic<int64_t> peak_buffered_bytes_{0};
+  std::unique_ptr<std::atomic<double>[]> op_cpu_;
+
+  // Guards the writeFile bookkeeping (writer registry + staged partitions).
+  std::mutex file_mu_;
   std::map<std::string, BagId> file_writers_;
   std::map<std::string, int> file_partitions_;
 
@@ -586,33 +648,48 @@ class Job : public RuntimeContext {
   };
   std::map<std::string, StagedFile> staged_files_;
 
-  // Fault handling (inert when faults_ == nullptr).
+  // Fault handling (inert when faults_ == nullptr; DES-only).
   const sim::FaultPlan* faults_ = nullptr;
   FaultRecoveryState* recovery_ = nullptr;
   int attempt_ = 1;
-  double last_progress_ = 0;
-  int64_t recomputed_bags_ = 0;
-  int64_t replayed_bags_ = 0;
+  std::atomic<double> last_progress_{0};
+  std::atomic<int64_t> recomputed_bags_{0};
+  std::atomic<int64_t> replayed_bags_{0};
   int checkpoints_ = 0;
   // Step-template tallies (fed by the hosts through RuntimeContext).
   // templates_on_ is options_.step_templates resolved against the fault
   // plan (replay is disabled wholesale under fault injection).
   bool templates_on_ = false;
-  int64_t template_hits_ = 0;
-  int64_t template_misses_ = 0;
+  std::atomic<int64_t> template_hits_{0};
+  std::atomic<int64_t> template_misses_{0};
 };
 
 }  // namespace
 
-StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
-                              sim::SimFileSystem* fs,
+StatusOr<RunStats> ExecuteJob(Backend* backend, sim::SimFileSystem* fs,
                               const ir::Program& program,
                               const dataflow::LogicalGraph& graph,
                               const ExecutorOptions& options) {
+  // Run-scoped watchdog: one instance spans the whole attempt loop, so its
+  // stall-report budget (max_reports) caps the run, not each attempt. The
+  // watchdog arms background simulator timers, so it is DES-only.
+  std::unique_ptr<obs::live::StepWatchdog> watchdog;
+  if (options.live.event_log != nullptr && options.live.watchdog.enabled &&
+      backend->simulator() != nullptr) {
+    watchdog = std::make_unique<obs::live::StepWatchdog>(
+        backend->simulator(), options.live.event_log, options.live.watchdog);
+  }
+
   if (options.faults == nullptr) {
-    Job job(sim, cluster, fs, program, graph, options);
+    Job job(backend, fs, program, graph, options, watchdog.get());
     return job.Execute();
   }
+
+  // Fault handling runs on the DES only: injection, machine epochs, and
+  // the ack/retry protocol all live on the simulated cluster.
+  sim::Simulator* sim = backend->simulator();
+  sim::Cluster* cluster = backend->cluster();
+  MITOS_CHECK(sim != nullptr && cluster != nullptr);
 
   // Attempt loop: a failed attempt (machine lost, stalled, broadcast
   // unacknowledged — all Status kUnavailable) is discarded, the loop waits
@@ -662,7 +739,8 @@ StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
       }
     }
     const double attempt_start = sim->now();
-    Job job(sim, cluster, fs, program, graph, options, &recovery, attempt);
+    Job job(backend, fs, program, graph, options, watchdog.get(), &recovery,
+            attempt);
     StatusOr<RunStats> result = job.Execute();
     if (result.ok()) {
       RunStats stats = std::move(*result);
@@ -724,9 +802,25 @@ StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
   return last_error;
 }
 
+StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
+                              sim::SimFileSystem* fs,
+                              const ir::Program& program,
+                              const dataflow::LogicalGraph& graph,
+                              const ExecutorOptions& options) {
+  DesBackend backend(sim, cluster);
+  return ExecuteJob(&backend, fs, program, graph, options);
+}
+
 MitosExecutor::MitosExecutor(sim::Simulator* sim, sim::Cluster* cluster,
                              sim::SimFileSystem* fs, ExecutorOptions options)
-    : sim_(sim), cluster_(cluster), fs_(fs), options_(options) {}
+    : owned_des_(std::make_unique<DesBackend>(sim, cluster)),
+      backend_(owned_des_.get()),
+      fs_(fs),
+      options_(options) {}
+
+MitosExecutor::MitosExecutor(Backend* backend, sim::SimFileSystem* fs,
+                             ExecutorOptions options)
+    : backend_(backend), fs_(fs), options_(options) {}
 
 StatusOr<RunStats> MitosExecutor::Run(const lang::Program& program) {
   StatusOr<ir::Program> ir_program = ir::CompileToIr(program);
@@ -750,10 +844,9 @@ StatusOr<RunStats> MitosExecutor::RunIr(const ir::Program& program) {
     MITOS_RETURN_IF_ERROR(ir::Verify(optimized));
   }
   StatusOr<TranslateResult> translated =
-      Translate(optimized, cluster_->num_machines());
+      Translate(optimized, backend_->num_machines());
   if (!translated.ok()) return translated.status();
-  return ExecuteJob(sim_, cluster_, fs_, optimized, translated->graph,
-                    options_);
+  return ExecuteJob(backend_, fs_, optimized, translated->graph, options_);
 }
 
 }  // namespace mitos::runtime

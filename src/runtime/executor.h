@@ -20,6 +20,7 @@
 #include "obs/live/live.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/backend.h"
 #include "runtime/path.h"
 #include "sim/cluster.h"
 #include "sim/filesystem.h"
@@ -115,8 +116,16 @@ struct RunStats {
 };
 
 // Runs ONE dataflow job (graph + its IR program for control flow) on the
-// given cluster, starting at the simulator's current time and blocking (in
-// virtual time) until the job drains.
+// given backend, starting at the backend's current time and blocking until
+// the job drains. Fault handling (options.faults) requires a DES backend
+// (backend->simulator() != nullptr).
+StatusOr<RunStats> ExecuteJob(Backend* backend, sim::SimFileSystem* fs,
+                              const ir::Program& program,
+                              const dataflow::LogicalGraph& graph,
+                              const ExecutorOptions& options);
+
+// Convenience overload over the discrete-event substrate (wraps the pair
+// in a DesBackend; byte-identical to the pre-seam runtime).
 StatusOr<RunStats> ExecuteJob(sim::Simulator* sim, sim::Cluster* cluster,
                               sim::SimFileSystem* fs,
                               const ir::Program& program,
@@ -129,6 +138,10 @@ class MitosExecutor {
  public:
   MitosExecutor(sim::Simulator* sim, sim::Cluster* cluster,
                 sim::SimFileSystem* fs, ExecutorOptions options = {});
+  // Executes on an arbitrary backend (e.g. the real-parallel threads
+  // backend); the caller keeps `backend` alive for the executor's lifetime.
+  MitosExecutor(Backend* backend, sim::SimFileSystem* fs,
+                ExecutorOptions options = {});
 
   // Compiles and runs `program`; outputs land in the file system.
   StatusOr<RunStats> Run(const lang::Program& program);
@@ -137,8 +150,8 @@ class MitosExecutor {
   StatusOr<RunStats> RunIr(const ir::Program& program);
 
  private:
-  sim::Simulator* sim_;
-  sim::Cluster* cluster_;
+  std::unique_ptr<DesBackend> owned_des_;  // set by the sim/cluster ctor
+  Backend* backend_;
   sim::SimFileSystem* fs_;
   ExecutorOptions options_;
 };

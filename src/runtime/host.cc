@@ -40,7 +40,7 @@ BagOperatorHost::BagOperatorHost(RuntimeContext* ctx,
 bool BagOperatorHost::IsSpecial() const { return kernel_ == nullptr; }
 
 double BagOperatorHost::PerElementCost() const {
-  return ctx_->cluster()->config().cpu_per_element * node_->cost_factor;
+  return ctx_->backend()->config().cpu_per_element * node_->cost_factor;
 }
 
 void BagOperatorHost::Init() {
@@ -189,7 +189,7 @@ void BagOperatorHost::OnBlockOccurrence(int pos) {
     ctx_->CountTemplateHit(node_->id, instance_, path_len);
     if (obs::TraceRecorder* tr = ctx_->trace()) {
       tr->Instant(obs::MachinePid(machine_), TraceLane(), "template-replay",
-                  "template", ctx_->cluster()->sim()->now(),
+                  "template", ctx_->backend()->now(),
                   {{"path_len", path_len},
                    {"period", period},
                    {"saved_cpu",
@@ -308,7 +308,7 @@ void BagOperatorHost::Pump() {
   if (ctx_->trace() != nullptr && item.cpu > 0) {
     label = node_->name + "." + item.phase;
   }
-  ctx_->cluster()->ExecCpu(
+  ctx_->backend()->ExecCpu(
       machine_, item.cpu,
       [this, action] {
         busy_ = false;
@@ -326,7 +326,7 @@ void BagOperatorHost::TryFeed() {
 
   if (!bag.opened) {
     bag.opened = true;
-    bag.t_open = ctx_->cluster()->sim()->now();
+    bag.t_open = ctx_->backend()->now();
     // Loop-invariant hoisting (Sec. 5.3): reuse state when the chosen bag
     // id on a reusable input is unchanged since the previous output bag.
     if (kernel_ && ctx_->hoisting() && has_prev_) {
@@ -507,7 +507,7 @@ void BagOperatorHost::FinalizeActiveBag() {
     // (operator × execution-path prefix length).
     tr->Span(obs::MachinePid(machine_), TraceLane(),
              node_->name + "@" + std::to_string(bag_len), "operator",
-             bag.t_open, ctx_->cluster()->sim()->now(),
+             bag.t_open, ctx_->backend()->now(),
              {{"elements_in", bag.elements_in}, {"path_len", bag_len}});
   }
   MITOS_VLOG(3) << node_->name << "[" << instance_ << "] finished bag @"
@@ -668,7 +668,7 @@ void BagOperatorHost::StartFileRead(const std::string& filename) {
   const int bag_len = out_bags_.front().path_len;
   const bool replay = out_bags_.front().replay;
   size_t bytes = std::max<size_t>(SerializedSize(*data), 1);
-  size_t chunk_elements = ctx_->cluster()->config().chunk_elements;
+  size_t chunk_elements = ctx_->backend()->config().chunk_elements;
   auto chunks = std::make_shared<std::vector<DatumVector>>();
   for (size_t begin = 0; begin < data->size(); begin += chunk_elements) {
     size_t end = std::min(begin + chunk_elements, data->size());
@@ -681,7 +681,7 @@ void BagOperatorHost::StartFileRead(const std::string& filename) {
   // Emit chunks at disk pace so downstream work overlaps with the read —
   // this is one of the two overlaps behind loop pipelining. In-memory
   // cached datasets (Spark RDD cache) read at memory speed.
-  ctx_->cluster()->DiskRead(
+  ctx_->backend()->DiskRead(
       machine_, bytes, pieces,
       [this, chunks, pieces, bag_len](int i) {
         if (ctx_->failed()) return;
@@ -709,7 +709,7 @@ void BagOperatorHost::FinishFileWrite() {
   special_data_.clear();
   size_t bytes = std::max<size_t>(SerializedSize(*data), 1);
   special_async_ = true;
-  ctx_->cluster()->DiskIo(
+  ctx_->backend()->DiskIo(
       machine_, bytes,
       [this, filename, data, bag_len] {
         if (ctx_->failed()) return;
@@ -724,7 +724,7 @@ void BagOperatorHost::FinishFileWrite() {
 
 void BagOperatorHost::EmitChunk(int bag_len, DatumVector&& chunk) {
   if (chunk.empty()) return;
-  size_t max_elems = ctx_->cluster()->config().chunk_elements;
+  size_t max_elems = ctx_->backend()->config().chunk_elements;
   // Split oversized emissions so consumers pipeline at chunk granularity.
   for (size_t begin = 0; begin < chunk.size(); begin += max_elems) {
     size_t end = std::min(begin + max_elems, chunk.size());
@@ -814,12 +814,12 @@ void BagOperatorHost::SendChunkTo(const OutEdgeInfo& edge,
                                   int consumer_instance, int bag_len,
                                   DatumVector chunk) {
   size_t bytes = SerializedSize(chunk) +
-                 ctx_->cluster()->config().control_message_bytes;
+                 ctx_->backend()->config().control_message_bytes;
   int dst = ctx_->MachineOf(edge.consumer, consumer_instance);
   BagOperatorHost* consumer = ctx_->host(edge.consumer, consumer_instance);
   auto payload = std::make_shared<DatumVector>(std::move(chunk));
   int input_index = edge.input_index;
-  ctx_->cluster()->Send(machine_, dst, bytes,
+  ctx_->backend()->Send(machine_, dst, bytes,
                         [consumer, input_index, bag_len, payload] {
                           consumer->DeliverChunk(input_index, bag_len,
                                                  std::move(*payload));
@@ -841,12 +841,12 @@ void BagOperatorHost::SendMarkerOnEdge(size_t edge_index, int bag_len) {
       for (int ci = 0; ci < edge.consumer_par; ++ci) dests.push_back(ci);
       break;
   }
-  size_t bytes = ctx_->cluster()->config().control_message_bytes;
+  size_t bytes = ctx_->backend()->config().control_message_bytes;
   for (int ci : dests) {
     int dst = ctx_->MachineOf(edge.consumer, ci);
     BagOperatorHost* consumer = ctx_->host(edge.consumer, ci);
     int input_index = edge.input_index;
-    ctx_->cluster()->Send(machine_, dst, bytes,
+    ctx_->backend()->Send(machine_, dst, bytes,
                           [consumer, input_index, bag_len] {
                             consumer->DeliverMarker(input_index, bag_len);
                           });

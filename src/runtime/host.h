@@ -48,8 +48,8 @@
 #include "dataflow/operators.h"
 #include "ir/cfg.h"
 #include "obs/trace.h"
+#include "runtime/backend.h"
 #include "runtime/path.h"
-#include "sim/cluster.h"
 #include "sim/filesystem.h"
 
 namespace mitos::runtime {
@@ -62,7 +62,7 @@ class RuntimeContext {
  public:
   virtual ~RuntimeContext() = default;
 
-  virtual sim::Cluster* cluster() = 0;
+  virtual Backend* backend() = 0;
   virtual sim::SimFileSystem* fs() = 0;
   virtual const dataflow::LogicalGraph& graph() const = 0;
   virtual const ir::Cfg& cfg() const = 0;

@@ -7,6 +7,7 @@
 namespace mitos::runtime {
 
 std::string ExecutionPath::ToString() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::ostringstream out;
   out << '[';
   for (size_t i = 0; i < blocks_.size(); ++i) {
@@ -41,20 +42,23 @@ void ControlFlowManager::AdvanceTo(int new_len, bool complete) {
   advancing_ = false;
 }
 
-PathAuthority::PathAuthority(const ir::Program* program,
-                             sim::Cluster* cluster, ExecutionPath* path,
+PathAuthority::PathAuthority(const ir::Program* program, Backend* backend,
+                             ExecutionPath* path,
                              std::vector<ControlFlowManager*> managers,
                              Options options,
                              std::function<void(Status)> on_error)
     : program_(program),
-      cluster_(cluster),
+      backend_(backend),
       managers_(std::move(managers)),
       options_(options),
       on_error_(std::move(on_error)),
       path_(path) {
   MITOS_CHECK(program != nullptr);
-  MITOS_CHECK(cluster != nullptr);
+  MITOS_CHECK(backend != nullptr);
   MITOS_CHECK(path != nullptr);
+  // Fault handling needs the simulator's background timers (ack-retry
+  // backoff); it is rejected upstream for real-parallel backends.
+  MITOS_CHECK(options_.faults == nullptr || backend->simulator() != nullptr);
 }
 
 PathAuthority::~PathAuthority() { *alive_ = false; }
@@ -104,7 +108,7 @@ void PathAuthority::OnDecision(ir::BlockId block, int at_len, bool value,
     int pid = obs::MachinePid(machine);
     options_.trace->Instant(
         pid, options_.trace->Lane(pid, "control-flow"), "decision",
-        "control-flow", cluster_->sim()->now(),
+        "control-flow", backend_->now(),
         {{"step", decisions_ - 1},
          {"block", block},
          {"value", value},
@@ -112,22 +116,21 @@ void PathAuthority::OnDecision(ir::BlockId block, int at_len, bool value,
   }
   if (options_.metrics != nullptr) options_.metrics->Inc("decisions");
   if (options_.event_log != nullptr) {
-    options_.event_log->Append(cluster_->sim()->now(), "decision",
+    options_.event_log->Append(backend_->now(), "decision",
                                {{"step", decisions_ - 1},
                                 {"block", block},
                                 {"value", value},
                                 {"path_len", at_len},
                                 {"machine", machine}});
   }
-  const double now = cluster_->sim()->now();
+  const double now = backend_->now();
   pending_step_ = PendingStep{block, value, now, now};
   AppendChain(value ? term.target : term.target_else, machine);
 }
 
 void PathAuthority::RecordStep(bool initial) {
-  sim::Simulator* sim = cluster_->sim();
-  const double now = sim->now();
-  const sim::ClusterMetrics& cm = cluster_->metrics();
+  const double now = backend_->now();
+  const sim::ClusterMetrics cm = backend_->MetricsSnapshot();
   const int64_t elements =
       options_.elements_probe ? options_.elements_probe() : 0;
   if (!initial) {
@@ -232,7 +235,7 @@ void PathAuthority::AppendChain(ir::BlockId block, int machine,
     meta = tracker_.OnStep(pending_step_.block, pending_step_.value, chain);
     if (options_.event_log != nullptr &&
         tracker_.invalidations() > invalidations_before) {
-      options_.event_log->Append(cluster_->sim()->now(),
+      options_.event_log->Append(backend_->now(),
                                  "template_invalidation",
                                  {{"step", decisions_ - 1},
                                   {"block", pending_step_.block},
@@ -250,16 +253,16 @@ void PathAuthority::SendControl(int from_machine, int machine, int new_len,
                                 bool complete, int attempt) {
   ControlFlowManager* manager = managers_[static_cast<size_t>(machine)];
   std::shared_ptr<bool> alive = alive_;
-  cluster_->Send(from_machine, machine,
-                 cluster_->config().control_message_bytes,
+  backend_->Send(from_machine, machine,
+                 backend_->config().control_message_bytes,
                  [this, alive, manager, from_machine, machine, new_len,
                   complete] {
                    if (!*alive) return;
                    // AdvanceTo is idempotent, so a duplicate delivery from
                    // a retransmitted broadcast is harmless.
                    manager->AdvanceTo(new_len, complete);
-                   cluster_->Send(machine, from_machine,
-                                  cluster_->config().control_message_bytes,
+                   backend_->Send(machine, from_machine,
+                                  backend_->config().control_message_bytes,
                                   [this, alive, new_len, machine] {
                                     if (!*alive) return;
                                     acked_.emplace(new_len, machine);
@@ -269,7 +272,7 @@ void PathAuthority::SendControl(int from_machine, int machine, int new_len,
   // the timer watches the run, it must not hold the superstep barrier.
   const double backoff =
       options_.faults->retry_backoff * static_cast<double>(1 << attempt);
-  cluster_->sim()->ScheduleBackgroundAfter(
+  backend_->simulator()->ScheduleBackgroundAfter(
       backoff,
       [this, alive, from_machine, machine, new_len, complete, attempt] {
         if (!*alive) return;
@@ -288,7 +291,6 @@ void PathAuthority::SendControl(int from_machine, int machine, int new_len,
 void PathAuthority::Broadcast(int from_machine, bool initial) {
   const int new_len = path_->size();
   const bool complete = path_->complete();
-  sim::Simulator* sim = cluster_->sim();
 
   // A replayable step needs no decision metadata on the wire — receivers
   // validate against their cached template — so its broadcast shrinks to
@@ -306,8 +308,8 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
       options_.metrics->Inc("templated_broadcasts");
     }
     const size_t bytes = templated
-                             ? cluster_->config().template_control_message_bytes
-                             : cluster_->config().control_message_bytes;
+                             ? backend_->config().template_control_message_bytes
+                             : backend_->config().control_message_bytes;
     for (int m = 0; m < static_cast<int>(managers_.size()); ++m) {
       ControlFlowManager* manager = managers_[static_cast<size_t>(m)];
       if (m == from_machine) {
@@ -319,7 +321,7 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
         SendControl(from_machine, m, new_len, complete, /*attempt=*/0);
         continue;
       }
-      cluster_->Send(from_machine, m, bytes,
+      backend_->Send(from_machine, m, bytes,
                      [manager, new_len, complete] {
                        manager->AdvanceTo(new_len, complete);
                      });
@@ -333,7 +335,7 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
 
   if (options_.pipelining || initial) {
     if (options_.decision_overhead > 0 && !initial) {
-      sim->ScheduleAfter(options_.decision_overhead, do_broadcast);
+      backend_->ScheduleAfter(options_.decision_overhead, do_broadcast);
     } else {
       do_broadcast();
     }
@@ -341,10 +343,10 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
     // Superstep barrier: wait for global quiescence, then charge the
     // per-step overhead, then release the decision.
     double overhead = options_.decision_overhead;
-    sim->ScheduleWhenIdle([this, sim, overhead, do_broadcast, initial] {
-      if (!initial) pending_step_.release_time = sim->now();
+    backend_->ScheduleWhenIdle([this, overhead, do_broadcast, initial] {
+      if (!initial) pending_step_.release_time = backend_->now();
       if (overhead > 0) {
-        sim->ScheduleAfter(overhead, do_broadcast);
+        backend_->ScheduleAfter(overhead, do_broadcast);
       } else {
         do_broadcast();
       }

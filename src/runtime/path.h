@@ -21,7 +21,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +35,7 @@
 #include "obs/live/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/backend.h"
 #include "runtime/step_template.h"
 #include "sim/cluster.h"
 
@@ -54,34 +57,54 @@ struct BagId {
 };
 
 // The global execution path: an append-only sequence of basic blocks.
+//
+// Internally synchronized: the authority (the only writer) appends from
+// whichever machine hosted the deciding condition node, while every other
+// machine's manager reads concurrently — on the threads backend those are
+// different OS threads. A shared_mutex keeps readers parallel; on the DES
+// (single host thread) the uncontended locks cost nanoseconds and change
+// nothing about the schedule.
 class ExecutionPath {
  public:
-  int size() const { return static_cast<int>(blocks_.size()); }
+  int size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return SizeLocked();
+  }
   ir::BlockId at(int pos) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     MITOS_CHECK_GE(pos, 0);
-    MITOS_CHECK_LT(pos, size());
+    MITOS_CHECK_LT(pos, SizeLocked());
     return blocks_[static_cast<size_t>(pos)];
   }
   void Append(ir::BlockId block, StepMeta meta = {}) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     blocks_.push_back(block);
     meta_.push_back(meta);
   }
 
   // Step-template metadata stamped by the authority at append time
   // (runtime/step_template.h).
-  const StepMeta& meta(int pos) const {
+  StepMeta meta(int pos) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     MITOS_CHECK_GE(pos, 0);
-    MITOS_CHECK_LT(pos, size());
+    MITOS_CHECK_LT(pos, SizeLocked());
     return meta_[static_cast<size_t>(pos)];
   }
 
-  bool complete() const { return complete_; }
-  void MarkComplete() { complete_ = true; }
+  bool complete() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return complete_;
+  }
+  void MarkComplete() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    complete_ = true;
+  }
 
   // Length of the longest prefix with length <= max_len that ends with
   // `block`; 0 if none (Sec. 5.2.3's input-choice rule).
   int LongestPrefixEndingWith(ir::BlockId block, int max_len) const {
-    for (int l = std::min(max_len, size()); l >= 1; --l) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (int l = std::min(max_len, SizeLocked()); l >= 1; --l) {
       if (blocks_[static_cast<size_t>(l - 1)] == block) return l;
     }
     return 0;
@@ -90,8 +113,9 @@ class ExecutionPath {
   // Block-for-block equality of the segments [a_start, a_start + len) and
   // [b_start, b_start + len); false when either is out of range.
   bool SegmentsEqual(int a_start, int b_start, int len) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (len < 0 || a_start < 0 || b_start < 0 ||
-        a_start + len > size() || b_start + len > size()) {
+        a_start + len > SizeLocked() || b_start + len > SizeLocked()) {
       return false;
     }
     for (int k = 0; k < len; ++k) {
@@ -106,6 +130,9 @@ class ExecutionPath {
   std::string ToString() const;
 
  private:
+  int SizeLocked() const { return static_cast<int>(blocks_.size()); }
+
+  mutable std::shared_mutex mu_;
   std::vector<ir::BlockId> blocks_;
   std::vector<StepMeta> meta_;
   bool complete_ = false;
@@ -221,8 +248,9 @@ class PathAuthority {
   };
 
   // `path` is owned by the caller (the job) and shared with every
-  // ControlFlowManager; the authority is its only writer.
-  PathAuthority(const ir::Program* program, sim::Cluster* cluster,
+  // ControlFlowManager; the authority is its only writer. `backend` is the
+  // execution substrate decisions are broadcast over (runtime/backend.h).
+  PathAuthority(const ir::Program* program, Backend* backend,
                 ExecutionPath* path,
                 std::vector<ControlFlowManager*> managers, Options options,
                 std::function<void(Status)> on_error);
@@ -260,7 +288,7 @@ class PathAuthority {
                    int attempt);
 
   const ir::Program* program_;
-  sim::Cluster* cluster_;
+  Backend* backend_;
   std::vector<ControlFlowManager*> managers_;
   Options options_;
   std::function<void(Status)> on_error_;

@@ -1,0 +1,172 @@
+#include "runtime/threads_backend.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mitos::runtime {
+
+ThreadsBackend::ThreadsBackend(const sim::ClusterConfig& config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {
+  MITOS_CHECK(config_.num_machines > 0);
+  machines_.reserve(static_cast<size_t>(config_.num_machines));
+  for (int m = 0; m < config_.num_machines; ++m) {
+    machines_.push_back(std::make_unique<Machine>());
+  }
+  // Start workers only after the vector is fully built (a worker never
+  // touches other machines' entries, but the thread itself needs a stable
+  // Machine address).
+  for (auto& m : machines_) {
+    m->thread = std::thread([this, mp = m.get()] { WorkerLoop(mp); });
+  }
+}
+
+ThreadsBackend::~ThreadsBackend() {
+  for (auto& m : machines_) {
+    {
+      std::lock_guard<std::mutex> lock(m->mu);
+      m->stop = true;
+    }
+    m->cv.notify_all();
+  }
+  for (auto& m : machines_) {
+    if (m->thread.joinable()) m->thread.join();
+  }
+}
+
+double ThreadsBackend::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void ThreadsBackend::Post(int machine, std::function<void()> fn) {
+  MITOS_CHECK(machine >= 0 && machine < config_.num_machines);
+  Machine* m = machines_[static_cast<size_t>(machine)].get();
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(m->mu);
+    m->queue.push_back(std::move(fn));
+  }
+  m->cv.notify_one();
+}
+
+void ThreadsBackend::WorkerLoop(Machine* m) {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(m->mu);
+      m->cv.wait(lock, [m] { return m->stop || !m->queue.empty(); });
+      if (m->queue.empty()) return;  // stop requested and queue drained
+      task = std::move(m->queue.front());
+      m->queue.pop_front();
+    }
+    task();
+    // Decrement AFTER the task ran: zero outstanding means every posted
+    // task's effects are complete. Notify under done_mu_ so the driver's
+    // predicate check cannot miss the wakeup.
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadsBackend::ExecCpu(int machine, double cpu_seconds,
+                             std::function<void()> done,
+                             std::string trace_label) {
+  // The modelled charge is ignored: `done` is the real work and its wall
+  // time is what gets metered.
+  (void)cpu_seconds;
+  Post(machine,
+       [this, machine, done = std::move(done),
+        label = std::move(trace_label)] {
+         const double t0 = now();
+         done();
+         const double t1 = now();
+         {
+           std::lock_guard<std::mutex> lock(metrics_mu_);
+           metrics_.cpu_seconds += t1 - t0;
+         }
+         if (trace_ != nullptr && !label.empty()) {
+           const int pid = obs::MachinePid(machine);
+           trace_->Span(pid, trace_->Lane(pid, "cores"), label, "core", t0,
+                        t1, {});
+         }
+       });
+}
+
+void ThreadsBackend::Send(int src, int dst, size_t bytes,
+                          std::function<void()> done) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (src == dst) {
+      metrics_.local_bytes += static_cast<int64_t>(bytes);
+    } else {
+      ++metrics_.messages;
+      metrics_.network_bytes += static_cast<int64_t>(bytes);
+    }
+  }
+  Post(dst, std::move(done));
+}
+
+void ThreadsBackend::DiskIo(int machine, size_t bytes,
+                            std::function<void()> done, bool memory) {
+  if (!memory) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.disk_bytes += static_cast<int64_t>(bytes);
+  }
+  Post(machine, std::move(done));
+}
+
+void ThreadsBackend::DiskRead(int machine, size_t bytes, int pieces,
+                              std::function<void(int)> on_progress,
+                              bool memory) {
+  if (!memory) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.disk_bytes += static_cast<int64_t>(bytes);
+  }
+  // One task for the whole read: the data is already in process memory, so
+  // there is no I/O pace to emit at — downstream overlap comes from the
+  // other machines' sources reading concurrently.
+  Post(machine, [pieces, on_progress = std::move(on_progress)] {
+    for (int i = 0; i < pieces; ++i) on_progress(i);
+  });
+}
+
+void ThreadsBackend::ScheduleAfter(double delay, std::function<void()> fn) {
+  (void)delay;  // coordinator-side launch only; see the Backend contract
+  Post(0, std::move(fn));
+}
+
+void ThreadsBackend::ScheduleWhenIdle(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  idle_callbacks_.push_back(std::move(fn));
+}
+
+void ThreadsBackend::Run() {
+  while (true) {
+    std::function<void()> idle;
+    {
+      std::unique_lock<std::mutex> lock(done_mu_);
+      done_cv_.wait(lock, [this] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+      });
+      if (idle_callbacks_.empty()) return;
+      idle = std::move(idle_callbacks_.front());
+      idle_callbacks_.pop_front();
+    }
+    // Quiescent: all workers blocked, their writes published through
+    // done_mu_. The callback runs on the driver thread and may post new
+    // work (released to the workers through the queue locks), after which
+    // the loop waits for quiescence again before the next callback.
+    idle();
+  }
+}
+
+sim::ClusterMetrics ThreadsBackend::MetricsSnapshot() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_;
+}
+
+}  // namespace mitos::runtime

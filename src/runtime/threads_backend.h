@@ -1,0 +1,129 @@
+// ThreadsBackend: real parallelism behind the runtime::Backend seam.
+//
+// One worker thread per "machine", each draining its own MPSC task queue
+// (any thread posts, only the owner executes). Every Backend operation
+// reduces to Post(target, fn):
+//
+//   * ExecCpu runs `done` on the target machine's thread — the callback IS
+//     the real work; the modelled cpu_seconds charge is ignored and the
+//     callback's measured wall time is metered into cpu_seconds instead.
+//   * Send posts `done` to the destination. Tasks posted from one thread
+//     land in the destination deque in program order, so the per-(src,dst)
+//     FIFO guarantee (chunks before their end-of-bag marker) holds for
+//     free. Byte/message tallies use the same local-vs-network split as
+//     the simulated cluster (src == dst → local_bytes).
+//   * DiskIo/DiskRead post to the target machine; there is no modelled
+//     disk occupancy — the data already lives in the in-process
+//     SimFileSystem — but disk_bytes accounting is kept.
+//   * ScheduleAfter posts to machine 0 without the modelled delay (it is
+//     only used for the pre-work job launch; Mitos engines run with
+//     decision_overhead == 0 — see the Backend contract).
+//
+// Quiescence (Run / ScheduleWhenIdle): a single atomic counts outstanding
+// tasks, incremented BEFORE a task is enqueued and decremented AFTER it
+// finishes running, so the count can only reach zero when every posted
+// task — and everything it transitively posted — has fully executed. The
+// driver thread blocks in Run() until the count hits zero, then runs ONE
+// pending idle callback (mirroring sim::Simulator::Run's
+// one-idle-callback-at-a-time semantics, which is what superstep barriers
+// rely on) and waits again; Run returns when the system is quiescent with
+// no idle callbacks left. The driver's wait/wake through done_mu_
+// establishes happens-before in both directions, so an idle callback may
+// touch any machine's state — exactly like the DES at quiescence.
+//
+// Time is wall-clock seconds since construction; busy_until() == now()
+// (no background timers exist here). Fault plans are rejected upstream
+// (PathAuthority checks simulator() != nullptr), and simulator()/cluster()
+// return nullptr, which gates off the watchdog, snapshot cadence, and
+// heartbeat machinery.
+#ifndef MITOS_RUNTIME_THREADS_BACKEND_H_
+#define MITOS_RUNTIME_THREADS_BACKEND_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/backend.h"
+
+namespace mitos::runtime {
+
+class ThreadsBackend : public Backend {
+ public:
+  explicit ThreadsBackend(const sim::ClusterConfig& config);
+  ~ThreadsBackend() override;
+
+  ThreadsBackend(const ThreadsBackend&) = delete;
+  ThreadsBackend& operator=(const ThreadsBackend&) = delete;
+
+  int num_machines() const override { return config_.num_machines; }
+  const sim::ClusterConfig& config() const override { return config_; }
+
+  double now() const override;
+  double busy_until() const override { return now(); }
+
+  void ExecCpu(int machine, double cpu_seconds, std::function<void()> done,
+               std::string trace_label = {}) override;
+  void Send(int src, int dst, size_t bytes,
+            std::function<void()> done) override;
+  void DiskIo(int machine, size_t bytes, std::function<void()> done,
+              bool memory = false) override;
+  void DiskRead(int machine, size_t bytes, int pieces,
+                std::function<void(int)> on_progress,
+                bool memory = false) override;
+
+  void ScheduleAfter(double delay, std::function<void()> fn) override;
+  void ScheduleWhenIdle(std::function<void()> fn) override;
+  void Run() override;
+
+  sim::ClusterMetrics MetricsSnapshot() const override;
+
+  void set_trace(obs::TraceRecorder* trace) override { trace_ = trace; }
+  obs::TraceRecorder* trace() const override { return trace_; }
+  void set_event_log(obs::live::EventLog* log) override {
+    event_log_ = log;
+  }
+  obs::live::EventLog* event_log() const override { return event_log_; }
+
+ private:
+  struct Machine {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  // Enqueues `fn` on `machine`'s worker. Increments outstanding_ before
+  // the push so the driver can never observe a false quiescence between
+  // enqueue and execution.
+  void Post(int machine, std::function<void()> fn);
+  void WorkerLoop(Machine* m);
+
+  sim::ClusterConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+
+  // Outstanding tasks: posted but not yet finished executing.
+  std::atomic<int64_t> outstanding_{0};
+  // Guards idle_callbacks_ and backs the driver's quiescence wait.
+  mutable std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> idle_callbacks_;
+
+  mutable std::mutex metrics_mu_;
+  sim::ClusterMetrics metrics_;
+
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::live::EventLog* event_log_ = nullptr;
+};
+
+}  // namespace mitos::runtime
+
+#endif  // MITOS_RUNTIME_THREADS_BACKEND_H_

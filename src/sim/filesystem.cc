@@ -1,5 +1,6 @@
 #include "sim/filesystem.h"
 
+#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -18,23 +19,39 @@ std::pair<size_t, size_t> PartitionRange(size_t n, size_t parts,
   return {begin, begin + len};
 }
 
+SimFileSystem::SimFileSystem(const SimFileSystem& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  files_ = other.files_;
+}
+
+SimFileSystem& SimFileSystem::operator=(const SimFileSystem& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  files_ = other.files_;
+  return *this;
+}
+
 void SimFileSystem::Write(const std::string& name, DatumVector data) {
+  std::lock_guard<std::mutex> lock(mu_);
   File& f = files_[name];
   f.bytes = SerializedSize(data);
   f.data = std::move(data);
 }
 
 void SimFileSystem::Append(const std::string& name, const DatumVector& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   File& f = files_[name];
   f.bytes += SerializedSize(data);
   f.data.insert(f.data.end(), data.begin(), data.end());
 }
 
 bool SimFileSystem::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.find(name) != files_.end();
 }
 
 StatusOr<DatumVector> SimFileSystem::Read(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::NotFound("no such file: " + name);
@@ -45,6 +62,7 @@ StatusOr<DatumVector> SimFileSystem::Read(const std::string& name) const {
 StatusOr<DatumVector> SimFileSystem::ReadPartition(const std::string& name,
                                                    size_t parts,
                                                    size_t part) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::NotFound("no such file: " + name);
@@ -55,20 +73,33 @@ StatusOr<DatumVector> SimFileSystem::ReadPartition(const std::string& name,
 }
 
 size_t SimFileSystem::FileBytes(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   return it == files_.end() ? 0 : it->second.bytes;
 }
 
 size_t SimFileSystem::FileElements(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   return it == files_.end() ? 0 : it->second.data.size();
 }
 
 std::vector<std::string> SimFileSystem::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, file] : files_) names.push_back(name);
   return names;
+}
+
+void SimFileSystem::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(name);
+}
+
+void SimFileSystem::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
 }
 
 }  // namespace mitos::sim

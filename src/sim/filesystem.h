@@ -1,8 +1,11 @@
 // SimFileSystem: the reproduction's stand-in for HDFS.
 //
 // A named file is an ordered vector of Datums. Files are shared by every
-// simulated machine (like a distributed file system); the *time* cost of
-// reading/writing is charged by the cluster model (sim/cluster.h), not here.
+// machine (like a distributed file system); the *time* cost of
+// reading/writing is charged by the execution backend, not here. All
+// operations are internally synchronized: on the real-parallel threads
+// backend (runtime/threads_backend.h) every machine thread reads and
+// writes the shared store concurrently.
 // Sources read contiguous partitions so that P reader instances split a file
 // exactly the way parallel input splits do.
 #ifndef MITOS_SIM_FILESYSTEM_H_
@@ -10,6 +13,7 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +30,9 @@ std::pair<size_t, size_t> PartitionRange(size_t n, size_t parts, size_t part);
 class SimFileSystem {
  public:
   SimFileSystem() = default;
+  // Copyable: benches snapshot a pre-seeded filesystem per engine run.
+  SimFileSystem(const SimFileSystem& other);
+  SimFileSystem& operator=(const SimFileSystem& other);
 
   // Creates or overwrites `name`.
   void Write(const std::string& name, DatumVector data);
@@ -51,8 +58,8 @@ class SimFileSystem {
 
   std::vector<std::string> ListFiles() const;
 
-  void Remove(const std::string& name) { files_.erase(name); }
-  void Clear() { files_.clear(); }
+  void Remove(const std::string& name);
+  void Clear();
 
  private:
   struct File {
@@ -60,6 +67,7 @@ class SimFileSystem {
     size_t bytes = 0;
   };
 
+  mutable std::mutex mu_;
   std::map<std::string, File> files_;
 };
 

@@ -35,6 +35,37 @@ TEST(JsonParseTest, StringEscapes) {
   EXPECT_EQ(v->array()[2].string(), "A\n");
 }
 
+TEST(JsonParseTest, UnicodeEscapesDecodeToUtf8) {
+  // ASCII, 2-byte (U+00E9), 3-byte (U+20AC), and a surrogate pair
+  // (U+1F389) -- all previously collapsed to '?' for non-ASCII.
+  auto v =
+      Value::Parse(R"(["\u0041", "\u00e9", "\u20AC", "\ud83c\udf89"])");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_EQ(v->array().size(), 4u);
+  EXPECT_EQ(v->array()[0].string(), "A");
+  EXPECT_EQ(v->array()[1].string(), "\xC3\xA9");
+  EXPECT_EQ(v->array()[2].string(), "\xE2\x82\xAC");
+  EXPECT_EQ(v->array()[3].string(), "\xF0\x9F\x8E\x89");
+}
+
+TEST(JsonParseTest, LoneSurrogatesBecomeReplacementCharacter) {
+  // High surrogate with no low, low alone, and high followed by a
+  // non-surrogate escape (which must itself still decode).
+  auto v = Value::Parse(R"(["\ud83c", "\udf89", "\ud83cX", "\ud83c\u0041"])");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const std::string replacement = "\xEF\xBF\xBD";  // U+FFFD
+  EXPECT_EQ(v->array()[0].string(), replacement);
+  EXPECT_EQ(v->array()[1].string(), replacement);
+  EXPECT_EQ(v->array()[2].string(), replacement + "X");
+  EXPECT_EQ(v->array()[3].string(), replacement + "A");
+}
+
+TEST(JsonParseTest, RejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(Value::Parse(R"("\u12")").ok());     // truncated
+  EXPECT_FALSE(Value::Parse(R"("\u12g4")").ok());   // non-hex digit
+  EXPECT_FALSE(Value::Parse(R"("\ud83c\uzz")").ok());  // bad pair tail
+}
+
 TEST(JsonParseTest, AccessorFallbacks) {
   auto v = Value::Parse(R"({"num": 7, "str": "s"})");
   ASSERT_TRUE(v.ok());

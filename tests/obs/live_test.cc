@@ -16,6 +16,7 @@
 #include "json_lint.h"
 #include "obs/live/event_log.h"
 #include "obs/live/prom.h"
+#include "obs/live/watchdog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
@@ -359,6 +360,118 @@ TEST(WatchdogTest, FiresOnInjectedMidRunSlowdown) {
     break;
   }
   EXPECT_TRUE(found);
+}
+
+// One StepWatchdog spans the whole fault-recovery attempt loop; an attempt
+// restart must (a) turn checks armed by the discarded attempt inert and
+// (b) clear the rolling gap window, so the re-execution's stall threshold
+// reflects ITS cadence, not the previous timeline's.
+TEST(WatchdogTest, AttemptRestartResetsWindowAndInvalidatesArmedChecks) {
+  sim::Simulator sim;
+  EventLog log;
+  WatchdogConfig cfg;
+  cfg.enabled = true;
+  cfg.min_window_seconds = 0.001;
+  cfg.min_samples = 3;
+  cfg.max_reports = 1;
+  StepWatchdog wd(&sim, &log, cfg);
+  wd.set_quiescent([] { return false; });  // the job never finishes
+  wd.set_diagnose([] { return std::string("test probe"); });
+  auto at = [&](double t, std::function<void()> fn) {
+    sim.ScheduleBackgroundAfter(t, std::move(fn));
+  };
+  // Attempt 1: 1s cadence. Completing step 2 at t=3 arms an 8s check that
+  // fires at t=11 remembering armed_step == 2.
+  at(0.5, [&] { wd.OnStepCompleted(0.5, -1); });
+  at(1.0, [&] { wd.OnStepCompleted(1.0, 0); });
+  at(2.0, [&] { wd.OnStepCompleted(2.0, 1); });
+  at(3.0, [&] { wd.OnStepCompleted(3.0, 2); });
+  // Recovery restarts the job at t=3.5; the re-execution runs at a SLOWER
+  // 2.5s cadence and also ends on step index 2 — so at t=11 the stale
+  // attempt-1 check sees a matching step index and a non-quiescent job,
+  // and would file a bogus report without the attempt-boundary reset.
+  at(3.5, [&] {
+    wd.OnAttemptStart();
+    wd.OnStepCompleted(3.5, -1);
+  });
+  at(6.0, [&] { wd.OnStepCompleted(6.0, 0); });
+  at(8.5, [&] { wd.OnStepCompleted(8.5, 1); });
+  at(10.8, [&] { wd.OnStepCompleted(10.8, 2); });
+  sim.Run();
+  // Exactly one stall: the genuine one from attempt 2's own window
+  // (median 2.5s → armed ~t=30.8), not the stale t=11 check. With the old
+  // carried-over window the report would cite attempt 1's 1s median.
+  EXPECT_EQ(wd.stalls(), 1);
+  ASSERT_EQ(log.CountKind("watchdog_stall"), 1) << log.BufferedToJsonl();
+  for (const std::string& line : SplitLines(log.BufferedToJsonl())) {
+    auto parsed = json::Value::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    if (parsed->StringOr("kind", "") != "watchdog_stall") continue;
+    EXPECT_DOUBLE_EQ(parsed->NumberOr("median_gap", 0), 2.5) << line;
+    EXPECT_GT(parsed->NumberOr("vt", 0), 11.0) << line;
+  }
+}
+
+// End-to-end: a windowed slowdown ("slow=MxF@FROM:UNTIL") that stalls the
+// first attempt, then a crash whose long restart forces a full
+// re-execution. Every stall report must come from the attempt-1 timeline:
+// the attempt boundary discards both the stale armed checks and the
+// inflated gap window, so the healthy re-execution stays silent.
+TEST(WatchdogTest, RecoveryRestartDoesNotInheritStalls) {
+  lang::Program program = workloads::KMeansProgram({.iterations = 10});
+  sim::SimFileSystem fs_probe;
+  workloads::GeneratePoints(&fs_probe,
+                            {.num_points = 2000, .num_clusters = 3});
+  auto probe =
+      api::Run(api::EngineKind::kMitos, program, &fs_probe, {.machines = 4});
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double launch = probe->stats.launch_seconds;
+  const double compute = probe->stats.total_seconds - launch;
+  ASSERT_GT(compute, 0);
+
+  // Slowdown covers the middle of attempt 1's loop; the crash lands after
+  // the machine recovers its speed, and the long restart guarantees the
+  // failure is declared and the job re-executes from scratch.
+  char spec[160];
+  std::snprintf(spec, sizeof spec, "slow=1x60@%g:%g; crash=2@%g+0.5",
+                launch + 0.2 * compute, launch + 0.45 * compute,
+                launch + 0.6 * compute);
+  auto plan = sim::FaultPlan::Parse(spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 2000, .num_clusters = 3});
+  EventLog log;
+  api::RunConfig config{.machines = 4};
+  config.faults = &*plan;
+  config.live.event_log = &log;
+  config.live.watchdog.enabled = true;
+  config.live.watchdog.min_window_seconds = 0.001;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->stats.attempts, 2);
+
+  // Attempt 2 starts at the "recovery" record's virtual time.
+  double recovery_vt = -1;
+  std::vector<double> stall_vts;
+  for (const std::string& line : SplitLines(log.BufferedToJsonl())) {
+    auto parsed = json::Value::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const std::string kind = parsed->StringOr("kind", "");
+    if (kind == "recovery" && recovery_vt < 0) {
+      recovery_vt = parsed->NumberOr("vt", -1);
+    } else if (kind == "watchdog_stall") {
+      stall_vts.push_back(parsed->NumberOr("vt", 1e18));
+    }
+  }
+  ASSERT_GT(recovery_vt, 0) << log.BufferedToJsonl();
+  // The slowdown (and the machine-down wait) stall attempt 1...
+  ASSERT_GE(stall_vts.size(), 1u) << log.BufferedToJsonl();
+  // ...within the per-RUN report budget (it spans both attempts)...
+  EXPECT_LE(stall_vts.size(),
+            static_cast<size_t>(config.live.watchdog.max_reports));
+  // ...and none leak past the attempt boundary into the re-execution.
+  for (double vt : stall_vts) EXPECT_LE(vt, recovery_vt);
 }
 
 // At default thresholds the watchdog stays silent across the benchmark

@@ -56,9 +56,10 @@ class MockContext : public RuntimeContext {
       : graph_(graph), cfg_(*program) {
     cluster_config_.num_machines = 1;
     cluster_ = std::make_unique<sim::Cluster>(&sim_, cluster_config_);
+    backend_ = std::make_unique<DesBackend>(&sim_, cluster_.get());
   }
 
-  sim::Cluster* cluster() override { return cluster_.get(); }
+  Backend* backend() override { return backend_.get(); }
   sim::SimFileSystem* fs() override { return &fs_; }
   const dataflow::LogicalGraph& graph() const override { return *graph_; }
   const ir::Cfg& cfg() const override { return cfg_; }
@@ -94,6 +95,7 @@ class MockContext : public RuntimeContext {
   sim::Simulator sim_;
   sim::ClusterConfig cluster_config_;
   std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<DesBackend> backend_;
   sim::SimFileSystem fs_;
   const LogicalGraph* graph_;
   ir::Cfg cfg_;

@@ -134,6 +134,7 @@ class PathAuthorityTest : public ::testing::Test {
     sim::ClusterConfig config;
     config.num_machines = 3;
     cluster_ = std::make_unique<sim::Cluster>(&sim_, config);
+    backend_ = std::make_unique<DesBackend>(&sim_, cluster_.get());
     for (int m = 0; m < 3; ++m) {
       managers_.push_back(std::make_unique<ControlFlowManager>(&path_));
     }
@@ -142,12 +143,13 @@ class PathAuthorityTest : public ::testing::Test {
   PathAuthority MakeAuthority(PathAuthority::Options options) {
     std::vector<ControlFlowManager*> ptrs;
     for (auto& m : managers_) ptrs.push_back(m.get());
-    return PathAuthority(program_.get(), cluster_.get(), &path_, ptrs,
+    return PathAuthority(program_.get(), backend_.get(), &path_, ptrs,
                          options, [this](Status s) { error_ = s; });
   }
 
   sim::Simulator sim_;
   std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<DesBackend> backend_;
   std::unique_ptr<ir::Program> program_;
   ExecutionPath path_;
   std::vector<std::unique_ptr<ControlFlowManager>> managers_;

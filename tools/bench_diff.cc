@@ -9,7 +9,9 @@
 // CI perf-smoke gate to assert step-templates-on never loses to off.
 //
 // Exit status: 0 when no regression, 1 when any run regressed (or a run
-// present in BASE is missing from CURRENT), 2 on usage or I/O errors.
+// present in BASE is missing from CURRENT), 2 on usage or I/O errors —
+// including a baseline that fails to parse, has no "schema" field, or
+// carries a schema version this binary doesn't understand.
 // Baselines hold virtual-time quantities, so a committed BASE diffs
 // byte-stably against a fresh CI run on any host.
 #include <cstdio>
@@ -69,13 +71,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Baseline files carry a schema version ("schema":1; absent = 0, the
-  // pre-versioned shape). Any version parses — report a mismatch so a
-  // cross-version comparison is visible, but never fail on it.
-  if (base->schema != current->schema) {
-    std::printf("note: baseline schema versions differ (base %d, "
-                "current %d)\n",
-                base->schema, current->schema);
+  // Baseline files carry a schema version ("schema":1). A missing field
+  // (schema 0) or a version this binary doesn't know is a hard error: a
+  // comparison across shapes silently reads garbage quantities, which is
+  // worse than failing the gate outright.
+  for (const auto& [path, file] :
+       {std::pair{&base_path, &*base}, std::pair{&current_path, &*current}}) {
+    if (file->schema == 0) {
+      std::fprintf(stderr,
+                   "bench_diff: %s: baseline has no \"schema\" field; "
+                   "regenerate it with the current bench binaries\n",
+                   path->c_str());
+      return 2;
+    }
+    if (file->schema != BaselineFile::kSchemaVersion) {
+      std::fprintf(stderr,
+                   "bench_diff: %s: unknown baseline schema %d (this tool "
+                   "understands %d)\n",
+                   path->c_str(), file->schema,
+                   BaselineFile::kSchemaVersion);
+      return 2;
+    }
   }
   BaselineDiff diff = Compare(*base, *current, threshold);
   std::printf("%s", diff.ToString().c_str());

@@ -7,6 +7,12 @@
 //   --engine=<reference|mitos|mitos-nopipe|mitos-nohoist|flink|
 //             flink-jobs|spark|naiad|tensorflow>   (default mitos)
 //   --machines=N                                   (default 4)
+//   --backend=<des|threads>  execution substrate (default des): the
+//                       deterministic discrete-event simulator, or a real
+//                       thread-per-machine pool running the same operator
+//                       kernels under wall-clock time (Mitos engines only;
+//                       differential-tested against the DES — see
+//                       DESIGN.md §11)
 //   --gen-visits=days,entriesPerDay,numPages       synthesize visit logs
 //   --gen-types=numPages,numTypes                  synthesize pageTypes
 //   --gen-graph=vertices,edges                     synthesize a graph
@@ -112,6 +118,7 @@ bool WriteTextFile(const std::string& path, const std::string& contents) {
 int main(int argc, char** argv) {
   std::string script_path;
   std::string engine_name = "mitos";
+  std::string backend_name = "des";
   int machines = 4;
   bool dump_ir = false, dump_dot = false, show_files = false;
   bool profile = false, report = false;
@@ -136,6 +143,11 @@ int main(int argc, char** argv) {
       engine_name = value_of("--engine=");
     } else if (arg.rfind("--machines=", 0) == 0) {
       machines = std::atoi(value_of("--machines=").c_str());
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backend_name = value_of("--backend=");
+      if (backend_name != "des" && backend_name != "threads") {
+        return Fail("--backend expects des or threads, got " + backend_name);
+      }
     } else if (arg.rfind("--gen-visits=", 0) == 0) {
       std::vector<int64_t> v;
       if (!ParseInts(value_of("--gen-visits="), &v) || v.size() != 3) {
@@ -274,6 +286,8 @@ int main(int argc, char** argv) {
   sim::FaultPlan fault_plan;
   const bool want_report = report || !report_out.empty();
   api::RunConfig config{.machines = machines};
+  config.backend = backend_name == "threads" ? api::BackendKind::kThreads
+                                             : api::BackendKind::kDes;
   config.step_templates = step_templates;
   // The analyzer consumes the same recorder the trace export does; both are
   // purely observational, so enabling them never changes virtual time.
@@ -341,8 +355,11 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     return Fail("run error: " + result.status().ToString());
   }
-  std::printf("engine:   %s (%d machines)\n", api::EngineKindName(engine),
-              machines);
+  std::printf("engine:   %s (%d machines%s)\n", api::EngineKindName(engine),
+              machines,
+              config.backend == api::BackendKind::kThreads
+                  ? ", threads backend"
+                  : "");
   std::printf("stats:    %s\n", result->stats.ToString().c_str());
   if (!trace_out.empty()) {
     if (!WriteTextFile(trace_out, trace.ToJson())) {
