@@ -10,6 +10,7 @@
 #define MITOS_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -143,6 +144,15 @@ inline runtime::RunStats RunOrDie(api::EngineKind engine,
   if (!context.event_log_out.empty()) {
     log_options.sink = [&context](const std::string& text) {
       std::ofstream(context.event_log_out, std::ios::app) << text;
+    };
+    // Same wall clock the CLI wires: unix milliseconds, stamped under the
+    // log's lock so wall_ms is monotone in record order even when machine
+    // threads append concurrently (threads backend).
+    log_options.wall_clock_ms = [] {
+      return static_cast<int64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
     };
   }
   obs::live::EventLog event_log(std::move(log_options));

@@ -158,7 +158,8 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
           "virtual-time schedules");
     }
     runtime::ThreadsBackend backend(cluster_config);
-    backend.set_trace(config.trace);
+    backend.set_trace(config.trace);  // flips the recorder to wall clock
+    backend.set_metrics(config.metrics);
     obs::live::EventLog* threads_elog = config.live.event_log;
     if (threads_elog != nullptr) {
       backend.set_event_log(threads_elog);
@@ -178,6 +179,9 @@ StatusOr<RunResult> Run(EngineKind engine, const lang::Program& program,
     StatusOr<runtime::RunStats> stats = executor.Run(program);
     if (!stats.ok()) return stats.status();
     result.stats = *stats;
+    // Per-machine queue-depth peaks and task counts land in the registry
+    // now that the workers are quiescent.
+    backend.FlushMetrics();
     RecordRunSummary(config, engine, backend.busy_until(), result.stats);
     if (threads_elog != nullptr) {
       threads_elog->Append(backend.busy_until(), "run_end",

@@ -57,6 +57,7 @@ double Overlap(double a0, double a1, double b0, double b1) {
 
 const char* KindOfCat(const std::string& cat) {
   if (cat == "sim") return kCompute;
+  if (cat == "core") return kCompute;  // wall-clock kernel exec (threads)
   if (cat == "net") return kNetwork;
   if (cat == "disk") return kDisk;
   return nullptr;
@@ -85,6 +86,7 @@ class Analyzer {
       : trace_(trace), metrics_(metrics) {}
 
   RunAnalysis Run() {
+    result_.wall_clock = trace_.clock() == TraceClock::kWall;
     CollectSpans();
     BuildCoordinationWindows();
     SweepCriticalPath();
@@ -123,6 +125,10 @@ class Analyzer {
           run_end_ = std::max(run_end_, end);
         } else if (std::string(event.cat) == "job" && event.name == "launch") {
           launch_windows_.push_back({event.ts, end});
+        } else if (std::string(event.cat) == "quiesce") {
+          // The threads driver waiting for worker quiescence: the wall
+          // analogue of the DES superstep barrier.
+          barrier_windows_.push_back({event.ts, end});
         }
         continue;
       }
@@ -132,8 +138,18 @@ class Analyzer {
         op_spans_.push_back({event.ts, end, machine, &event, my_seq});
         continue;
       }
+      if (std::string(event.cat) == "queue") {
+        // Enqueue→dequeue wait of one task (threads backend); classifies
+        // idle gaps, never carries work itself.
+        if (event.dur > 0) queue_windows_.push_back({event.ts, end});
+        continue;
+      }
+      if (std::string(event.cat) == "idle") continue;  // the complement
       const char* kind = KindOfCat(event.cat);
       if (kind == nullptr || event.dur <= 0) continue;
+      if (kind == kCompute) {
+        result_.operator_busy[OperatorOfLabel(event.name)] += event.dur;
+      }
       work_spans_.push_back({event.ts, end, machine, &event, my_seq});
       work_end_ = std::max(work_end_, end);
     }
@@ -158,8 +174,9 @@ class Analyzer {
   }
 
   // Splits the idle gap [a, b] against the coordination windows, most
-  // specific first: barrier-wait, then decision-broadcast, then job launch;
-  // anything unexplained is straggler/idle slack.
+  // specific first: barrier-wait, then decision-broadcast, then job launch,
+  // then queue-wait (wall-clock traces); anything unexplained is
+  // straggler/idle slack.
   void ClassifyGap(double a, double b) {
     struct Piece {
       double start, end;
@@ -171,7 +188,8 @@ class Analyzer {
     };
     const Layer layers[] = {{&barrier_windows_, kBarrierWait},
                             {&broadcast_windows_, kDecisionBroadcast},
-                            {&launch_windows_, kLaunch}};
+                            {&launch_windows_, kLaunch},
+                            {&queue_windows_, kQueueWait}};
     for (const Layer& layer : layers) {
       std::vector<Piece> next;
       for (const Piece& piece : uncovered) {
@@ -308,18 +326,20 @@ class Analyzer {
         else if (seg.kind == kBarrierWait) row.barrier_wait += o;
         else if (seg.kind == kDecisionBroadcast) row.broadcast += o;
         else if (seg.kind == kLaunch) row.launch += o;
+        else if (seg.kind == kQueueWait) row.queue_wait += o;
         else row.slack += o;
       }
       result_.steps.push_back(row);
     }
   }
 
-  // Busy-CPU seconds of `machine` inside [a, b].
+  // Busy-CPU seconds of `machine` inside [a, b]; "sim" (virtual) and
+  // "core" (wall) spans both count as compute.
   double BusyIn(int machine, double a, double b) const {
     double busy = 0;
     for (const Span& span : work_spans_) {
       if (span.machine != machine) continue;
-      if (std::string(span.event->cat) != "sim") continue;
+      if (KindOfCat(span.event->cat) != kCompute) continue;
       busy += Overlap(span.start, span.end, a, b);
     }
     return busy;
@@ -350,7 +370,7 @@ class Analyzer {
     std::map<std::string, double> by_label;
     for (const Span& span : work_spans_) {
       if (span.machine != machine) continue;
-      if (std::string(span.event->cat) != "sim") continue;
+      if (KindOfCat(span.event->cat) != kCompute) continue;
       double o = Overlap(span.start, span.end, a, b);
       if (o > 0) by_label[OperatorOfLabel(span.event->name)] += o;
     }
@@ -369,7 +389,7 @@ class Analyzer {
     if (machines <= 0) return;
     result_.machine_busy.assign(static_cast<size_t>(machines), 0.0);
     for (const Span& span : work_spans_) {
-      if (std::string(span.event->cat) != "sim") continue;
+      if (KindOfCat(span.event->cat) != kCompute) continue;
       result_.machine_busy[static_cast<size_t>(span.machine)] +=
           span.end - span.start;
     }
@@ -422,6 +442,7 @@ class Analyzer {
   std::vector<Window> launch_windows_;
   std::vector<Window> barrier_windows_;
   std::vector<Window> broadcast_windows_;
+  std::vector<Window> queue_windows_;
   double run_end_ = 0;
   double work_end_ = 0;
   double sweep_end_ = 0;
@@ -439,12 +460,14 @@ std::string RunAnalysis::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "=== critical-path report ===\n"
-                "virtual time: %.4fs over %d machines\n"
+                "%s time: %.4fs over %d machines\n"
                 "decomposition of the critical path:\n",
-                total_seconds, num_machines);
+                wall_clock ? "wall" : "virtual", total_seconds,
+                num_machines);
   out += buf;
-  const char* kinds[] = {kCompute,          kNetwork, kDisk, kBarrierWait,
-                         kDecisionBroadcast, kLaunch,  kSlack};
+  const char* kinds[] = {kCompute,           kNetwork, kDisk,
+                         kBarrierWait,       kDecisionBroadcast,
+                         kLaunch,            kQueueWait, kSlack};
   for (const char* kind : kinds) {
     double seconds = DecompositionSeconds(kind);
     double share = total_seconds > 0 ? 100.0 * seconds / total_seconds : 0;
@@ -488,14 +511,14 @@ std::string RunAnalysis::ToString() const {
     out +=
         "per-step critical path (s):\n"
         "  step   compute   network      disk   barrier "
-        "broadcast     slack\n";
+        "broadcast     queue     slack\n";
     const size_t kMaxRows = 40;
     for (size_t i = 0; i < steps.size() && i < kMaxRows; ++i) {
       const StepBreakdown& s = steps[i];
       std::snprintf(buf, sizeof(buf),
-                    "  %4d %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f\n", s.index,
-                    s.compute, s.network, s.disk, s.barrier_wait, s.broadcast,
-                    s.slack);
+                    "  %4d %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+                    s.index, s.compute, s.network, s.disk, s.barrier_wait,
+                    s.broadcast, s.queue_wait, s.slack);
       out += buf;
     }
     if (steps.size() > kMaxRows) {
@@ -542,7 +565,9 @@ std::string RunAnalysis::ToJson() const {
   std::string out = "{\"total_seconds\":";
   AppendDouble(&out, total_seconds);
   out += ",\"num_machines\":" + std::to_string(num_machines);
-  out += ",\"template_hits\":" + std::to_string(template_hits);
+  out += ",\"clock\":\"";
+  out += wall_clock ? "wall" : "virtual";
+  out += "\",\"template_hits\":" + std::to_string(template_hits);
   out += ",\"template_saved_seconds\":";
   AppendDouble(&out, template_saved_seconds);
 
@@ -565,6 +590,14 @@ std::string RunAnalysis::ToJson() const {
   out += "},\"by_bag\":{";
   first = true;
   for (const auto& [name, seconds] : by_bag) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":";
+    AppendDouble(&out, seconds);
+  }
+  out += "},\"operator_busy\":{";
+  first = true;
+  for (const auto& [name, seconds] : operator_busy) {
     if (!first) out += ',';
     first = false;
     out += '"' + JsonEscape(name) + "\":";
@@ -610,6 +643,8 @@ std::string RunAnalysis::ToJson() const {
     AppendDouble(&out, s.broadcast);
     out += ",\"launch\":";
     AppendDouble(&out, s.launch);
+    out += ",\"queue_wait\":";
+    AppendDouble(&out, s.queue_wait);
     out += ",\"slack\":";
     AppendDouble(&out, s.slack);
     out += '}';

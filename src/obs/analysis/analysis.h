@@ -21,6 +21,12 @@
 //     the imbalance factor (max/mean), and the operator instance
 //     responsible for the slowest machine's load.
 //
+// The same decomposition works over wall-clock traces from the threads
+// backend (TraceClock::kWall): "core" spans are compute, per-task "queue"
+// spans classify idle gaps as queue-wait, and the driver's "quiesce" spans
+// are barrier waits. RunAnalysis::wall_clock labels which domain the
+// numbers live in; obs/analysis/drift.h correlates one of each.
+//
 // The analyzer is purely observational: it only reads recorded data after
 // the run, so virtual time is byte-identical with and without it (the same
 // invariant the recorder itself upholds; regression-tested in
@@ -44,6 +50,9 @@ inline constexpr const char kDisk[] = "disk";
 inline constexpr const char kBarrierWait[] = "barrier-wait";
 inline constexpr const char kDecisionBroadcast[] = "decision-broadcast";
 inline constexpr const char kLaunch[] = "launch";
+// Wall-clock only (threads backend): critical time a task spent between
+// enqueue and dequeue on some machine's MPSC queue ("queue" spans).
+inline constexpr const char kQueueWait[] = "queue-wait";
 inline constexpr const char kSlack[] = "slack";
 
 // One contiguous piece of the critical path, in virtual time.
@@ -70,6 +79,7 @@ struct StepBreakdown {
   double barrier_wait = 0;
   double broadcast = 0;
   double launch = 0;
+  double queue_wait = 0;  // wall-clock traces only
   double slack = 0;
 };
 
@@ -91,6 +101,9 @@ struct StepSkew {
 struct RunAnalysis {
   double total_seconds = 0;
   int num_machines = 0;
+  // True when the trace was recorded in wall-clock mode (threads backend);
+  // every quantity below is then wall seconds instead of virtual seconds.
+  bool wall_clock = false;
 
   // The critical path in time order; contiguous from 0 to total_seconds.
   std::vector<CriticalSegment> critical_path;
@@ -99,6 +112,11 @@ struct RunAnalysis {
   // Critical-path seconds attributed per operator and per bag identifier.
   std::map<std::string, double> by_operator;
   std::map<std::string, double> by_bag;
+  // TOTAL busy seconds per operator across ALL compute spans on every
+  // machine (not just the critical path). This is the calibration quantity
+  // the drift report correlates across backends: the DES side is modelled
+  // operator cost, the threads side is measured kernel wall time.
+  std::map<std::string, double> operator_busy;
 
   // Present only when a MetricsRegistry with a step timeline was supplied.
   std::vector<StepBreakdown> steps;

@@ -42,6 +42,10 @@ struct BaselineFile {
   std::vector<BaselineEntry> entries;
 
   std::string ToJson() const;  // deterministic
+  // Also accepts the wall-clock bench shape (entries carrying
+  // "off_seconds"/"on_seconds" instead of "total_seconds", as written by
+  // bench/micro_threads_wallclock.cc): each such entry expands into two
+  // entries keyed "<key>/off" and "<key>/on".
   static StatusOr<BaselineFile> Parse(const std::string& json_text);
   static StatusOr<BaselineFile> Load(const std::string& path);
 };

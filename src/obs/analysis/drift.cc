@@ -1,0 +1,272 @@
+#include "obs/analysis/drift.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "common/json.h"
+
+namespace mitos::obs::analysis {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+double Ratio(double wall, double virt) { return virt > 0 ? wall / virt : 0; }
+
+void AppendMapJson(std::string* out, const char* key,
+                   const std::map<std::string, double>& m) {
+  *out += std::string(",\"") + key + "\":{";
+  bool first = true;
+  for (const auto& [name, seconds] : m) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"' + JsonEscape(name) + "\":";
+    AppendDouble(out, seconds);
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+DriftSide DriftSide::FromAnalysis(const RunAnalysis& analysis,
+                                  std::string label) {
+  DriftSide side;
+  side.label = std::move(label);
+  side.wall_clock = analysis.wall_clock;
+  side.total_seconds = analysis.total_seconds;
+  side.num_machines = analysis.num_machines;
+  side.operator_busy = analysis.operator_busy;
+  side.decomposition = analysis.decomposition;
+  side.step_seconds.reserve(analysis.steps.size());
+  for (const StepBreakdown& s : analysis.steps) {
+    side.step_seconds.push_back(s.t_end - s.t_start);
+  }
+  return side;
+}
+
+StatusOr<DriftSide> DriftSide::FromReportJson(const std::string& json_text,
+                                              std::string label) {
+  StatusOr<json::Value> parsed = json::Value::Parse(json_text);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument("report: top level must be an object");
+  }
+  DriftSide side;
+  side.label = std::move(label);
+  const std::string clock = parsed->StringOr("clock", "");
+  if (clock != "virtual" && clock != "wall") {
+    return Status::InvalidArgument(
+        "report: missing \"clock\" field — not a mitos_run --report-out "
+        "file (or written before drift support)");
+  }
+  side.wall_clock = clock == "wall";
+  side.total_seconds = parsed->NumberOr("total_seconds", 0);
+  side.num_machines = static_cast<int>(parsed->NumberOr("num_machines", 0));
+  if (const json::Value* busy = parsed->Find("operator_busy");
+      busy != nullptr && busy->is_object()) {
+    for (const auto& [name, value] : busy->object()) {
+      if (value.is_number()) side.operator_busy[name] = value.number();
+    }
+  }
+  if (const json::Value* decomposition = parsed->Find("decomposition");
+      decomposition != nullptr && decomposition->is_object()) {
+    for (const auto& [kind, value] : decomposition->object()) {
+      if (value.is_number()) side.decomposition[kind] = value.number();
+    }
+  }
+  if (const json::Value* steps = parsed->Find("steps");
+      steps != nullptr && steps->is_array()) {
+    for (const json::Value& step : steps->array()) {
+      if (!step.is_object()) continue;
+      side.step_seconds.push_back(step.NumberOr("t_end", 0) -
+                                  step.NumberOr("t_start", 0));
+    }
+  }
+  return side;
+}
+
+StatusOr<DriftReport> BuildDriftReport(const DriftSide& a,
+                                       const DriftSide& b) {
+  if (a.wall_clock == b.wall_clock) {
+    return Status::InvalidArgument(
+        std::string("drift needs one virtual and one wall side; \"") +
+        a.label + "\" and \"" + b.label + "\" are both " +
+        (a.wall_clock ? "wall" : "virtual") + " clock");
+  }
+  const DriftSide& virt = a.wall_clock ? b : a;
+  const DriftSide& wall = a.wall_clock ? a : b;
+
+  DriftReport report;
+  report.virtual_label = virt.label;
+  report.wall_label = wall.label;
+  report.virtual_total = virt.total_seconds;
+  report.wall_total = wall.total_seconds;
+  report.total_ratio = Ratio(wall.total_seconds, virt.total_seconds);
+  report.virtual_decomposition = virt.decomposition;
+  report.wall_decomposition = wall.decomposition;
+
+  std::set<std::string> ops;
+  for (const auto& [op, unused] : virt.operator_busy) ops.insert(op);
+  for (const auto& [op, unused] : wall.operator_busy) ops.insert(op);
+  for (const std::string& op : ops) {
+    DriftReport::OperatorRow row;
+    row.op = op;
+    auto v = virt.operator_busy.find(op);
+    auto w = wall.operator_busy.find(op);
+    if (v != virt.operator_busy.end()) row.virtual_seconds = v->second;
+    if (w != wall.operator_busy.end()) row.wall_seconds = w->second;
+    row.in_both =
+        v != virt.operator_busy.end() && w != wall.operator_busy.end();
+    row.ratio = Ratio(row.wall_seconds, row.virtual_seconds);
+    report.operators.push_back(std::move(row));
+  }
+
+  const size_t paired =
+      std::min(virt.step_seconds.size(), wall.step_seconds.size());
+  for (size_t i = 0; i < paired; ++i) {
+    DriftReport::StepRow row;
+    row.index = static_cast<int>(i);
+    row.virtual_seconds = virt.step_seconds[i];
+    row.wall_seconds = wall.step_seconds[i];
+    row.ratio = Ratio(row.wall_seconds, row.virtual_seconds);
+    report.steps.push_back(row);
+  }
+  report.unpaired_virtual_steps =
+      static_cast<int>(virt.step_seconds.size() - paired);
+  report.unpaired_wall_steps =
+      static_cast<int>(wall.step_seconds.size() - paired);
+  return report;
+}
+
+std::string DriftReport::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "drift report: %s (virtual) vs %s (wall)\n",
+                virtual_label.c_str(), wall_label.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "total: %.4fs virtual, %.4fs wall, %.3fx wall/virtual\n",
+                virtual_total, wall_total, total_ratio);
+  out += buf;
+
+  out += "\nper-operator busy seconds (all compute spans, every machine):\n";
+  out += "    virtual       wall    ratio  operator\n";
+  for (const OperatorRow& row : operators) {
+    const char* note = row.in_both           ? ""
+                       : row.wall_seconds > 0 ? "  (wall only)"
+                                              : "  (virtual only)";
+    std::snprintf(buf, sizeof(buf), "  %9.4fs %9.4fs  %6.3fx  %s%s\n",
+                  row.virtual_seconds, row.wall_seconds, row.ratio,
+                  row.op.c_str(), note);
+    out += buf;
+  }
+  if (operators.empty()) out += "  (no operator spans on either side)\n";
+
+  if (!steps.empty() || unpaired_virtual_steps > 0 ||
+      unpaired_wall_steps > 0) {
+    out += "\nper-step window seconds:\n";
+    out += "  step    virtual       wall    ratio\n";
+    for (const StepRow& row : steps) {
+      std::snprintf(buf, sizeof(buf), "  %4d  %9.4fs %9.4fs  %6.3fx\n",
+                    row.index, row.virtual_seconds, row.wall_seconds,
+                    row.ratio);
+      out += buf;
+    }
+    if (unpaired_virtual_steps > 0 || unpaired_wall_steps > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  WARNING: step count mismatch (%d extra virtual, %d "
+                    "extra wall) — did both runs execute the same program?\n",
+                    unpaired_virtual_steps, unpaired_wall_steps);
+      out += buf;
+    }
+  }
+
+  out += "\ncritical-path decomposition (virtual | wall seconds):\n";
+  std::set<std::string> kinds;
+  for (const auto& [kind, unused] : virtual_decomposition) kinds.insert(kind);
+  for (const auto& [kind, unused] : wall_decomposition) kinds.insert(kind);
+  for (const std::string& kind : kinds) {
+    auto v = virtual_decomposition.find(kind);
+    auto w = wall_decomposition.find(kind);
+    std::snprintf(buf, sizeof(buf), "  %9.4fs | %9.4fs  %s\n",
+                  v != virtual_decomposition.end() ? v->second : 0.0,
+                  w != wall_decomposition.end() ? w->second : 0.0,
+                  kind.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string DriftReport::ToJson() const {
+  std::string out = "{\"virtual_label\":\"" + JsonEscape(virtual_label) +
+                    "\",\"wall_label\":\"" + JsonEscape(wall_label) + "\"";
+  out += ",\"virtual_total_seconds\":";
+  AppendDouble(&out, virtual_total);
+  out += ",\"wall_total_seconds\":";
+  AppendDouble(&out, wall_total);
+  out += ",\"total_ratio\":";
+  AppendDouble(&out, total_ratio);
+
+  out += ",\"operators\":[";
+  bool first = true;
+  for (const OperatorRow& row : operators) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"op\":\"" + JsonEscape(row.op) + "\",\"virtual_seconds\":";
+    AppendDouble(&out, row.virtual_seconds);
+    out += ",\"wall_seconds\":";
+    AppendDouble(&out, row.wall_seconds);
+    out += ",\"ratio\":";
+    AppendDouble(&out, row.ratio);
+    out += std::string(",\"in_both\":") + (row.in_both ? "true" : "false");
+    out += '}';
+  }
+
+  out += "],\"steps\":[";
+  first = true;
+  for (const StepRow& row : steps) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"index\":" + std::to_string(row.index) +
+           ",\"virtual_seconds\":";
+    AppendDouble(&out, row.virtual_seconds);
+    out += ",\"wall_seconds\":";
+    AppendDouble(&out, row.wall_seconds);
+    out += ",\"ratio\":";
+    AppendDouble(&out, row.ratio);
+    out += '}';
+  }
+  out += "],\"unpaired_virtual_steps\":" +
+         std::to_string(unpaired_virtual_steps);
+  out += ",\"unpaired_wall_steps\":" + std::to_string(unpaired_wall_steps);
+  AppendMapJson(&out, "virtual_decomposition", virtual_decomposition);
+  AppendMapJson(&out, "wall_decomposition", wall_decomposition);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mitos::obs::analysis

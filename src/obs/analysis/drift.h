@@ -1,0 +1,105 @@
+// DES-vs-real drift analysis: correlates a virtual-time run (DES backend)
+// with a wall-clock run (threads backend) of the same program.
+//
+// The DES predicts where time goes from its cost model; the threads backend
+// measures where it actually went on this host. Both runs produce the same
+// RunAnalysis shape (obs/analysis/analysis.h) — one in virtual seconds, one
+// in wall seconds — and this module reduces the pair to ratios:
+//
+//   * Per-operator: operator_busy (total busy seconds across all compute
+//     spans) on each side, and wall/virtual per operator. A flat ratio
+//     across operators means the model is well calibrated up to a constant
+//     factor; an outlier operator is one whose modelled cost diverges from
+//     its real kernel cost.
+//   * Per-step: control-flow step window durations on each side. Divergence
+//     here that per-operator ratios don't explain points at coordination
+//     cost (queue waits, barrier convoys) rather than kernel cost.
+//   * Totals and the critical-path decomposition of both sides, for the
+//     headline "the simulation runs Nx faster/slower than real" number.
+//
+// Sides come either from in-process RunAnalysis results (mitos_run
+// --drift-report runs both backends itself) or from previously written
+// --report-out JSON files (tools/drift_diff), which carry a "clock" field
+// identifying their time domain.
+#ifndef MITOS_OBS_ANALYSIS_DRIFT_H_
+#define MITOS_OBS_ANALYSIS_DRIFT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/analysis/analysis.h"
+
+namespace mitos::obs::analysis {
+
+// One backend's measurement of a program run, reduced to the quantities
+// the drift report compares.
+struct DriftSide {
+  std::string label;        // e.g. "des", "threads", or a file name
+  bool wall_clock = false;  // time domain of every number below
+  double total_seconds = 0;
+  int num_machines = 0;
+  // Total busy seconds per operator across ALL compute spans (the
+  // RunAnalysis::operator_busy calibration quantity).
+  std::map<std::string, double> operator_busy;
+  // Critical-path seconds by segment kind.
+  std::map<std::string, double> decomposition;
+  // Control-flow step window durations, in step order.
+  std::vector<double> step_seconds;
+
+  static DriftSide FromAnalysis(const RunAnalysis& analysis,
+                                std::string label);
+  // Parses a mitos_run --report-out JSON document. The file's "clock"
+  // field ("virtual"/"wall") decides which side of the report it can be.
+  static StatusOr<DriftSide> FromReportJson(const std::string& json_text,
+                                            std::string label);
+};
+
+struct DriftReport {
+  struct OperatorRow {
+    std::string op;
+    double virtual_seconds = 0;
+    double wall_seconds = 0;
+    // wall / virtual; 0 when the virtual side recorded no busy time for
+    // this operator (ratio is then meaningless — check in_both).
+    double ratio = 0;
+    bool in_both = false;
+  };
+  struct StepRow {
+    int index = 0;
+    double virtual_seconds = 0;
+    double wall_seconds = 0;
+    double ratio = 0;  // wall / virtual
+  };
+
+  std::string virtual_label;
+  std::string wall_label;
+  double virtual_total = 0;
+  double wall_total = 0;
+  double total_ratio = 0;  // wall / virtual
+  std::vector<OperatorRow> operators;  // sorted by operator name
+  std::vector<StepRow> steps;          // paired by step index
+  // Steps present on only one side (count mismatch — usually a sign the
+  // two runs executed different programs or data).
+  int unpaired_virtual_steps = 0;
+  int unpaired_wall_steps = 0;
+  // Both sides' critical-path decompositions, for the report footer.
+  std::map<std::string, double> virtual_decomposition;
+  std::map<std::string, double> wall_decomposition;
+
+  // Human-readable report (mitos_run --drift-report, tools/drift_diff).
+  std::string ToString() const;
+  // Deterministic JSON (sorted keys, fixed number formatting).
+  std::string ToJson() const;
+};
+
+// Builds the report from one virtual-clock side and one wall-clock side
+// (in either order). Fails with InvalidArgument when both sides live in
+// the same time domain — there is no drift to measure then.
+StatusOr<DriftReport> BuildDriftReport(const DriftSide& a,
+                                       const DriftSide& b);
+
+}  // namespace mitos::obs::analysis
+
+#endif  // MITOS_OBS_ANALYSIS_DRIFT_H_

@@ -56,16 +56,23 @@ void EventLog::AppendRaw(double vt, const std::string& kind,
   std::string line = "{\"vt\":";
   AppendDouble(&line, vt);
   line += ",\"kind\":\"" + JsonEscape(kind) + '"';
-  if (options_.wall_clock_ms) {
-    line += ",\"wall_ms\":" + std::to_string(options_.wall_clock_ms());
-  }
+  // The wall stamp is spliced in by Push under the lock so that record
+  // order and stamp order agree under concurrent appends.
+  const size_t wall_insert_pos = line.size();
   if (!body.empty()) line += ',' + body;
   line += "}\n";
-  Push(std::move(line), kind);
+  Push(std::move(line), kind, wall_insert_pos);
 }
 
-void EventLog::Push(std::string line, const std::string& kind) {
+void EventLog::Push(std::string line, const std::string& kind,
+                    size_t wall_insert_pos) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (options_.wall_clock_ms) {
+    int64_t wall_ms = options_.wall_clock_ms();
+    if (wall_ms < last_wall_ms_) wall_ms = last_wall_ms_;
+    last_wall_ms_ = wall_ms;
+    line.insert(wall_insert_pos, ",\"wall_ms\":" + std::to_string(wall_ms));
+  }
   ++appended_;
   ++kind_counts_[kind];
   buffered_.push_back(std::move(line));

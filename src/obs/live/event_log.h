@@ -13,7 +13,10 @@
 // Record shape (all JSON, one object per line):
 //   {"vt":<virtual seconds>,"kind":"<kind>"[,"wall_ms":<unix ms>],<fields>}
 // `wall_ms` appears only when a wall clock is wired (the CLI wires the
-// system clock; tests leave it off for byte-deterministic output). Kinds
+// system clock; tests leave it off for byte-deterministic output). The
+// stamp is taken under the log's lock and clamped to never run backwards,
+// so wall_ms is monotone non-decreasing in record order even when machine
+// worker threads race to append (threads backend). Kinds
 // emitted by the runtime: run_begin, run_end, step_begin, step_end,
 // decision, template_hit, template_invalidation, fault, recovery,
 // checkpoint, snapshot, watchdog_stall.
@@ -87,7 +90,11 @@ class EventLog {
   std::string BufferedToJsonl() const;
 
  private:
-  void Push(std::string line, const std::string& kind);
+  // `wall_insert_pos` is where a ",\"wall_ms\":N" member splices into
+  // `line` (right after the kind); the stamp itself is taken under mu_ so
+  // it is monotone in record order.
+  void Push(std::string line, const std::string& kind,
+            size_t wall_insert_pos);
   void FlushLocked();
 
   Options options_;
@@ -96,6 +103,7 @@ class EventLog {
   std::map<std::string, int64_t> kind_counts_;
   int64_t appended_ = 0;
   int64_t dropped_ = 0;
+  int64_t last_wall_ms_ = 0;  // clamp: wall_ms never runs backwards
 };
 
 }  // namespace mitos::obs::live

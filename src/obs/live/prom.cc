@@ -83,7 +83,7 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 }  // namespace
 
 std::string ToPrometheusText(const MetricsRegistry& metrics,
-                             double virtual_seconds) {
+                             const PromRunInfo& info) {
   std::map<std::string, Family> families;
 
   for (const auto& [name, value] : metrics.counters()) {
@@ -97,13 +97,15 @@ std::string ToPrometheusText(const MetricsRegistry& metrics,
 
   auto add_gauge = [&families](const std::string& family,
                                const std::string& help,
+                               const std::string& label_key,
                                const std::string& label_value, double value) {
     Family& f = families[family];
     f.type = "gauge";
     f.help = help;
     std::string sample = family;
     if (!label_value.empty()) {
-      sample += "{op=\"" + EscapeLabelValue(label_value) + "\"}";
+      sample += '{' + label_key + "=\"" + EscapeLabelValue(label_value) +
+                "\"}";
     }
     sample += ' ';
     AppendDouble(&sample, value);
@@ -112,20 +114,38 @@ std::string ToPrometheusText(const MetricsRegistry& metrics,
 
   for (const auto& [name, value] : metrics.gauges()) {
     // "family/member" gauges (operator_cpu/<name>) fold into one labeled
-    // family so per-operator series share a # TYPE header.
+    // family so per-operator series share a # TYPE header. The threads
+    // backend's per-machine gauges (threads_tasks/m3) label by machine
+    // index instead of member name.
     const size_t slash = name.find('/');
     if (slash != std::string::npos && slash > 0 && slash + 1 < name.size()) {
       const std::string base = name.substr(0, slash);
+      std::string member = name.substr(slash + 1);
+      std::string label_key = "op";
+      if (base.rfind("threads_", 0) == 0 && member.size() > 1 &&
+          member[0] == 'm' &&
+          member.find_first_not_of("0123456789", 1) == std::string::npos) {
+        label_key = "machine";
+        member.erase(0, 1);
+      }
       add_gauge("mitos_" + Sanitize(base),
-                "Mitos per-member gauge " + EscapeHelp(base),
-                name.substr(slash + 1), value);
+                "Mitos per-member gauge " + EscapeHelp(base), label_key,
+                member, value);
       continue;
     }
     add_gauge("mitos_" + Sanitize(name), "Mitos gauge " + EscapeHelp(name),
-              "", value);
+              "", "", value);
   }
+  add_gauge("mitos_backend_info",
+            "Execution substrate of the run (constant 1)", "backend",
+            info.backend, 1);
   add_gauge("mitos_virtual_time_seconds",
-            "Virtual end time of the simulated run", "", virtual_seconds);
+            "Virtual end time of the simulated run (0 on a wall-clock "
+            "backend)",
+            "", "", info.virtual_seconds);
+  add_gauge("mitos_wall_time_seconds",
+            "Wall-clock end time of the run (0 on the DES backend)", "", "",
+            info.wall_seconds);
 
   for (const auto& [name, h] : metrics.histograms()) {
     const std::string family = "mitos_" + Sanitize(name);
@@ -152,6 +172,14 @@ std::string ToPrometheusText(const MetricsRegistry& metrics,
     for (const std::string& sample : f.samples) out += sample + '\n';
   }
   return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry& metrics,
+                             double virtual_seconds) {
+  PromRunInfo info;
+  info.backend = "des";
+  info.virtual_seconds = virtual_seconds;
+  return ToPrometheusText(metrics, info);
 }
 
 Status ValidatePrometheusText(const std::string& text) {

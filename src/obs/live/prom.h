@@ -7,12 +7,17 @@
 //   * counters become "<name>_total" with TYPE counter;
 //   * gauges keep their name with TYPE gauge — except gauge names of the
 //     form "family/member" (e.g. "operator_cpu/counts.push"), which fold
-//     into ONE labeled family: mitos_operator_cpu{op="counts.push"};
+//     into ONE labeled family: mitos_operator_cpu{op="counts.push"}. The
+//     label key is "op", or "machine" for the threads backend's per-machine
+//     "threads_*" families (threads_queue_depth_peak/m3 →
+//     mitos_threads_queue_depth_peak{machine="3"});
 //   * histograms export as TYPE summary: quantile-labeled samples for
 //     p50/p95/p99 plus "<name>_sum" and "<name>_count";
-//   * "mitos_virtual_time_seconds" carries the run's virtual end time so
-//     scrapes of the DES and the future real-parallel backend share one
-//     schema.
+//   * "mitos_backend_info{backend=...}" identifies the execution substrate
+//     ("des" or "threads") the usual info-metric way (constant 1);
+//   * "mitos_virtual_time_seconds" and "mitos_wall_time_seconds" carry the
+//     run's end time in each clock domain — whichever does not apply to
+//     the backend is 0, so scrapes of both backends share one schema.
 //
 // Output is byte-deterministic for a given registry (sorted families,
 // %.9g numbers) and each family's # HELP/# TYPE header appears exactly
@@ -28,8 +33,20 @@
 
 namespace mitos::obs::live {
 
-// Renders `metrics` as Prometheus text exposition. `virtual_seconds` is
-// the run's virtual end time (mitos_virtual_time_seconds).
+// Run identity attached to an exposition: which backend executed and the
+// end time in each clock domain (the one that does not apply stays 0).
+struct PromRunInfo {
+  std::string backend = "des";  // "des" or "threads"
+  double virtual_seconds = 0;   // mitos_virtual_time_seconds
+  double wall_seconds = 0;      // mitos_wall_time_seconds
+};
+
+// Renders `metrics` as Prometheus text exposition.
+std::string ToPrometheusText(const MetricsRegistry& metrics,
+                             const PromRunInfo& info);
+
+// Legacy DES-run shape: `virtual_seconds` is the run's virtual end time.
+// Equivalent to the overload above with backend="des", wall_seconds=0.
 std::string ToPrometheusText(const MetricsRegistry& metrics,
                              double virtual_seconds);
 

@@ -91,6 +91,16 @@ const std::string& TraceRecorder::LaneName(int pid, int tid) const {
   return it == lane_names_.end() ? kEmpty : it->second;
 }
 
+void TraceRecorder::set_clock(TraceClock clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock;
+}
+
+TraceClock TraceRecorder::clock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
+}
+
 void TraceRecorder::SetProcessName(int pid, const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   process_names_[pid] = name;
@@ -155,7 +165,13 @@ std::string TraceRecorder::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   out.reserve(events_.size() * 96 + 256);
-  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // The clock marker rides in "otherData" ONLY for wall-clock recordings,
+  // so virtual-time exports stay byte-identical to pre-clock builds.
+  out += "{\"displayTimeUnit\":\"ms\",";
+  if (clock_ == TraceClock::kWall) {
+    out += "\"otherData\":{\"clock\":\"wall\"},";
+  }
+  out += "\"traceEvents\":[\n";
   bool first = true;
   auto separator = [&] {
     if (!first) out += ",\n";

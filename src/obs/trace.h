@@ -21,6 +21,10 @@
 //   "sim"       — core occupancy (named by operator phase when known)
 //   "net"       — NIC transfer spans
 //   "disk"      — disk/memory I/O spans
+//   "core"      — wall-clock kernel execution on the threads backend
+//   "queue"     — enqueue→dequeue wait of one task (threads backend)
+//   "idle"      — a worker thread blocked on its empty queue
+//   "quiesce"   — the driver waiting for quiescence (threads backend)
 //   "operator"  — one span per output bag, named "<op>@<path_len>" (the
 //                 paper's bag identifier: operator × execution-path prefix)
 //   "step"      — one span per control-flow step on the engine process
@@ -46,6 +50,14 @@ namespace mitos::obs {
 // Engine process id; simulated machine m maps to pid m+1.
 inline constexpr int kEnginePid = 0;
 constexpr int MachinePid(int machine) { return machine + 1; }
+
+// Which clock the recorded timestamps belong to. The DES records virtual
+// simulator seconds (the default); the real-parallel threads backend
+// switches its recorder to kWall, where timestamps are wall-clock seconds
+// since backend construction. The clock is metadata only — switching it
+// never changes how events are recorded, and kVirtual exports stay
+// byte-identical to pre-clock builds (the zero-perturbation invariant).
+enum class TraceClock { kVirtual, kWall };
 
 // One key/value argument attached to an event (the Chrome "args" object).
 struct TraceArg {
@@ -117,6 +129,12 @@ class TraceRecorder {
   // A sampled counter value at time t (rendered as a track in Perfetto).
   void Counter(int pid, std::string name, double t, double value);
 
+  // Clock domain of the recorded timestamps (default kVirtual). The
+  // threads backend flips this to kWall when it attaches; consumers (the
+  // analyzer, the drift report) read it to label their output.
+  void set_clock(TraceClock clock);
+  TraceClock clock() const;
+
   const std::vector<TraceEvent>& events() const { return events_; }
   size_t num_events() const;
   const std::map<int, std::string>& process_names() const {
@@ -133,11 +151,14 @@ class TraceRecorder {
 
   // Chrome trace-event JSON: {"displayTimeUnit":…, "traceEvents":[…]}.
   // Timestamps are exported in microseconds. Byte-deterministic for a
-  // given recording sequence.
+  // given recording sequence. A kWall recorder additionally carries
+  // {"otherData":{"clock":"wall"}}; kVirtual output is byte-identical to
+  // pre-clock builds.
   std::string ToJson() const;
 
  private:
   mutable std::mutex mu_;
+  TraceClock clock_ = TraceClock::kVirtual;
   std::map<std::pair<int, std::string>, int> lanes_;
   std::map<int, int> next_tid_;
   std::map<std::pair<int, int>, std::string> lane_names_;

@@ -313,8 +313,23 @@ void PathAuthority::Broadcast(int from_machine, bool initial) {
     for (int m = 0; m < static_cast<int>(managers_.size()); ++m) {
       ControlFlowManager* manager = managers_[static_cast<size_t>(m)];
       if (m == from_machine) {
-        // The local manager learns immediately.
-        manager->AdvanceTo(new_len, complete);
+        if (backend_->simulator() != nullptr) {
+          // DES: the local manager learns immediately (same virtual
+          // instant, no event scheduled — byte-identical traces).
+          manager->AdvanceTo(new_len, complete);
+        } else {
+          // Real-parallel backend: machine state is thread-confined, and
+          // this fan-out may run on the driver (superstep idle callback)
+          // or another machine's worker. Advancing the local manager
+          // inline would touch from_machine's hosts while its worker can
+          // already be delivering chunks triggered by the remote sends
+          // below, so the local advance goes through from_machine's own
+          // queue like everyone else's (zero-byte self-send).
+          backend_->Send(from_machine, from_machine, 0,
+                         [manager, new_len, complete] {
+                           manager->AdvanceTo(new_len, complete);
+                         });
+        }
         continue;
       }
       if (options_.faults != nullptr) {

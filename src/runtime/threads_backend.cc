@@ -6,6 +6,18 @@
 
 namespace mitos::runtime {
 
+namespace {
+
+// Histogram names for the wall-clock queue/contention metrics. One place
+// so the tests and the Prometheus exposition agree on spelling.
+constexpr const char kEnqueueHist[] = "threads_enqueue_seconds";
+constexpr const char kDequeueHist[] = "threads_dequeue_seconds";
+constexpr const char kQueueWaitHist[] = "threads_queue_wait_seconds";
+constexpr const char kLockWaitHist[] = "threads_lock_wait_seconds";
+constexpr const char kQuiesceHist[] = "threads_quiesce_wait_seconds";
+
+}  // namespace
+
 ThreadsBackend::ThreadsBackend(const sim::ClusterConfig& config)
     : config_(config), epoch_(std::chrono::steady_clock::now()) {
   MITOS_CHECK(config_.num_machines > 0);
@@ -16,8 +28,9 @@ ThreadsBackend::ThreadsBackend(const sim::ClusterConfig& config)
   // Start workers only after the vector is fully built (a worker never
   // touches other machines' entries, but the thread itself needs a stable
   // Machine address).
-  for (auto& m : machines_) {
-    m->thread = std::thread([this, mp = m.get()] { WorkerLoop(mp); });
+  for (int m = 0; m < config_.num_machines; ++m) {
+    Machine* mp = machines_[static_cast<size_t>(m)].get();
+    mp->thread = std::thread([this, m, mp] { WorkerLoop(m, mp); });
   }
 }
 
@@ -40,28 +53,98 @@ double ThreadsBackend::now() const {
       .count();
 }
 
+void ThreadsBackend::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    // Everything this backend records is wall seconds since construction.
+    trace_->set_clock(obs::TraceClock::kWall);
+    // Release-publish the pointer write above to the already-running
+    // workers (paired with the acquire loads in WorkerLoop/Post).
+    instrumented_.store(true, std::memory_order_release);
+  }
+}
+
+void ThreadsBackend::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_registry_ = metrics;
+  if (metrics_registry_ != nullptr) {
+    instrumented_.store(true, std::memory_order_release);
+  }
+}
+
 void ThreadsBackend::Post(int machine, std::function<void()> fn) {
   MITOS_CHECK(machine >= 0 && machine < config_.num_machines);
   Machine* m = machines_[static_cast<size_t>(machine)].get();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (!instrumented_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(m->mu);
+      m->queue.push_back(Task{std::move(fn), 0});
+    }
+    m->cv.notify_one();
+    return;
+  }
+  // Instrumented enqueue: meter how long the producer blocked on the queue
+  // mutex (lock-wait) and the full enqueue latency, stamp the task so the
+  // consumer can measure its queue wait, and track depth peaks.
+  const double t_enter = now();
+  size_t depth;
+  double t_locked;
   {
-    std::lock_guard<std::mutex> lock(m->mu);
-    m->queue.push_back(std::move(fn));
+    std::unique_lock<std::mutex> lock(m->mu);
+    t_locked = now();
+    m->queue.push_back(Task{std::move(fn), t_locked});
+    depth = m->queue.size();
+    if (depth > m->peak_depth) m->peak_depth = depth;
+    ++m->tasks_posted;
   }
   m->cv.notify_one();
+  const double t_done = now();
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->Observe(kLockWaitHist, t_locked - t_enter);
+    metrics_registry_->Observe(kEnqueueHist, t_done - t_enter);
+  }
 }
 
-void ThreadsBackend::WorkerLoop(Machine* m) {
+void ThreadsBackend::WorkerLoop(int machine, Machine* m) {
+  // Workers outlive set_trace/set_metrics calls, so the flag is probed
+  // with acquire loads (the observer pointers were written before the
+  // release store that flipped it).
   while (true) {
-    std::function<void()> task;
+    Task task;
+    double idle_from = -1;
+    double t_dequeue_enter = 0;
     {
       std::unique_lock<std::mutex> lock(m->mu);
+      if (instrumented_.load(std::memory_order_acquire) &&
+          m->queue.empty() && !m->stop) {
+        idle_from = now();
+      }
       m->cv.wait(lock, [m] { return m->stop || !m->queue.empty(); });
       if (m->queue.empty()) return;  // stop requested and queue drained
+      if (instrumented_.load(std::memory_order_acquire)) {
+        t_dequeue_enter = now();
+      }
       task = std::move(m->queue.front());
       m->queue.pop_front();
     }
-    task();
+    if (instrumented_.load(std::memory_order_acquire)) {
+      const double t_start = now();
+      const int pid = obs::MachinePid(machine);
+      if (idle_from >= 0 && trace_ != nullptr) {
+        trace_->Span(pid, trace_->Lane(pid, "cores"), "idle", "idle",
+                     idle_from, t_dequeue_enter, {});
+      }
+      const double queue_wait = t_dequeue_enter - task.enqueued_at;
+      if (trace_ != nullptr && queue_wait > 0) {
+        trace_->Span(pid, trace_->Lane(pid, "queue"), "queue-wait", "queue",
+                     task.enqueued_at, t_dequeue_enter, {});
+      }
+      if (metrics_registry_ != nullptr) {
+        metrics_registry_->Observe(kQueueWaitHist, queue_wait);
+        metrics_registry_->Observe(kDequeueHist, t_start - t_dequeue_enter);
+      }
+    }
+    task.fn();
     // Decrement AFTER the task ran: zero outstanding means every posted
     // task's effects are complete. Notify under done_mu_ so the driver's
     // predicate check cannot miss the wakeup.
@@ -147,21 +230,61 @@ void ThreadsBackend::ScheduleWhenIdle(std::function<void()> fn) {
 void ThreadsBackend::Run() {
   while (true) {
     std::function<void()> idle;
+    const double t_wait = instrumented_ ? now() : 0;
+    bool waited = false;
     {
       std::unique_lock<std::mutex> lock(done_mu_);
+      waited = outstanding_.load(std::memory_order_acquire) != 0;
       done_cv_.wait(lock, [this] {
         return outstanding_.load(std::memory_order_acquire) == 0;
       });
-      if (idle_callbacks_.empty()) return;
+      if (idle_callbacks_.empty()) {
+        if (instrumented_ && waited) RecordQuiesceWait(t_wait, now());
+        return;
+      }
       idle = std::move(idle_callbacks_.front());
       idle_callbacks_.pop_front();
     }
+    if (instrumented_ && waited) RecordQuiesceWait(t_wait, now());
     // Quiescent: all workers blocked, their writes published through
     // done_mu_. The callback runs on the driver thread and may post new
     // work (released to the workers through the queue locks), after which
     // the loop waits for quiescence again before the next callback.
     idle();
   }
+}
+
+void ThreadsBackend::RecordQuiesceWait(double t_start, double t_end) {
+  if (trace_ != nullptr) {
+    trace_->Span(obs::kEnginePid, trace_->Lane(obs::kEnginePid, "barrier"),
+                 "quiescence", "quiesce", t_start, t_end, {});
+  }
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->Observe(kQuiesceHist, t_end - t_start);
+  }
+}
+
+void ThreadsBackend::FlushMetrics() {
+  if (metrics_registry_ == nullptr) return;
+  int64_t total_tasks = 0;
+  for (int i = 0; i < config_.num_machines; ++i) {
+    Machine* m = machines_[static_cast<size_t>(i)].get();
+    size_t peak;
+    int64_t posted;
+    {
+      std::lock_guard<std::mutex> lock(m->mu);
+      peak = m->peak_depth;
+      posted = m->tasks_posted;
+    }
+    const std::string suffix = "/m" + std::to_string(i);
+    metrics_registry_->Set("threads_queue_depth_peak" + suffix,
+                           static_cast<double>(peak));
+    metrics_registry_->Set("threads_tasks" + suffix,
+                           static_cast<double>(posted));
+    total_tasks += posted;
+  }
+  metrics_registry_->Set("threads_tasks_total",
+                         static_cast<double>(total_tasks));
 }
 
 sim::ClusterMetrics ThreadsBackend::MetricsSnapshot() const {

@@ -29,13 +29,30 @@
 // rely on) and waits again; Run returns when the system is quiescent with
 // no idle callbacks left. The driver's wait/wake through done_mu_
 // establishes happens-before in both directions, so an idle callback may
-// touch any machine's state — exactly like the DES at quiescence.
+// touch any machine's state — exactly like the DES at quiescence — but
+// only until it posts work: from the first Post the workers run again,
+// and every machine's state re-confines to its own thread (which is why
+// PathAuthority::Broadcast self-sends the local decision delivery here
+// instead of advancing the local manager inline).
 //
 // Time is wall-clock seconds since construction; busy_until() == now()
 // (no background timers exist here). Fault plans are rejected upstream
 // (PathAuthority checks simulator() != nullptr), and simulator()/cluster()
 // return nullptr, which gates off the watchdog, snapshot cadence, and
 // heartbeat machinery.
+//
+// Wall-clock observability (DESIGN.md §12): with a TraceRecorder attached
+// the backend flips the recorder to TraceClock::kWall and emits per-worker
+// spans — kernel execution ("core", the measured ExecCpu callback), per-task
+// enqueue→dequeue waits ("queue"), worker idle time ("idle"), and the
+// driver's quiescence-barrier waits ("quiesce" on the engine process). With
+// a MetricsRegistry attached (set_metrics) it observes enqueue/dequeue
+// latency, producer lock-wait, queue-wait, and quiescence-wait histograms
+// during the run and flushes per-machine queue-depth peaks and task counts
+// as "threads_*" gauges at FlushMetrics(). All timestamping is gated on an
+// instrumentation flag computed when the observers attach, so the
+// uninstrumented hot path stays a queue push. None of this touches the DES:
+// virtual-time traces remain byte-identical with this code compiled in.
 #ifndef MITOS_RUNTIME_THREADS_BACKEND_H_
 #define MITOS_RUNTIME_THREADS_BACKEND_H_
 
@@ -50,6 +67,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/backend.h"
 
 namespace mitos::runtime {
@@ -84,19 +102,42 @@ class ThreadsBackend : public Backend {
 
   sim::ClusterMetrics MetricsSnapshot() const override;
 
-  void set_trace(obs::TraceRecorder* trace) override { trace_ = trace; }
+  // Attaching a recorder switches it to wall-clock mode: every timestamp
+  // this backend records is wall seconds since construction.
+  void set_trace(obs::TraceRecorder* trace) override;
   obs::TraceRecorder* trace() const override { return trace_; }
   void set_event_log(obs::live::EventLog* log) override {
     event_log_ = log;
   }
   obs::live::EventLog* event_log() const override { return event_log_; }
 
+  // Attaches a registry for the wall-clock queue/contention metrics
+  // (threads_enqueue_seconds, threads_dequeue_seconds,
+  // threads_queue_wait_seconds, threads_lock_wait_seconds,
+  // threads_quiesce_wait_seconds histograms). Call before the run starts.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  // Writes the end-of-run per-machine gauges (threads_queue_depth_peak/m<i>,
+  // threads_tasks/m<i>, threads_tasks_total) into the attached registry.
+  // Call after Run() has quiesced; a no-op without set_metrics.
+  void FlushMetrics();
+
  private:
+  // One queued task, stamped with its enqueue time when instrumentation is
+  // on (0 otherwise — the stamp is never read then).
+  struct Task {
+    std::function<void()> fn;
+    double enqueued_at = 0;
+  };
+
   struct Machine {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
+    std::deque<Task> queue;
     bool stop = false;
+    // Instrumentation tallies, guarded by mu (writers already hold it).
+    size_t peak_depth = 0;
+    int64_t tasks_posted = 0;
     std::thread thread;
   };
 
@@ -104,7 +145,10 @@ class ThreadsBackend : public Backend {
   // the push so the driver can never observe a false quiescence between
   // enqueue and execution.
   void Post(int machine, std::function<void()> fn);
-  void WorkerLoop(Machine* m);
+  void WorkerLoop(int machine, Machine* m);
+  // Emits the driver's quiescence-barrier wait [t_start, t_end] as a trace
+  // span and a histogram observation.
+  void RecordQuiesceWait(double t_start, double t_end);
 
   sim::ClusterConfig config_;
   std::chrono::steady_clock::time_point epoch_;
@@ -122,6 +166,15 @@ class ThreadsBackend : public Backend {
 
   obs::TraceRecorder* trace_ = nullptr;
   obs::live::EventLog* event_log_ = nullptr;
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  // True once a trace or metrics registry attached: gates every clock read
+  // and span/histogram emission, so the uninstrumented hot path is exactly
+  // the pre-instrumentation queue push plus one relaxed-ish load. Atomic
+  // because the workers already exist when observers attach: they probe the
+  // flag on wakeup before any task (and its mutex edge) reaches them. The
+  // release store (after the pointer writes) / acquire load pairing also
+  // publishes trace_/metrics_registry_ to the workers.
+  std::atomic<bool> instrumented_{false};
 };
 
 }  // namespace mitos::runtime

@@ -1,0 +1,257 @@
+// Wall-clock observability of the threads backend and the DES-vs-real
+// drift analyzer (DESIGN.md §12): the threads backend emits per-worker
+// wall-clock spans and queue metrics, the critical-path analyzer
+// decomposes those traces, and BuildDriftReport correlates a virtual-time
+// run with a wall-clock run of the same program.
+#include "obs/analysis/drift.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "common/json.h"
+#include "obs/analysis/analysis.h"
+#include "obs/live/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+
+namespace mitos::obs::analysis {
+namespace {
+
+struct InstrumentedRun {
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+  runtime::RunStats stats;
+};
+
+// Runs k-means on the given backend with trace + metrics attached.
+void RunInstrumented(api::BackendKind backend, InstrumentedRun* out) {
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+  api::RunConfig config{.machines = 3};
+  config.backend = backend;
+  config.trace = &out->trace;
+  config.metrics = &out->metrics;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  out->stats = result->stats;
+}
+
+TEST(ThreadsObservabilityTest, TraceCarriesWallClockWorkerSpans) {
+  InstrumentedRun run;
+  RunInstrumented(api::BackendKind::kThreads, &run);
+
+  // Attaching the recorder flipped it to wall-clock mode, and the export
+  // says so.
+  EXPECT_EQ(run.trace.clock(), TraceClock::kWall);
+  EXPECT_NE(run.trace.ToJson().find("\"clock\":\"wall\""), std::string::npos);
+
+  std::set<std::string> cats;
+  bool queue_on_machine = true;
+  bool quiesce_on_engine = true;
+  for (const TraceEvent& event : run.trace.events()) {
+    cats.insert(event.cat);
+    if (std::string(event.cat) == "queue" && event.pid == kEnginePid) {
+      queue_on_machine = false;
+    }
+    if (std::string(event.cat) == "quiesce" && event.pid != kEnginePid) {
+      quiesce_on_engine = false;
+    }
+  }
+  // Kernel execution, enqueue→dequeue waits, and the driver's quiescence
+  // barrier all show up; idle spans appear whenever a worker ever blocked
+  // on an empty queue (k-means with 4 supersteps always blocks somewhere).
+  EXPECT_TRUE(cats.count("core") > 0);
+  EXPECT_TRUE(cats.count("queue") > 0);
+  EXPECT_TRUE(cats.count("idle") > 0);
+  EXPECT_TRUE(cats.count("quiesce") > 0);
+  EXPECT_TRUE(queue_on_machine);
+  EXPECT_TRUE(quiesce_on_engine);
+}
+
+TEST(ThreadsObservabilityTest, QueueMetricsLandInTheRegistry) {
+  InstrumentedRun run;
+  RunInstrumented(api::BackendKind::kThreads, &run);
+
+  const auto& hists = run.metrics.histograms();
+  for (const char* name :
+       {"threads_enqueue_seconds", "threads_dequeue_seconds",
+        "threads_queue_wait_seconds", "threads_lock_wait_seconds",
+        "threads_quiesce_wait_seconds"}) {
+    auto it = hists.find(name);
+    ASSERT_TRUE(it != hists.end()) << name;
+    EXPECT_GT(it->second.count, 0) << name;
+  }
+  const auto& gauges = run.metrics.gauges();
+  ASSERT_TRUE(gauges.count("threads_tasks_total") > 0);
+  EXPECT_GT(gauges.at("threads_tasks_total"), 0);
+  for (int m = 0; m < 3; ++m) {
+    const std::string suffix = "/m" + std::to_string(m);
+    EXPECT_TRUE(gauges.count("threads_tasks" + suffix) > 0) << m;
+    EXPECT_TRUE(gauges.count("threads_queue_depth_peak" + suffix) > 0) << m;
+  }
+}
+
+TEST(ThreadsObservabilityTest, AnalyzerDecomposesWallClockTrace) {
+  InstrumentedRun run;
+  RunInstrumented(api::BackendKind::kThreads, &run);
+
+  RunAnalysis analysis = Analyze(run.trace, &run.metrics);
+  EXPECT_TRUE(analysis.wall_clock);
+  EXPECT_GT(analysis.total_seconds, 0);
+  // The decomposition still covers the whole run end to end.
+  double sum = 0;
+  for (const auto& [kind, seconds] : analysis.decomposition) sum += seconds;
+  EXPECT_NEAR(sum, analysis.total_seconds, 1e-9);
+  // Real kernels ran, so per-operator busy totals are populated.
+  EXPECT_FALSE(analysis.operator_busy.empty());
+  double busy = 0;
+  for (const auto& [op, seconds] : analysis.operator_busy) busy += seconds;
+  EXPECT_GT(busy, 0);
+  EXPECT_NE(analysis.ToJson().find("\"clock\":\"wall\""), std::string::npos);
+  EXPECT_NE(analysis.ToString().find("wall time:"), std::string::npos);
+}
+
+TEST(DriftTest, ReportCorrelatesDesAndThreadsRuns) {
+  InstrumentedRun des, threads;
+  RunInstrumented(api::BackendKind::kDes, &des);
+  RunInstrumented(api::BackendKind::kThreads, &threads);
+
+  RunAnalysis des_analysis = Analyze(des.trace, &des.metrics);
+  RunAnalysis threads_analysis = Analyze(threads.trace, &threads.metrics);
+  EXPECT_FALSE(des_analysis.wall_clock);
+  EXPECT_TRUE(threads_analysis.wall_clock);
+
+  auto report = BuildDriftReport(
+      DriftSide::FromAnalysis(des_analysis, "des"),
+      DriftSide::FromAnalysis(threads_analysis, "threads"));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->virtual_label, "des");
+  EXPECT_EQ(report->wall_label, "threads");
+  EXPECT_GT(report->virtual_total, 0);
+  EXPECT_GT(report->wall_total, 0);
+  EXPECT_GT(report->total_ratio, 0);
+  // Per-operator rows exist and at least one operator was measured on
+  // both sides with a usable ratio.
+  ASSERT_FALSE(report->operators.empty());
+  bool any_both = false;
+  for (const auto& row : report->operators) {
+    if (row.in_both && row.ratio > 0) any_both = true;
+  }
+  EXPECT_TRUE(any_both);
+  // Same program on both backends: identical control flow, so every step
+  // pairs up.
+  EXPECT_FALSE(report->steps.empty());
+  EXPECT_EQ(report->unpaired_virtual_steps, 0);
+  EXPECT_EQ(report->unpaired_wall_steps, 0);
+  EXPECT_NE(report->ToString().find("drift report:"), std::string::npos);
+}
+
+TEST(DriftTest, RejectsTwoSidesInTheSameClockDomain) {
+  InstrumentedRun des;
+  RunInstrumented(api::BackendKind::kDes, &des);
+  RunAnalysis analysis = Analyze(des.trace, &des.metrics);
+  DriftSide side = DriftSide::FromAnalysis(analysis, "des");
+  auto report = BuildDriftReport(side, side);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(DriftTest, SideRoundTripsThroughReportJson) {
+  InstrumentedRun threads;
+  RunInstrumented(api::BackendKind::kThreads, &threads);
+  RunAnalysis analysis = Analyze(threads.trace, &threads.metrics);
+
+  DriftSide direct = DriftSide::FromAnalysis(analysis, "x");
+  auto parsed = DriftSide::FromReportJson(analysis.ToJson(), "x");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->wall_clock, direct.wall_clock);
+  EXPECT_EQ(parsed->num_machines, direct.num_machines);
+  EXPECT_NEAR(parsed->total_seconds, direct.total_seconds, 1e-6);
+  ASSERT_EQ(parsed->operator_busy.size(), direct.operator_busy.size());
+  for (const auto& [op, seconds] : direct.operator_busy) {
+    ASSERT_TRUE(parsed->operator_busy.count(op) > 0) << op;
+    EXPECT_NEAR(parsed->operator_busy.at(op), seconds, 1e-6) << op;
+  }
+  ASSERT_EQ(parsed->step_seconds.size(), direct.step_seconds.size());
+  for (size_t i = 0; i < direct.step_seconds.size(); ++i) {
+    EXPECT_NEAR(parsed->step_seconds[i], direct.step_seconds[i], 1e-6) << i;
+  }
+}
+
+TEST(DriftTest, ReportJsonWithoutClockFieldIsRejected) {
+  auto side = DriftSide::FromReportJson("{\"total_seconds\":1}", "old");
+  EXPECT_FALSE(side.ok());
+  auto garbage = DriftSide::FromReportJson("not json", "bad");
+  EXPECT_FALSE(garbage.ok());
+}
+
+TEST(DriftTest, ReportJsonIsDeterministicAndParses) {
+  InstrumentedRun des, threads;
+  RunInstrumented(api::BackendKind::kDes, &des);
+  RunInstrumented(api::BackendKind::kThreads, &threads);
+  auto report = BuildDriftReport(
+      DriftSide::FromAnalysis(Analyze(des.trace, &des.metrics), "des"),
+      DriftSide::FromAnalysis(Analyze(threads.trace, &threads.metrics),
+                              "threads"));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string json = report->ToJson();
+  EXPECT_EQ(json, report->ToJson());
+  auto value = json::Value::Parse(json);
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_TRUE(value->is_object());
+  EXPECT_NE(value->Find("operators"), nullptr);
+  EXPECT_NE(value->Find("steps"), nullptr);
+}
+
+TEST(DriftTest, EventLogWallMsIsMonotoneUnderThreads) {
+  sim::SimFileSystem fs;
+  workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+  obs::MetricsRegistry metrics;
+  obs::live::EventLog::Options options;
+  int64_t fake_now = 1000;
+  // A deliberately jittery wall clock (steps backwards every third read):
+  // the log must clamp so record order and stamp order agree.
+  int reads = 0;
+  options.wall_clock_ms = [&fake_now, &reads] {
+    ++reads;
+    fake_now += (reads % 3 == 0) ? -2 : 5;
+    return fake_now;
+  };
+  obs::live::EventLog log(std::move(options));
+  api::RunConfig config{.machines = 3};
+  config.backend = api::BackendKind::kThreads;
+  config.metrics = &metrics;
+  config.live.event_log = &log;
+  config.live.snapshots.enabled = true;
+  auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(log.appended(), 0);
+
+  const std::string jsonl = log.BufferedToJsonl();
+  int64_t last = -1;
+  int records = 0;
+  size_t pos = 0;
+  while (pos < jsonl.size()) {
+    size_t end = jsonl.find('\n', pos);
+    if (end == std::string::npos) end = jsonl.size();
+    auto record = json::Value::Parse(jsonl.substr(pos, end - pos));
+    pos = end + 1;
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    const json::Value* wall = record->Find("wall_ms");
+    ASSERT_NE(wall, nullptr);
+    const int64_t wall_ms = static_cast<int64_t>(wall->number());
+    EXPECT_GE(wall_ms, last) << "record " << records;
+    last = wall_ms;
+    ++records;
+  }
+  EXPECT_GT(records, 0);
+}
+
+}  // namespace
+}  // namespace mitos::obs::analysis

@@ -82,6 +82,28 @@ TEST(EventLogTest, StampsWallClockWhenWired) {
   EXPECT_DOUBLE_EQ(parsed->NumberOr("wall_ms", 0), 1722345678901.0);
 }
 
+TEST(EventLogTest, WallClockStampsNeverRunBackwards) {
+  EventLog::Options options;
+  // A clock that jumps backwards (NTP step, or simply two racing appenders
+  // observing the clock out of order): the log clamps under its lock so
+  // wall_ms is monotone in record order.
+  int64_t reads[] = {100, 250, 180, 300, 40};
+  int next = 0;
+  options.wall_clock_ms = [&reads, &next] { return reads[next++]; };
+  EventLog log(std::move(options));
+  for (int i = 0; i < 5; ++i) {
+    log.Append(static_cast<double>(i), "tick", {{"i", i}});
+  }
+  std::vector<std::string> lines = SplitLines(log.BufferedToJsonl());
+  ASSERT_EQ(lines.size(), 5u);
+  const double expected[] = {100, 250, 250, 300, 300};
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto parsed = json::Value::Parse(lines[i]);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed->NumberOr("wall_ms", -1), expected[i]) << i;
+  }
+}
+
 TEST(EventLogTest, DropsOldestWhenFullWithoutSink) {
   EventLog::Options options;
   options.max_buffered = 4;
@@ -173,6 +195,59 @@ TEST(LivePlaneTest, ZeroPerturbationWithEverythingEnabled) {
   EXPECT_GT(log.appended(), 0);
   EXPECT_GT(progress_calls, 0);
   EXPECT_TRUE(saw_complete);
+}
+
+// Same invariant, now with the wall-clock observability generation in the
+// build: a DES run with event log, snapshots, metrics, trace, and a prom
+// exposition all enabled stays byte-identical — the trace matches an
+// everything-off run (still virtual clock, no wall metadata) and the event
+// stream and exposition are reproducible byte for byte across runs.
+TEST(LivePlaneTest, DesStaysByteIdenticalWithWallClockObservabilityBuilt) {
+  lang::Program program = workloads::KMeansProgram({.iterations = 4});
+
+  // Bare run: trace only, nothing else attached.
+  sim::SimFileSystem fs_off;
+  workloads::GeneratePoints(&fs_off, {.num_points = 120, .num_clusters = 3});
+  TraceRecorder trace_off;
+  api::RunConfig config_off{.machines = 3};
+  config_off.trace = &trace_off;
+  auto off = api::Run(api::EngineKind::kMitos, program, &fs_off, config_off);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  auto run_instrumented = [&program](TraceRecorder* trace,
+                                     MetricsRegistry* metrics,
+                                     EventLog* log) {
+    sim::SimFileSystem fs;
+    workloads::GeneratePoints(&fs, {.num_points = 120, .num_clusters = 3});
+    api::RunConfig config{.machines = 3};
+    config.trace = trace;
+    config.metrics = metrics;
+    config.live.event_log = log;
+    config.live.snapshots.enabled = true;
+    auto result = api::Run(api::EngineKind::kMitos, program, &fs, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  };
+
+  TraceRecorder trace_a, trace_b;
+  MetricsRegistry metrics_a, metrics_b;
+  EventLog log_a, log_b;
+  run_instrumented(&trace_a, &metrics_a, &log_a);
+  run_instrumented(&trace_b, &metrics_b, &log_b);
+
+  // The DES recorder never flipped to wall mode: its export carries no
+  // wall metadata and matches the everything-off run byte for byte.
+  EXPECT_EQ(trace_a.clock(), TraceClock::kVirtual);
+  EXPECT_EQ(trace_a.ToJson().find("\"clock\":\"wall\""), std::string::npos);
+  EXPECT_EQ(trace_off.ToJson(), trace_a.ToJson());
+  // Event stream and prom exposition are deterministic across runs.
+  ASSERT_GT(log_a.appended(), 0);
+  EXPECT_EQ(log_a.BufferedToJsonl(), log_b.BufferedToJsonl());
+  const std::string prom_a =
+      ToPrometheusText(metrics_a, off->stats.total_seconds);
+  EXPECT_EQ(prom_a, ToPrometheusText(metrics_b, off->stats.total_seconds));
+  EXPECT_TRUE(ValidatePrometheusText(prom_a).ok());
+  // No threads_* families leak into a DES run.
+  EXPECT_EQ(prom_a.find("mitos_threads_"), std::string::npos) << prom_a;
 }
 
 // End-to-end event stream: kinds, cardinalities, and record shape.
@@ -277,6 +352,56 @@ TEST(PromTest, ExpositionValidatesAndIsDeterministic) {
             std::string::npos)
       << text;
   EXPECT_NE(text.find("mitos_virtual_time_seconds 2.25"), std::string::npos)
+      << text;
+  // The legacy overload is the DES shape: backend info labels "des" and
+  // the wall-time family is present (0) so both backends share one schema.
+  EXPECT_NE(text.find("mitos_backend_info{backend=\"des\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_wall_time_seconds 0"), std::string::npos)
+      << text;
+}
+
+TEST(PromTest, BackendInfoAndMachineLabelsForThreadsRuns) {
+  MetricsRegistry metrics;
+  metrics.Set("threads_queue_depth_peak/m0", 3);
+  metrics.Set("threads_queue_depth_peak/m1", 7);
+  metrics.Set("threads_tasks/m0", 120);
+  metrics.Set("threads_tasks_total", 240);
+  metrics.Set("operator_cpu/counts.push", 0.25);
+  for (int i = 1; i <= 5; ++i) {
+    metrics.Observe("threads_queue_wait_seconds", i * 1e-4);
+  }
+
+  PromRunInfo info;
+  info.backend = "threads";
+  info.wall_seconds = 0.125;
+  std::string text = ToPrometheusText(metrics, info);
+  Status status = ValidatePrometheusText(text);
+  EXPECT_TRUE(status.ok()) << status.ToString() << "\n" << text;
+
+  EXPECT_NE(text.find("mitos_backend_info{backend=\"threads\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_wall_time_seconds 0.125"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_virtual_time_seconds 0"), std::string::npos)
+      << text;
+  // Per-machine threads_* gauges label by machine index; operator gauges
+  // keep the op label.
+  EXPECT_NE(text.find("mitos_threads_queue_depth_peak{machine=\"1\"} 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_threads_tasks{machine=\"0\"} 120"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_threads_tasks_total 240"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mitos_operator_cpu{op=\"counts.push\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE mitos_threads_queue_wait_seconds summary"),
+            std::string::npos)
       << text;
 }
 

@@ -1,0 +1,81 @@
+// drift_diff: offline DES-vs-real drift report from two saved run reports.
+//
+//   mitos_run prog.mitos --backend=des     --report-out=des.json
+//   mitos_run prog.mitos --backend=threads --report-out=threads.json
+//   drift_diff des.json threads.json [--json]
+//
+// Each input is a mitos_run --report-out file; its "clock" field says which
+// time domain it measured, so the two files may be given in either order
+// (exactly one must be virtual and one wall). Prints the per-operator and
+// per-step virtual-vs-wall ratio report (obs/analysis/drift.h); --json
+// emits the deterministic JSON form instead.
+//
+// Exit codes: 0 report printed, 2 unreadable/invalid input.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/analysis/drift.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "drift_diff: %s\n", message.c_str());
+  return 2;
+}
+
+bool ReadTextFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string paths[2];
+  int num_paths = 0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Fail("unknown flag: " + arg);
+    } else if (num_paths < 2) {
+      paths[num_paths++] = arg;
+    } else {
+      return Fail("expected exactly two report files, got a third: " + arg);
+    }
+  }
+  if (num_paths != 2) {
+    return Fail(
+        "usage: drift_diff <report-a.json> <report-b.json> [--json]\n"
+        "  inputs are mitos_run --report-out files: one from --backend=des, "
+        "one from --backend=threads (either order)");
+  }
+
+  mitos::obs::analysis::DriftSide sides[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!ReadTextFile(paths[i], &text)) {
+      return Fail("cannot open " + paths[i]);
+    }
+    auto side =
+        mitos::obs::analysis::DriftSide::FromReportJson(text, paths[i]);
+    if (!side.ok()) {
+      return Fail(paths[i] + ": " + side.status().ToString());
+    }
+    sides[i] = std::move(*side);
+  }
+
+  auto report = mitos::obs::analysis::BuildDriftReport(sides[0], sides[1]);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::printf("%s", (json ? report->ToJson() : report->ToString()).c_str());
+  return 0;
+}

@@ -27,6 +27,13 @@
 //                       path with per-step compute/comms/barrier/broadcast
 //                       breakdown, plus skew & straggler attribution
 //   --report-out=FILE   write the same diagnosis as deterministic JSON
+//   --drift-report      run the program on BOTH backends (a fresh DES run
+//                       and a fresh threads run, each from the pristine
+//                       input files) and print per-operator and per-step
+//                       virtual-vs-wall drift ratios (Mitos engines only;
+//                       see DESIGN.md §12 and tools/drift_diff for the
+//                       two-files offline variant)
+//   --drift-out=FILE    write the same drift report as deterministic JSON
 //   --show-files                                   print produced files
 //   --trace-out=FILE    write a Chrome trace-event JSON of the run; open it
 //                       at https://ui.perfetto.dev or chrome://tracing
@@ -77,6 +84,7 @@
 #include "lang/parser.h"
 #include "mitos.h"
 #include "obs/analysis/analysis.h"
+#include "obs/analysis/drift.h"
 #include "obs/live/event_log.h"
 #include "obs/live/prom.h"
 #include "obs/metrics.h"
@@ -121,9 +129,9 @@ int main(int argc, char** argv) {
   std::string backend_name = "des";
   int machines = 4;
   bool dump_ir = false, dump_dot = false, show_files = false;
-  bool profile = false, report = false;
+  bool profile = false, report = false, drift = false;
   std::string explain_format;  // "", "dot", or "json"
-  std::string trace_out, metrics_out, report_out, faults_spec;
+  std::string trace_out, metrics_out, report_out, drift_out, faults_spec;
   std::string metrics_format = "json";
   std::string event_log_out;
   double snapshot_every = 0;
@@ -196,6 +204,11 @@ int main(int argc, char** argv) {
       report = true;
     } else if (arg.rfind("--report-out=", 0) == 0) {
       report_out = value_of("--report-out=");
+    } else if (arg == "--drift-report") {
+      drift = true;
+    } else if (arg.rfind("--drift-out=", 0) == 0) {
+      drift_out = value_of("--drift-out=");
+      if (drift_out.empty()) return Fail("--drift-out expects a file");
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -285,6 +298,22 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   sim::FaultPlan fault_plan;
   const bool want_report = report || !report_out.empty();
+  const bool want_drift = drift || !drift_out.empty();
+  if (want_drift) {
+    if (engine != api::EngineKind::kMitos &&
+        engine != api::EngineKind::kMitosNoPipelining &&
+        engine != api::EngineKind::kMitosNoHoisting) {
+      return Fail(
+          "--drift-report compares the DES against the threads backend, "
+          "which runs Mitos engines only (got --engine=" +
+          engine_name + ")");
+    }
+    if (have_faults) {
+      return Fail(
+          "--drift-report cannot run with --faults: fault plans are "
+          "virtual-time schedules the threads backend rejects");
+    }
+  }
   api::RunConfig config{.machines = machines};
   config.backend = backend_name == "threads" ? api::BackendKind::kThreads
                                              : api::BackendKind::kDes;
@@ -350,6 +379,11 @@ int main(int argc, char** argv) {
     config.faults = &fault_plan;
   }
 
+  // The drift comparison re-runs the program once per backend, each from
+  // the pristine inputs (the main run appends its outputs to `fs`).
+  sim::SimFileSystem pristine_fs;
+  if (want_drift) pristine_fs = fs;
+
   api::Engine engine_handle(engine, config);
   auto result = engine_handle.Run(*program, &fs);
   if (!result.ok()) {
@@ -369,10 +403,18 @@ int main(int argc, char** argv) {
                 trace_out.c_str(), trace.events().size());
   }
   if (!metrics_out.empty()) {
+    obs::live::PromRunInfo prom_info;
+    prom_info.backend = backend_name;
+    // total_seconds lives in the backend's own clock domain: virtual under
+    // the DES, wall seconds under the thread pool.
+    if (config.backend == api::BackendKind::kThreads) {
+      prom_info.wall_seconds = result->stats.total_seconds;
+    } else {
+      prom_info.virtual_seconds = result->stats.total_seconds;
+    }
     const std::string text =
         metrics_format == "prom"
-            ? obs::live::ToPrometheusText(metrics,
-                                          result->stats.total_seconds)
+            ? obs::live::ToPrometheusText(metrics, prom_info)
             : metrics.ToJson();
     if (!WriteTextFile(metrics_out, text)) {
       return Fail("cannot write " + metrics_out);
@@ -414,6 +456,50 @@ int main(int argc, char** argv) {
         return Fail("cannot write " + report_out);
       }
       std::printf("report:   %s\n", report_out.c_str());
+    }
+  }
+  if (want_drift) {
+    // One fresh run per backend, each fully instrumented and each from the
+    // pristine inputs — the main run above is left untouched.
+    auto run_side = [&](api::BackendKind side_backend,
+                        obs::TraceRecorder* side_trace,
+                        obs::MetricsRegistry* side_metrics) {
+      sim::SimFileSystem side_fs = pristine_fs;
+      api::RunConfig side_config{.machines = machines};
+      side_config.backend = side_backend;
+      side_config.step_templates = step_templates;
+      side_config.trace = side_trace;
+      side_config.metrics = side_metrics;
+      return api::Run(engine, *program, &side_fs, side_config);
+    };
+    obs::TraceRecorder des_trace, threads_trace;
+    obs::MetricsRegistry des_metrics, threads_metrics;
+    auto des_run = run_side(api::BackendKind::kDes, &des_trace, &des_metrics);
+    if (!des_run.ok()) {
+      return Fail("drift DES run error: " + des_run.status().ToString());
+    }
+    auto threads_run =
+        run_side(api::BackendKind::kThreads, &threads_trace,
+                 &threads_metrics);
+    if (!threads_run.ok()) {
+      return Fail("drift threads run error: " +
+                  threads_run.status().ToString());
+    }
+    auto drift_report = obs::analysis::BuildDriftReport(
+        obs::analysis::DriftSide::FromAnalysis(
+            obs::analysis::Analyze(des_trace, &des_metrics), "des"),
+        obs::analysis::DriftSide::FromAnalysis(
+            obs::analysis::Analyze(threads_trace, &threads_metrics),
+            "threads"));
+    if (!drift_report.ok()) {
+      return Fail("drift error: " + drift_report.status().ToString());
+    }
+    if (drift) std::printf("%s", drift_report->ToString().c_str());
+    if (!drift_out.empty()) {
+      if (!WriteTextFile(drift_out, drift_report->ToJson())) {
+        return Fail("cannot write " + drift_out);
+      }
+      std::printf("drift:    %s\n", drift_out.c_str());
     }
   }
   if (!explain_format.empty()) {
