@@ -410,6 +410,226 @@ void PrintStmt(const Stmt& s, int indent, std::ostream& out) {
 
 }  // namespace
 
+// ----- Source printer -----
+//
+// Emits the parser grammar (lang/parser.h) so programs round-trip through
+// lang::Parse. Kept separate from the debug printer above: the debug form
+// optimizes for reading IR dumps, this form for re-running programs.
+
+namespace {
+
+void SourceDatumLiteral(const Datum& d, std::ostream& out) {
+  switch (d.kind()) {
+    case Datum::Kind::kInt64:
+      out << d.int64();
+      break;
+    case Datum::Kind::kDouble:
+      out << std::to_string(d.dbl());  // fixed notation; the lexer has no
+      break;                           // exponent syntax
+    case Datum::Kind::kString: {
+      out << '"';
+      for (char c : d.str()) {
+        if (c == '"' || c == '\\') out << '\\';
+        if (c == '\n') {
+          out << "\\n";
+        } else {
+          out << c;
+        }
+      }
+      out << '"';
+      break;
+    }
+    case Datum::Kind::kTuple: {
+      out << '(';
+      bool first = true;
+      for (const Datum& field : d.tuple()) {
+        if (!first) out << ", ";
+        first = false;
+        SourceDatumLiteral(field, out);
+      }
+      out << ')';
+      break;
+    }
+    default:
+      // Null/bool literals have no bagOf syntax; the debug form at least
+      // makes the failure readable.
+      out << d.ToString();
+      break;
+  }
+}
+
+void SourceExpr(const Expr& e, std::ostream& out) {
+  switch (e.kind) {
+    case ExprKind::kLit:
+      if (e.lit.is_int64() && e.lit.int64() < 0) {
+        // The expression grammar has no unary minus.
+        out << "(0 - " << -e.lit.int64() << ')';
+      } else if (e.lit.is_bool()) {
+        out << (e.lit.boolean() ? "true" : "false");
+      } else {
+        SourceDatumLiteral(e.lit, out);
+      }
+      break;
+    case ExprKind::kVarRef:
+      out << e.var;
+      break;
+    case ExprKind::kBinOp:
+      out << '(';
+      SourceExpr(*e.a, out);
+      out << ' '
+          << (e.binop == BinOpKind::kConcat ? "++" : BinOpName(e.binop))
+          << ' ';
+      SourceExpr(*e.b, out);
+      out << ')';
+      break;
+    case ExprKind::kNot:
+      out << "!(";
+      SourceExpr(*e.a, out);
+      out << ')';
+      break;
+    case ExprKind::kScalarFromBag:
+      out << "scalarOf(";
+      SourceExpr(*e.a, out);
+      out << ')';
+      break;
+    case ExprKind::kBagLit:
+      if (e.bag_lit.empty()) {
+        out << "empty()";
+      } else {
+        out << "bagOf(";
+        bool first = true;
+        for (const Datum& d : e.bag_lit) {
+          if (!first) out << ", ";
+          first = false;
+          SourceDatumLiteral(d, out);
+        }
+        out << ')';
+      }
+      break;
+    case ExprKind::kFromScalar:
+      out << "newBag(";
+      SourceExpr(*e.a, out);
+      out << ')';
+      break;
+    case ExprKind::kReadFile:
+      out << "readFile(";
+      SourceExpr(*e.a, out);
+      out << ')';
+      break;
+    case ExprKind::kMap:
+      SourceExpr(*e.a, out);
+      out << ".map(" << e.unary.name << ')';
+      break;
+    case ExprKind::kFilter:
+      SourceExpr(*e.a, out);
+      out << ".filter(" << e.pred.name << ')';
+      break;
+    case ExprKind::kFlatMap:
+      SourceExpr(*e.a, out);
+      out << ".flatMap(" << e.flat.name << ')';
+      break;
+    case ExprKind::kReduceByKey:
+      SourceExpr(*e.a, out);
+      out << ".reduceByKey(" << e.binary.name << ')';
+      break;
+    case ExprKind::kReduce:
+      SourceExpr(*e.a, out);
+      out << ".reduce(" << e.binary.name << ')';
+      break;
+    case ExprKind::kJoin:
+      SourceExpr(*e.a, out);
+      out << ".join(";
+      SourceExpr(*e.b, out);
+      out << ')';
+      break;
+    case ExprKind::kUnion:
+      SourceExpr(*e.a, out);
+      out << ".union(";
+      SourceExpr(*e.b, out);
+      out << ')';
+      break;
+    case ExprKind::kDistinct:
+      SourceExpr(*e.a, out);
+      out << ".distinct()";
+      break;
+    case ExprKind::kCount:
+      SourceExpr(*e.a, out);
+      out << ".count()";
+      break;
+    case ExprKind::kCombine2:
+      // Preparator-internal; no surface syntax (documented in ast.h).
+      out << "combine2(";
+      SourceExpr(*e.a, out);
+      out << ", ";
+      SourceExpr(*e.b, out);
+      out << ", " << e.binary.name << ')';
+      break;
+  }
+}
+
+void SourceStmts(const StmtList& stmts, int indent, std::ostream& out);
+
+void SourceStmt(const Stmt& s, int indent, std::ostream& out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::kAssign:
+      out << pad << s.var << " = ";
+      SourceExpr(*s.expr, out);
+      out << ";\n";
+      break;
+    case StmtKind::kWhile:
+      out << pad << "while (";
+      SourceExpr(*s.expr, out);
+      out << ") {\n";
+      SourceStmts(s.body, indent + 1, out);
+      out << pad << "}\n";
+      break;
+    case StmtKind::kDoWhile:
+      out << pad << "do {\n";
+      SourceStmts(s.body, indent + 1, out);
+      out << pad << "} while (";
+      SourceExpr(*s.expr, out);
+      out << ");\n";
+      break;
+    case StmtKind::kIf:
+      out << pad << "if (";
+      SourceExpr(*s.expr, out);
+      out << ") {\n";
+      SourceStmts(s.body, indent + 1, out);
+      if (!s.else_body.empty()) {
+        out << pad << "} else {\n";
+        SourceStmts(s.else_body, indent + 1, out);
+      }
+      out << pad << "}\n";
+      break;
+    case StmtKind::kWriteFile:
+      out << pad << "write(";
+      SourceExpr(*s.expr, out);
+      out << ", ";
+      SourceExpr(*s.filename, out);
+      out << ");\n";
+      break;
+  }
+}
+
+void SourceStmts(const StmtList& stmts, int indent, std::ostream& out) {
+  for (const StmtPtr& s : stmts) SourceStmt(*s, indent, out);
+}
+
+}  // namespace
+
+std::string ToSource(const Expr& expr) {
+  std::ostringstream out;
+  SourceExpr(expr, out);
+  return out.str();
+}
+
+std::string ToSource(const Program& program) {
+  std::ostringstream out;
+  SourceStmts(program.stmts, 0, out);
+  return out.str();
+}
+
 std::string ToString(const Expr& expr) {
   std::ostringstream out;
   PrintExpr(expr, out);

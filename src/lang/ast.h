@@ -172,6 +172,19 @@ std::string ToString(const Expr& expr);
 std::string ToString(const Stmt& stmt, int indent = 0);
 std::string ToString(const Program& program);
 
+// ----- Source printing (parser round-trip) -----
+//
+// Emits the program in the textual grammar of lang/parser.h, so that
+// lang::Parse(ToSource(p)) reconstructs `p` — the foundation of the fuzzer's
+// self-contained repro files (testing/repro.h). Round-tripping holds for
+// surface-language programs: every statement kind, every bag operation, and
+// every user function whose name uses the parser's registry syntax (all of
+// fns::* do). kCombine2 — introduced only by the Preparator, never by user
+// programs — and functions with non-registry names print in a debug form
+// that does not parse.
+std::string ToSource(const Expr& expr);
+std::string ToSource(const Program& program);
+
 }  // namespace mitos::lang
 
 #endif  // MITOS_LANG_AST_H_

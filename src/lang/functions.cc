@@ -25,7 +25,9 @@ BinaryFn SumDouble() {
 }
 
 UnaryFn Field(size_t i) {
-  return {"field" + std::to_string(i),
+  // The name is the parser's registry syntax (lang/parser.cc), so printed
+  // programs (lang::ToSource) round-trip through lang::Parse.
+  return {"field(" + std::to_string(i) + ")",
           [i](const Datum& x) { return x.field(i); }};
 }
 
@@ -40,7 +42,9 @@ UnaryFn AddInt64(int64_t delta) {
 }
 
 UnaryFn AbsDiffFields12() {
-  return {"absDiffFields12", [](const Datum& x) {
+  // Named to match the parser registry ("absDiff") so printed
+  // programs re-parse to a program that prints identically.
+  return {"absDiff", [](const Datum& x) {
             return Datum::Int64(std::abs(x.field(1).int64() -
                                          x.field(2).int64()));
           }};
@@ -53,13 +57,22 @@ UnaryFn ScaleDouble(double factor) {
 }
 
 PredicateFn FieldEquals(size_t i, Datum value) {
-  return {"fieldEquals" + std::to_string(i),
+  // Only int64 values are expressible in the parser's fieldEquals(i, v)
+  // syntax; other kinds keep a debug-only name.
+  std::string name =
+      value.is_int64()
+          ? "fieldEquals(" + std::to_string(i) + ", " +
+                std::to_string(value.int64()) + ")"
+          : "fieldEquals" + std::to_string(i);
+  return {std::move(name),
           [i, value](const Datum& x) { return x.field(i) == value; }};
 }
 
 PredicateFn Int64ModEquals(int64_t modulus, int64_t remainder) {
   MITOS_CHECK_GT(modulus, 0);
-  return {"int64Mod", [modulus, remainder](const Datum& x) {
+  return {"modEquals(" + std::to_string(modulus) + ", " +
+              std::to_string(remainder) + ")",
+          [modulus, remainder](const Datum& x) {
             return x.int64() % modulus == remainder;
           }};
 }

@@ -254,6 +254,16 @@ StatusOr<UnaryFn> ResolveUnary(const FnRef& ref) {
     return UnaryFn{"mulInt64(" + std::to_string(k) + ")",
                    [k](const Datum& x) { return Datum::Int64(x.int64() * k); }};
   }
+  if (ref.name == "sumJoin") {
+    MITOS_RETURN_IF_ERROR(need(0));
+    // Join output (k, lv, rv) -> (k, lv + rv): projects a join back into a
+    // pair bag, so joined pipelines stay joinable/reducible.
+    return UnaryFn{"sumJoin", [](const Datum& t) {
+                     return Datum::Pair(t.field(0),
+                                        Datum::Int64(t.field(1).int64() +
+                                                     t.field(2).int64()));
+                   }};
+  }
   if (ref.name == "pairSwap") {
     MITOS_RETURN_IF_ERROR(need(0));
     return UnaryFn{"pairSwap", [](const Datum& p) {
@@ -631,6 +641,40 @@ class Parser {
     return ref;
   }
 
+  // One element of a bagOf(...) literal: an int, float, or string scalar,
+  // or a parenthesized tuple of literals, e.g. (1, 2) or (1, (2, "x")).
+  StatusOr<Datum> ParseDatumLiteral() {
+    if (MatchTok(TokKind::kLParen)) {
+      DatumVector fields;
+      if (!Check(TokKind::kRParen)) {
+        do {
+          StatusOr<Datum> field = ParseDatumLiteral();
+          if (!field.ok()) return field.status();
+          fields.push_back(*std::move(field));
+        } while (MatchTok(TokKind::kComma));
+      }
+      MITOS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return Datum::Tuple(std::move(fields));
+    }
+    bool negative = MatchTok(TokKind::kMinus);
+    if (Check(TokKind::kInt)) {
+      int64_t v = Peek().int_value;
+      ++pos_;
+      return Datum::Int64(negative ? -v : v);
+    }
+    if (Check(TokKind::kFloat)) {
+      double v = Peek().float_value;
+      ++pos_;
+      return Datum::Double(negative ? -v : v);
+    }
+    if (Check(TokKind::kString) && !negative) {
+      Datum v = Datum::String(Peek().text);
+      ++pos_;
+      return v;
+    }
+    return ErrorHere("expected literal in bagOf(...)");
+  }
+
   StatusOr<ExprPtr> ParsePrimary() {
     if (Check(TokKind::kInt)) {
       int64_t v = Peek().int_value;
@@ -671,21 +715,9 @@ class Parser {
           DatumVector values;
           if (!Check(TokKind::kRParen)) {
             do {
-              bool negative = MatchTok(TokKind::kMinus);
-              if (Check(TokKind::kInt)) {
-                int64_t v = Peek().int_value;
-                ++pos_;
-                values.push_back(Datum::Int64(negative ? -v : v));
-              } else if (Check(TokKind::kFloat)) {
-                double v = Peek().float_value;
-                ++pos_;
-                values.push_back(Datum::Double(negative ? -v : v));
-              } else if (Check(TokKind::kString) && !negative) {
-                values.push_back(Datum::String(Peek().text));
-                ++pos_;
-              } else {
-                return ErrorHere("expected literal in bagOf(...)");
-              }
+              StatusOr<Datum> value = ParseDatumLiteral();
+              if (!value.ok()) return value.status();
+              values.push_back(*std::move(value));
             } while (MatchTok(TokKind::kComma));
           }
           MITOS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));

@@ -15,7 +15,7 @@
 //   } while (day <= 365);
 //
 // User functions are referenced by name from a registry of builtins
-// (pairWithOne, sumInt64, identity, field0/field1, addInt64(k),
+// (pairWithOne, sumInt64, identity, field(i), addInt64(k),
 // modEquals(m, r), ...). This keeps the surface language closed — exactly
 // the situation of an external DSL like SystemDS' language, which the
 // paper names as an alternative frontend whose compiler "can naturally
@@ -36,6 +36,8 @@
 //              | 'readFile' '(' expr ')' | 'empty' '(' ')'
 //              | 'bagOf' '(' literal* ')' | 'newBag' '(' expr ')'
 //              | 'scalarOf' '(' expr ')'
+//   literal   := int | float | string | '(' literal (',' literal)* ')'
+//                (parenthesized literals are tuples, e.g. bagOf((1, 2)))
 //   methods   := map | filter | flatMap | reduceByKey | reduce | join
 //              | union | distinct | count
 #ifndef MITOS_LANG_PARSER_H_

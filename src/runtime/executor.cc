@@ -219,6 +219,15 @@ class Job : public RuntimeContext {
     }
     std::string stuck = StuckHosts();
     if (!stuck.empty()) {
+      if (faults_ != nullptr) {
+        // A crash during the final control-flow step can leave peers
+        // waiting on in-flight chunks that died with the machine: the
+        // path is complete, no further broadcast will time out, and the
+        // queue simply drains. That is a lost attempt, not a bug — hand
+        // it to the attempt loop like any other faulted drain.
+        return Status::Unavailable(
+            "attempt drained with unfinished operators:\n" + stuck);
+      }
       return Status::Internal("job drained with unfinished operators:\n" +
                               stuck);
     }

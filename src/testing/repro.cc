@@ -1,0 +1,137 @@
+#include "testing/repro.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "lang/parser.h"
+
+namespace mitos::testing {
+namespace {
+
+// Strips one leading "// " (or "//") marker; returns false for
+// non-comment lines.
+bool CommentBody(const std::string& line, std::string* body) {
+  if (line.rfind("//", 0) != 0) return false;
+  size_t start = 2;
+  while (start < line.size() && line[start] == ' ') ++start;
+  *body = line.substr(start);
+  return true;
+}
+
+// Splits "key: value" (returns false when there is no ':').
+bool KeyValue(const std::string& body, std::string* key,
+              std::string* value) {
+  const size_t colon = body.find(':');
+  if (colon == std::string::npos) return false;
+  *key = body.substr(0, colon);
+  size_t start = colon + 1;
+  while (start < body.size() && body[start] == ' ') ++start;
+  *value = body.substr(start);
+  while (!key->empty() && key->back() == ' ') key->pop_back();
+  return true;
+}
+
+}  // namespace
+
+std::string FormatRepro(const Repro& repro) {
+  std::ostringstream out;
+  out << "// mitos_fuzz repro\n";
+  out << "// seed: " << repro.seed << "\n";
+  if (!repro.mismatch_label.empty()) {
+    out << "// mismatch: " << repro.mismatch_label << "\n";
+  }
+  if (!repro.detail.empty()) {
+    std::istringstream lines(repro.detail);
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      out << "// " << (first ? "detail: " : "    ") << line << "\n";
+      first = false;
+    }
+  }
+  for (size_t i = 0; i < repro.fault_specs.size(); ++i) {
+    out << "// fault[" << i << "]: " << repro.fault_specs[i] << "\n";
+  }
+  out << "\n" << repro.source;
+  if (repro.source.empty() || repro.source.back() != '\n') out << "\n";
+  return out.str();
+}
+
+StatusOr<Repro> ParseRepro(const std::string& text) {
+  Repro repro;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string body;
+    if (line.empty()) continue;
+    if (!CommentBody(line, &body)) break;  // header over; body may still
+                                           // contain comments — fine, the
+                                           // lexer skips them
+    std::string key, value;
+    if (!KeyValue(body, &key, &value)) continue;
+    if (key == "seed") {
+      repro.seed = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (key == "mismatch") {
+      repro.mismatch_label = value;
+    } else if (key == "detail") {
+      repro.detail = value;
+    } else if (key.rfind("fault[", 0) == 0) {
+      repro.fault_specs.push_back(value);
+    }
+  }
+  for (const std::string& spec : repro.fault_specs) {
+    auto plan = sim::FaultPlan::Parse(spec);
+    if (!plan.ok()) {
+      return Status::InvalidArgument("bad fault spec \"" + spec +
+                                     "\": " + plan.status().ToString());
+    }
+    repro.fault_plans.push_back(std::move(plan).value());
+  }
+  // The program body is everything (comments included); the header keys
+  // above are harmless comments to the parser.
+  repro.source = text;
+  auto program = lang::Parse(text);
+  if (!program.ok()) return program.status();
+  repro.program = std::move(program).value();
+  return repro;
+}
+
+StatusOr<Repro> LoadReproFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open repro file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto repro = ParseRepro(text.str());
+  if (!repro.ok()) {
+    return Status(repro.status().code(),
+                  path + ": " + repro.status().message());
+  }
+  return repro;
+}
+
+Status SaveReproFile(const std::string& path, const Repro& repro) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write repro file: " + path);
+  out << FormatRepro(repro);
+  out.close();
+  if (!out) return Status::Internal("short write to repro file: " + path);
+  return Status::Ok();
+}
+
+std::vector<std::string> ListCorpus(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".mitos") continue;
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace mitos::testing

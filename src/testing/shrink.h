@@ -1,0 +1,55 @@
+// Greedy AST minimization for fuzzer findings.
+//
+// Given a failing program and a predicate ("does this program still
+// fail?"), Shrink repeatedly tries size-reducing rewrites and keeps every
+// one that preserves the failure, until a fixpoint (no single rewrite keeps
+// it failing) or the evaluation budget runs out:
+//
+//   * statement level: delete any statement; unwrap a loop or if into its
+//     body (one-trip / then-branch / else-branch); force a condition false;
+//   * expression level: replace an operator chain with its input
+//     (x.map(f) -> x, a.union(b) -> a or b), shrink integer literals
+//     toward 1, truncate or empty bag literals.
+//
+// Rewrites that break the program (unknown variable, type error) are
+// rejected automatically: the harness reports them as run errors on every
+// engine *including the reference*, which the predicate (built on
+// RunDifferential) maps to kInfraError — not a mismatch — so the candidate
+// is discarded. Shrinking is deterministic: candidates are enumerated in a
+// fixed order, so the same input and predicate always minimize to the same
+// repro.
+#ifndef MITOS_TESTING_SHRINK_H_
+#define MITOS_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "lang/ast.h"
+
+namespace mitos::testing {
+
+struct ShrinkOptions {
+  // Upper bound on predicate evaluations (each is a full differential
+  // harness run for mitos_fuzz's use).
+  int max_evals = 500;
+};
+
+struct ShrinkResult {
+  lang::Program program;
+  int evals = 0;   // predicate evaluations spent
+  int rounds = 0;  // successful rewrites applied
+};
+
+// `still_fails` must be true for `program` itself (the caller found the
+// failure); the result is the smallest program reached for which it stayed
+// true.
+ShrinkResult Shrink(
+    const lang::Program& program,
+    const std::function<bool(const lang::Program&)>& still_fails,
+    const ShrinkOptions& options = {});
+
+// Statements in `program`, counted recursively (test/diagnostic helper).
+int CountStmts(const lang::Program& program);
+
+}  // namespace mitos::testing
+
+#endif  // MITOS_TESTING_SHRINK_H_

@@ -1,0 +1,63 @@
+// Replays the committed fuzz corpus (tests/fixtures/fuzz/*.mitos) through
+// the full differential harness. Each corpus file is a self-contained repro
+// written by mitos_fuzz (or pinned by hand): a program plus the fault plans
+// it was found with. All of them must agree across the entire engine matrix
+// — a failure here is a regression of a previously working (or previously
+// fixed) behavior, and the failing file names the seed that produced it.
+//
+// This is the same check CI's blocking fuzz-smoke job runs via
+//   mitos_fuzz --corpus=tests/fixtures/fuzz
+// kept as a gtest too so plain `ctest` covers the corpus with no extra
+// wiring.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lang/parser.h"
+#include "testing/differential.h"
+#include "testing/repro.h"
+
+namespace mitos::testing {
+namespace {
+
+#ifndef MITOS_TEST_FIXTURES
+#error "MITOS_TEST_FIXTURES must point at tests/fixtures (set in CMake)"
+#endif
+
+std::string CorpusDir() {
+  return std::string(MITOS_TEST_FIXTURES) + "/fuzz";
+}
+
+TEST(FuzzCorpusTest, CorpusIsNonEmpty) {
+  // An empty corpus means the replay below vacuously passes; fail loudly
+  // instead (the corpus ships with the repo).
+  EXPECT_GE(ListCorpus(CorpusDir()).size(), 5u) << CorpusDir();
+}
+
+TEST(FuzzCorpusTest, EveryReproParsesAndRoundTrips) {
+  for (const std::string& path : ListCorpus(CorpusDir())) {
+    auto repro = LoadReproFile(path);
+    ASSERT_TRUE(repro.ok()) << path << ": " << repro.status().ToString();
+    EXPECT_NE(repro->seed, 0u) << path << ": missing '// seed:' header";
+    // The program body must survive a print -> parse -> print fixpoint.
+    const std::string printed = lang::ToSource(repro->program);
+    auto reparsed = lang::Parse(printed);
+    ASSERT_TRUE(reparsed.ok()) << path << ": " << reparsed.status().ToString();
+    EXPECT_EQ(lang::ToSource(*reparsed), printed) << path;
+  }
+}
+
+TEST(FuzzCorpusTest, EveryReproAgreesAcrossAllEngines) {
+  for (const std::string& path : ListCorpus(CorpusDir())) {
+    auto repro = LoadReproFile(path);
+    ASSERT_TRUE(repro.ok()) << path << ": " << repro.status().ToString();
+    DiffOptions options;
+    options.fault_plans = repro->fault_plans;
+    DiffReport report = RunDifferential(repro->program, options);
+    EXPECT_EQ(report.verdict, Verdict::kOk)
+        << path << " (seed " << repro->seed << "): " << report.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mitos::testing

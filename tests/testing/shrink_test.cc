@@ -1,0 +1,152 @@
+// Tests for the greedy AST minimizer (testing/shrink.h). Predicates here
+// are cheap structural checks (does the program still contain X?) so the
+// passes can be exercised exhaustively; the mutation-style end-to-end case
+// (predicate = a real differential run against a hand-broken engine
+// matrix) lives in the tamper-hook test at the bottom.
+#include "testing/shrink.h"
+
+#include "gtest/gtest.h"
+#include "lang/parser.h"
+#include "testing/differential.h"
+#include "testing/generator.h"
+
+namespace mitos::testing {
+namespace {
+
+lang::Program MustParse(const std::string& source) {
+  auto program = lang::Parse(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return *program;
+}
+
+bool SourceContains(const lang::Program& program, const std::string& text) {
+  return lang::ToSource(program).find(text) != std::string::npos;
+}
+
+TEST(ShrinkTest, DeletesIrrelevantStatements) {
+  lang::Program program = MustParse(R"(
+    a = bagOf(1, 2, 3);
+    noise1 = a.map(addInt64(5));
+    noise2 = noise1.filter(gtInt64(2));
+    write(noise2, "n");
+    write(a, "o0");
+  )");
+  auto keeps_failing = [](const lang::Program& p) {
+    // Structural predicates do not need validity, so pin the defining bag
+    // too — otherwise deleting `a = bagOf(...)` would also "still fail".
+    return SourceContains(p, "bagOf") &&
+           SourceContains(p, "write(a, \"o0\");");
+  };
+  ShrinkResult result = Shrink(program, keeps_failing);
+  // Everything except the seed bag and the interesting write goes away.
+  EXPECT_EQ(CountStmts(result.program), 2) << lang::ToSource(result.program);
+  EXPECT_TRUE(keeps_failing(result.program));
+  EXPECT_GT(result.evals, 0);
+}
+
+TEST(ShrinkTest, UnwrapsControlFlow) {
+  lang::Program program = MustParse(R"(
+    a = bagOf(1, 2);
+    i = 0;
+    while (i < 3) {
+      a = a.map(addInt64(1));
+      i = i + 1;
+    }
+    write(a, "o0");
+  )");
+  auto keeps_failing = [](const lang::Program& p) {
+    return SourceContains(p, "a.map(addInt64(1))") &&
+           SourceContains(p, "write(a, \"o0\");");
+  };
+  ShrinkResult result = Shrink(program, keeps_failing);
+  // The while wrapper disappears; the interesting map survives unwrapped.
+  EXPECT_FALSE(SourceContains(result.program, "while"))
+      << lang::ToSource(result.program);
+  EXPECT_TRUE(keeps_failing(result.program));
+}
+
+TEST(ShrinkTest, ShrinksLiteralsAndBags) {
+  lang::Program program = MustParse(R"(
+    a = bagOf(7, 3, 9, 1, 5, 2);
+    b = a.map(addInt64(40));
+    write(b, "o0");
+  )");
+  auto keeps_failing = [](const lang::Program& p) {
+    return SourceContains(p, "bagOf") && SourceContains(p, "addInt64");
+  };
+  ShrinkResult result = Shrink(program, keeps_failing);
+  const std::string source = lang::ToSource(result.program);
+  // The six-element bag collapses to one element and the literal to 1.
+  EXPECT_TRUE(SourceContains(result.program, "bagOf(7)")) << source;
+  EXPECT_TRUE(SourceContains(result.program, "addInt64(1)")) << source;
+}
+
+TEST(ShrinkTest, ReplacesOperatorChainsWithInputs) {
+  lang::Program program = MustParse(R"(
+    a = bagOf(1, 2, 3);
+    b = a.map(addInt64(1)).filter(gtInt64(0)).distinct();
+    write(b, "o0");
+  )");
+  auto keeps_failing = [](const lang::Program& p) {
+    return SourceContains(p, "write(b, \"o0\");");
+  };
+  ShrinkResult result = Shrink(program, keeps_failing);
+  const std::string source = lang::ToSource(result.program);
+  EXPECT_FALSE(SourceContains(result.program, "map")) << source;
+  EXPECT_FALSE(SourceContains(result.program, "filter")) << source;
+  EXPECT_FALSE(SourceContains(result.program, "distinct")) << source;
+}
+
+TEST(ShrinkTest, RespectsEvalBudget) {
+  GeneratorOptions gen_options;
+  gen_options.seed = 5;
+  GeneratedCase generated = GenerateCase(gen_options);
+  int calls = 0;
+  auto count_calls = [&](const lang::Program&) {
+    ++calls;
+    return true;  // everything "fails", so shrinking runs to the floor
+  };
+  ShrinkOptions options;
+  options.max_evals = 25;
+  ShrinkResult result = Shrink(generated.program, count_calls, options);
+  EXPECT_LE(result.evals, 25);
+  EXPECT_EQ(result.evals, calls);
+}
+
+TEST(ShrinkTest, InvalidCandidatesAreRejectedByTheHarness) {
+  // Predicate = a real differential run with a tampered matrix (the
+  // "mutation test" for the minimizer): candidates that delete the
+  // statement defining `a` fail to compile on every engine including the
+  // reference -> kInfraError -> predicate false -> rejected. The minimum
+  // keeps exactly the defining chain of the tampered file.
+  lang::Program program = MustParse(R"(
+    a = bagOf(4, 5);
+    dead = a.map(mulInt64(3));
+    write(dead, "n");
+    write(a.map(addInt64(2)), "o0");
+  )");
+  DiffOptions diff_options;
+  diff_options.variants = FilterMatrix(DefaultMatrix(), "flink");
+  diff_options.tamper = [](const std::string&, sim::SimFileSystem* fs) {
+    if (auto data = fs->Read("o0"); data.ok()) {
+      DatumVector corrupted = *data;
+      corrupted.push_back(Datum::Int64(1234));
+      fs->Write("o0", corrupted);
+    }
+  };
+  auto still_fails = [&](const lang::Program& candidate) {
+    return RunDifferential(candidate, diff_options).verdict ==
+           Verdict::kMismatch;
+  };
+  ASSERT_TRUE(still_fails(program));
+  ShrinkResult result = Shrink(program, still_fails);
+  const std::string source = lang::ToSource(result.program);
+  // The dead chain is gone; the tampered write and its input survive.
+  EXPECT_EQ(CountStmts(result.program), 2) << source;
+  EXPECT_TRUE(SourceContains(result.program, "\"o0\"")) << source;
+  EXPECT_FALSE(SourceContains(result.program, "mulInt64")) << source;
+  EXPECT_TRUE(still_fails(result.program));
+}
+
+}  // namespace
+}  // namespace mitos::testing

@@ -67,6 +67,18 @@
 //                       "crash=M@T[+R]; drop=P[@SEED]; slow=MxF; ckpt=K"
 //                       e.g. --faults="crash=1@2.5+0.5" crashes machine 1 at
 //                       t=2.5s and restarts it 0.5s later (see sim/fault.h)
+//   --check-against=<engine>  after the main run, run the program a second
+//                       time on the named engine from the pristine inputs
+//                       and require both runs to produce the same output
+//                       files with the same elements (multiset equality).
+//                       `--check-against=reference` turns any script into a
+//                       correctness assertion.
+//
+// Exit codes (also documented in README.md):
+//   0  run succeeded (and --check-against, if given, agreed)
+//   1  engine-result mismatch: the --check-against run diverged
+//   2  infrastructure error: bad flags, unreadable script, parse/compile/
+//      run error — anything that is not an engine-vs-engine divergence
 //
 // Logging: MITOS_LOG_LEVEL=info|warning|error and MITOS_VLOG=N environment
 // variables control diagnostic output on stderr (see src/common/logging.h).
@@ -109,9 +121,31 @@ bool ParseInts(const std::string& value, std::vector<int64_t>* out) {
   return !out->empty();
 }
 
+// Infrastructure failure (exit 2): flags, files, parse, compile, or run —
+// distinct from exit 1, which is reserved for an engine-result mismatch
+// found by --check-against.
 int Fail(const std::string& message) {
   std::fprintf(stderr, "mitos_run: %s\n", message.c_str());
+  return 2;
+}
+
+int FailMismatch(const std::string& message) {
+  std::fprintf(stderr, "mitos_run: engine mismatch: %s\n", message.c_str());
   return 1;
+}
+
+bool ParseEngineName(const std::string& name, api::EngineKind* out) {
+  if (name == "reference") *out = api::EngineKind::kReference;
+  else if (name == "mitos") *out = api::EngineKind::kMitos;
+  else if (name == "mitos-nopipe") *out = api::EngineKind::kMitosNoPipelining;
+  else if (name == "mitos-nohoist") *out = api::EngineKind::kMitosNoHoisting;
+  else if (name == "flink") *out = api::EngineKind::kFlink;
+  else if (name == "flink-jobs") *out = api::EngineKind::kFlinkSeparateJobs;
+  else if (name == "spark") *out = api::EngineKind::kSpark;
+  else if (name == "naiad") *out = api::EngineKind::kNaiad;
+  else if (name == "tensorflow") *out = api::EngineKind::kTensorFlow;
+  else return false;
+  return true;
 }
 
 bool WriteTextFile(const std::string& path, const std::string& contents) {
@@ -134,6 +168,7 @@ int main(int argc, char** argv) {
   std::string trace_out, metrics_out, report_out, drift_out, faults_spec;
   std::string metrics_format = "json";
   std::string event_log_out;
+  std::string check_against;
   double snapshot_every = 0;
   bool progress = false;
   std::string watchdog_flag = "auto";  // on with --event-log by default
@@ -244,6 +279,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--faults=", 0) == 0) {
       faults_spec = value_of("--faults=");
       have_faults = true;
+    } else if (arg.rfind("--check-against=", 0) == 0) {
+      check_against = value_of("--check-against=");
+      if (check_against.empty()) {
+        return Fail("--check-against expects an engine name");
+      }
     } else if (arg.rfind("--", 0) == 0) {
       return Fail("unknown flag: " + arg);
     } else {
@@ -279,20 +319,14 @@ int main(int argc, char** argv) {
   }
 
   api::EngineKind engine;
-  if (engine_name == "reference") engine = api::EngineKind::kReference;
-  else if (engine_name == "mitos") engine = api::EngineKind::kMitos;
-  else if (engine_name == "mitos-nopipe")
-    engine = api::EngineKind::kMitosNoPipelining;
-  else if (engine_name == "mitos-nohoist")
-    engine = api::EngineKind::kMitosNoHoisting;
-  else if (engine_name == "flink") engine = api::EngineKind::kFlink;
-  else if (engine_name == "flink-jobs")
-    engine = api::EngineKind::kFlinkSeparateJobs;
-  else if (engine_name == "spark") engine = api::EngineKind::kSpark;
-  else if (engine_name == "naiad") engine = api::EngineKind::kNaiad;
-  else if (engine_name == "tensorflow")
-    engine = api::EngineKind::kTensorFlow;
-  else return Fail("unknown engine: " + engine_name);
+  if (!ParseEngineName(engine_name, &engine)) {
+    return Fail("unknown engine: " + engine_name);
+  }
+  api::EngineKind check_engine = api::EngineKind::kReference;
+  if (!check_against.empty() &&
+      !ParseEngineName(check_against, &check_engine)) {
+    return Fail("unknown --check-against engine: " + check_against);
+  }
 
   obs::TraceRecorder trace;
   obs::MetricsRegistry metrics;
@@ -379,10 +413,10 @@ int main(int argc, char** argv) {
     config.faults = &fault_plan;
   }
 
-  // The drift comparison re-runs the program once per backend, each from
-  // the pristine inputs (the main run appends its outputs to `fs`).
+  // Drift comparison and --check-against both re-run the program from the
+  // pristine inputs (the main run appends its outputs to `fs`).
   sim::SimFileSystem pristine_fs;
-  if (want_drift) pristine_fs = fs;
+  if (want_drift || !check_against.empty()) pristine_fs = fs;
 
   api::Engine engine_handle(engine, config);
   auto result = engine_handle.Run(*program, &fs);
@@ -501,6 +535,51 @@ int main(int argc, char** argv) {
       }
       std::printf("drift:    %s\n", drift_out.c_str());
     }
+  }
+  if (!check_against.empty()) {
+    // Second run on the check engine, from pristine inputs, fault-free and
+    // on the DES (the check engine need not support the main run's backend
+    // or fault plan); outputs must match as multisets per file.
+    sim::SimFileSystem check_fs = pristine_fs;
+    api::RunConfig check_config{.machines = machines};
+    check_config.step_templates = step_templates;
+    auto check_run = api::Run(check_engine, *program, &check_fs, check_config);
+    if (!check_run.ok()) {
+      return Fail("--check-against run error: " +
+                  check_run.status().ToString());
+    }
+    auto outputs_of = [&](const sim::SimFileSystem& side) {
+      std::vector<std::string> names;
+      for (const std::string& name : side.ListFiles()) {
+        if (std::find(input_files.begin(), input_files.end(), name) ==
+            input_files.end()) {
+          names.push_back(name);
+        }
+      }
+      return names;
+    };
+    const std::vector<std::string> main_outputs = outputs_of(fs);
+    const std::vector<std::string> check_outputs = outputs_of(check_fs);
+    if (main_outputs != check_outputs) {
+      return FailMismatch(engine_name + " and " + check_against +
+                          " produced different output file sets");
+    }
+    for (const std::string& name : main_outputs) {
+      DatumVector got = *fs.Read(name);
+      DatumVector want = *check_fs.Read(name);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      if (got != want) {
+        return FailMismatch(
+            name + ": " + engine_name + " wrote " +
+            std::to_string(got.size()) + " element(s) " +
+            mitos::ToString(got, 6) + ", " + check_against + " wrote " +
+            std::to_string(want.size()) + " " + mitos::ToString(want, 6));
+      }
+    }
+    std::printf("check:    %s agrees with %s (%zu output file(s))\n",
+                engine_name.c_str(), check_against.c_str(),
+                main_outputs.size());
   }
   if (!explain_format.empty()) {
     // After the run, so Explain() back-fills measured operator costs.
