@@ -101,6 +101,10 @@ inline api::RunConfig MakeConfig(int machines, double element_scale) {
   api::RunConfig config;
   config.machines = machines;
   config.cluster.cpu_per_element *= element_scale;
+  // Chunk payload cost scales with the modelled element size (each
+  // simulated byte stands for element_scale real bytes); the per-chunk
+  // dispatch charge is bookkeeping and does not.
+  config.cluster.cpu_per_byte *= element_scale;
   config.cluster.net_bandwidth /= element_scale;
   config.cluster.disk_bandwidth /= element_scale;
   config.cluster.memory_bandwidth /= element_scale;

@@ -46,6 +46,7 @@ runtime::ExecutorOptions MitosOptions(EngineKind engine,
   options.max_path_len = config.max_path_len;
   options.operator_fusion = config.mitos_operator_fusion;
   options.step_templates = config.step_templates;
+  options.columnar = config.columnar;
   options.trace = config.trace;
   options.metrics = config.metrics;
   options.live = config.live;

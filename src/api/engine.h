@@ -92,6 +92,11 @@ struct RunConfig {
   // lowers per-step overhead); `mitos_run --step-templates=off` or this
   // flag disable it for ablations.
   bool step_templates = true;
+  // Columnar chunk plane for the Mitos engines (common/chunk.h). Off keeps
+  // every chunk a boxed DatumVector end to end — the pre-batching data
+  // plane, used as the ablation / wall-clock-speedup baseline
+  // (`mitos_run --columnar=off`). Results are element-identical either way.
+  bool columnar = true;
   int max_path_len = 1'000'000;
 
   // Observability (src/obs/). Both optional and caller-owned: attach a

@@ -1,0 +1,219 @@
+#include "common/chunk.h"
+
+#include <sstream>
+
+namespace mitos {
+
+namespace {
+
+bool IsInt64Pair(const Datum& d) {
+  return d.is_tuple() && d.size() == 2 && d.field(0).is_int64() &&
+         d.field(1).is_int64();
+}
+
+}  // namespace
+
+Chunk Chunk::OfDatums(DatumVector data, bool columnarize) {
+  if (columnarize && !data.empty()) {
+    // Single-pass homogeneity scan; the first mismatch aborts to fallback.
+    const Datum::Kind k0 = data[0].kind();
+    if (k0 == Datum::Kind::kInt64) {
+      bool homogeneous = true;
+      for (const Datum& d : data) {
+        if (!d.is_int64()) {
+          homogeneous = false;
+          break;
+        }
+      }
+      if (homogeneous) {
+        std::vector<int64_t> col;
+        col.reserve(data.size());
+        for (const Datum& d : data) col.push_back(d.int64());
+        return OfInt64(std::move(col));
+      }
+    } else if (k0 == Datum::Kind::kDouble) {
+      bool homogeneous = true;
+      for (const Datum& d : data) {
+        if (!d.is_double()) {
+          homogeneous = false;
+          break;
+        }
+      }
+      if (homogeneous) {
+        std::vector<double> col;
+        col.reserve(data.size());
+        for (const Datum& d : data) col.push_back(d.dbl());
+        return OfDouble(std::move(col));
+      }
+    } else if (IsInt64Pair(data[0])) {
+      bool homogeneous = true;
+      for (const Datum& d : data) {
+        if (!IsInt64Pair(d)) {
+          homogeneous = false;
+          break;
+        }
+      }
+      if (homogeneous) {
+        std::vector<int64_t> keys;
+        std::vector<int64_t> vals;
+        keys.reserve(data.size());
+        vals.reserve(data.size());
+        for (const Datum& d : data) {
+          keys.push_back(d.field(0).int64());
+          vals.push_back(d.field(1).int64());
+        }
+        return OfInt64Pairs(std::move(keys), std::move(vals));
+      }
+    }
+  }
+  auto storage = std::make_shared<Storage>();
+  storage->rep = Rep::kDatums;
+  storage->datums = std::move(data);
+  size_t n = storage->datums.size();
+  return Chunk(std::move(storage), 0, n);
+}
+
+Chunk Chunk::OfInt64(std::vector<int64_t> values) {
+  auto storage = std::make_shared<Storage>();
+  storage->rep = Rep::kInt64;
+  storage->i64 = std::move(values);
+  size_t n = storage->i64.size();
+  return Chunk(std::move(storage), 0, n);
+}
+
+Chunk Chunk::OfDouble(std::vector<double> values) {
+  auto storage = std::make_shared<Storage>();
+  storage->rep = Rep::kDouble;
+  storage->f64 = std::move(values);
+  size_t n = storage->f64.size();
+  return Chunk(std::move(storage), 0, n);
+}
+
+Chunk Chunk::OfInt64Pairs(std::vector<int64_t> keys,
+                          std::vector<int64_t> values) {
+  MITOS_CHECK_EQ(keys.size(), values.size());
+  auto storage = std::make_shared<Storage>();
+  storage->rep = Rep::kInt64Pair;
+  storage->i64 = std::move(keys);
+  storage->i64b = std::move(values);
+  size_t n = storage->i64.size();
+  return Chunk(std::move(storage), 0, n);
+}
+
+Chunk Chunk::Slice(size_t begin, size_t len) const {
+  MITOS_CHECK_LE(begin + len, size_);
+  if (len == 0) return Chunk();
+  return Chunk(storage_, offset_ + begin, len);
+}
+
+Datum Chunk::At(size_t i) const {
+  MITOS_CHECK_LT(i, size_);
+  switch (rep()) {
+    case Rep::kInt64:
+      return Datum::Int64(storage_->i64[offset_ + i]);
+    case Rep::kDouble:
+      return Datum::Double(storage_->f64[offset_ + i]);
+    case Rep::kInt64Pair:
+      return Datum::Pair(Datum::Int64(storage_->i64[offset_ + i]),
+                         Datum::Int64(storage_->i64b[offset_ + i]));
+    case Rep::kDatums:
+      return storage_->datums[offset_ + i];
+  }
+  return Datum();
+}
+
+DatumVector Chunk::ToDatums() const {
+  DatumVector out;
+  AppendTo(&out);
+  return out;
+}
+
+void Chunk::AppendTo(DatumVector* out) const {
+  out->reserve(out->size() + size_);
+  switch (rep()) {
+    case Rep::kInt64:
+      for (size_t i = 0; i < size_; ++i) {
+        out->push_back(Datum::Int64(storage_->i64[offset_ + i]));
+      }
+      break;
+    case Rep::kDouble:
+      for (size_t i = 0; i < size_; ++i) {
+        out->push_back(Datum::Double(storage_->f64[offset_ + i]));
+      }
+      break;
+    case Rep::kInt64Pair:
+      for (size_t i = 0; i < size_; ++i) {
+        out->push_back(Datum::Pair(Datum::Int64(storage_->i64[offset_ + i]),
+                                   Datum::Int64(storage_->i64b[offset_ + i])));
+      }
+      break;
+    case Rep::kDatums:
+      out->insert(out->end(), storage_->datums.begin() + offset_,
+                  storage_->datums.begin() + offset_ + size_);
+      break;
+  }
+}
+
+size_t Chunk::SerializedSize() const {
+  switch (rep()) {
+    case Rep::kInt64:
+    case Rep::kDouble:
+      return 8 * size_;
+    case Rep::kInt64Pair:
+      // Tuple encoding: 4-byte field-count header + two 8-byte fields.
+      return (4 + 8 + 8) * size_;
+    case Rep::kDatums: {
+      size_t total = 0;
+      for (size_t i = 0; i < size_; ++i) {
+        total += storage_->datums[offset_ + i].SerializedSize();
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+size_t Chunk::HashAt(size_t i) const {
+  MITOS_CHECK_LT(i, size_);
+  switch (rep()) {
+    case Rep::kInt64:
+      return HashInt64(storage_->i64[offset_ + i]);
+    case Rep::kDouble:
+      return At(i).Hash();
+    case Rep::kInt64Pair:
+      return HashInt64Pair(storage_->i64[offset_ + i],
+                           storage_->i64b[offset_ + i]);
+    case Rep::kDatums:
+      return storage_->datums[offset_ + i].Hash();
+  }
+  return 0;
+}
+
+size_t Chunk::HashField0At(size_t i) const {
+  MITOS_CHECK_LT(i, size_);
+  switch (rep()) {
+    case Rep::kInt64Pair:
+      return HashInt64(storage_->i64[offset_ + i]);
+    case Rep::kDatums:
+      return storage_->datums[offset_ + i].field(0).Hash();
+    default:
+      return At(i).field(0).Hash();
+  }
+}
+
+std::string Chunk::ToString(size_t limit) const {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < size_; ++i) {
+    if (i > 0) out << ", ";
+    if (i >= limit) {
+      out << "... (" << size_ << " total)";
+      break;
+    }
+    out << At(i).ToString();
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace mitos

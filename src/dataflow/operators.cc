@@ -7,6 +7,22 @@
 
 namespace mitos::dataflow {
 
+namespace {
+
+// Generic per-element iteration over any chunk representation. Boxed chunks
+// iterate in place; columnar chunks box one element at a time.
+template <typename Fn>
+void ForEachDatum(const Chunk& chunk, Fn&& fn) {
+  if (chunk.rep() == Chunk::Rep::kDatums) {
+    const Datum* data = chunk.datums();
+    for (size_t i = 0; i < chunk.size(); ++i) fn(data[i]);
+  } else {
+    for (size_t i = 0; i < chunk.size(); ++i) fn(chunk.At(i));
+  }
+}
+
+}  // namespace
+
 void BagOperator::Close(int input, const EmitFn& emit) {
   (void)input;
   (void)emit;
@@ -24,37 +40,143 @@ void BagOperator::SetReuseInput(int input, bool reuse) {
 
 int BagOperator::BlockingInput() const { return -1; }
 
-void MapOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+void MapOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   MITOS_CHECK_EQ(input, 0);
+  const size_t n = chunk.size();
+  if (columnar()) {
+    switch (chunk.rep()) {
+      case Chunk::Rep::kInt64:
+        if (fn_.i64) {
+          const int64_t* in = chunk.i64();
+          std::vector<int64_t> out;
+          out.reserve(n);
+          for (size_t i = 0; i < n; ++i) out.push_back(fn_.i64(in[i]));
+          if (n > 0) emit(Chunk::OfInt64(std::move(out)));
+          return;
+        }
+        if (fn_.i64_to_pair) {
+          const int64_t* in = chunk.i64();
+          std::vector<int64_t> keys;
+          std::vector<int64_t> vals;
+          keys.reserve(n);
+          vals.reserve(n);
+          for (size_t i = 0; i < n; ++i) {
+            lang::Int64Pair p = fn_.i64_to_pair(in[i]);
+            keys.push_back(p.first);
+            vals.push_back(p.second);
+          }
+          if (n > 0) emit(Chunk::OfInt64Pairs(std::move(keys), std::move(vals)));
+          return;
+        }
+        break;
+      case Chunk::Rep::kDouble:
+        if (fn_.f64) {
+          const double* in = chunk.f64();
+          std::vector<double> out;
+          out.reserve(n);
+          for (size_t i = 0; i < n; ++i) out.push_back(fn_.f64(in[i]));
+          if (n > 0) emit(Chunk::OfDouble(std::move(out)));
+          return;
+        }
+        break;
+      case Chunk::Rep::kInt64Pair:
+        if (fn_.pair_to_i64) {
+          const int64_t* keys = chunk.keys();
+          const int64_t* vals = chunk.vals();
+          std::vector<int64_t> out;
+          out.reserve(n);
+          for (size_t i = 0; i < n; ++i) {
+            out.push_back(fn_.pair_to_i64(keys[i], vals[i]));
+          }
+          if (n > 0) emit(Chunk::OfInt64(std::move(out)));
+          return;
+        }
+        if (fn_.pair_to_pair) {
+          const int64_t* keys = chunk.keys();
+          const int64_t* vals = chunk.vals();
+          std::vector<int64_t> out_keys;
+          std::vector<int64_t> out_vals;
+          out_keys.reserve(n);
+          out_vals.reserve(n);
+          for (size_t i = 0; i < n; ++i) {
+            lang::Int64Pair p = fn_.pair_to_pair(keys[i], vals[i]);
+            out_keys.push_back(p.first);
+            out_vals.push_back(p.second);
+          }
+          if (n > 0) {
+            emit(Chunk::OfInt64Pairs(std::move(out_keys), std::move(out_vals)));
+          }
+          return;
+        }
+        break;
+      case Chunk::Rep::kDatums:
+        break;
+    }
+  }
   DatumVector out;
-  out.reserve(chunk.size());
-  for (const Datum& x : chunk) out.push_back(fn_(x));
-  if (!out.empty()) emit(std::move(out));
+  out.reserve(n);
+  ForEachDatum(chunk, [&](const Datum& x) { out.push_back(fn_(x)); });
+  EmitDatums(std::move(out), emit);
 }
 
 void MapOp::Finish(const EmitFn& emit) { (void)emit; }
 
-void FilterOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+void FilterOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   MITOS_CHECK_EQ(input, 0);
-  DatumVector out;
-  for (const Datum& x : chunk) {
-    if (fn_(x)) out.push_back(x);
+  const size_t n = chunk.size();
+  if (columnar()) {
+    if (chunk.rep() == Chunk::Rep::kInt64 && fn_.i64) {
+      const int64_t* in = chunk.i64();
+      std::vector<int64_t> out;
+      for (size_t i = 0; i < n; ++i) {
+        if (fn_.i64(in[i])) out.push_back(in[i]);
+      }
+      if (!out.empty()) emit(Chunk::OfInt64(std::move(out)));
+      return;
+    }
+    if (chunk.rep() == Chunk::Rep::kInt64Pair && fn_.pair) {
+      const int64_t* keys = chunk.keys();
+      const int64_t* vals = chunk.vals();
+      std::vector<int64_t> out_keys;
+      std::vector<int64_t> out_vals;
+      for (size_t i = 0; i < n; ++i) {
+        if (fn_.pair(keys[i], vals[i])) {
+          out_keys.push_back(keys[i]);
+          out_vals.push_back(vals[i]);
+        }
+      }
+      if (!out_keys.empty()) {
+        emit(Chunk::OfInt64Pairs(std::move(out_keys), std::move(out_vals)));
+      }
+      return;
+    }
   }
-  if (!out.empty()) emit(std::move(out));
+  DatumVector out;
+  ForEachDatum(chunk, [&](const Datum& x) {
+    if (fn_(x)) out.push_back(x);
+  });
+  EmitDatums(std::move(out), emit);
 }
 
 void FilterOp::Finish(const EmitFn& emit) { (void)emit; }
 
-void FlatMapOp::Push(int input, const DatumVector& chunk,
-                     const EmitFn& emit) {
+void FlatMapOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   MITOS_CHECK_EQ(input, 0);
+  if (columnar() && chunk.rep() == Chunk::Rep::kInt64 && fn_.i64) {
+    const int64_t* in = chunk.i64();
+    std::vector<int64_t> out;
+    out.reserve(chunk.size());
+    for (size_t i = 0; i < chunk.size(); ++i) fn_.i64(in[i], &out);
+    if (!out.empty()) emit(Chunk::OfInt64(std::move(out)));
+    return;
+  }
   DatumVector out;
-  for (const Datum& x : chunk) {
+  ForEachDatum(chunk, [&](const Datum& x) {
     DatumVector pieces = fn_(x);
     out.insert(out.end(), std::make_move_iterator(pieces.begin()),
                std::make_move_iterator(pieces.end()));
-  }
-  if (!out.empty()) emit(std::move(out));
+  });
+  EmitDatums(std::move(out), emit);
 }
 
 void FlatMapOp::Finish(const EmitFn& emit) { (void)emit; }
@@ -62,13 +184,47 @@ void FlatMapOp::Finish(const EmitFn& emit) { (void)emit; }
 void ReduceByKeyOp::Open() {
   key_order_.clear();
   values_.clear();
+  key_order64_.clear();
+  values64_.clear();
+  typed_ = columnar() && static_cast<bool>(combine_.i64);
 }
 
-void ReduceByKeyOp::Push(int input, const DatumVector& chunk,
-                         const EmitFn& emit) {
+void ReduceByKeyOp::DegradeToGeneric() {
+  // Replay the typed state into the boxed state, preserving first-seen key
+  // order. int64 equality and ordering agree across the two domains, so
+  // this is a pure representation change.
+  for (int64_t key : key_order64_) {
+    Datum k = Datum::Int64(key);
+    DatumVector& out = values_[k];
+    for (int64_t v : values64_.at(key)) out.push_back(Datum::Int64(v));
+    key_order_.push_back(std::move(k));
+  }
+  key_order64_.clear();
+  values64_.clear();
+  typed_ = false;
+}
+
+void ReduceByKeyOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   MITOS_CHECK_EQ(input, 0);
   (void)emit;
-  for (const Datum& element : chunk) {
+  if (typed_) {
+    if (chunk.rep() == Chunk::Rep::kInt64Pair) {
+      const int64_t* keys = chunk.keys();
+      const int64_t* vals = chunk.vals();
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        auto it = values64_.find(keys[i]);
+        if (it == values64_.end()) {
+          values64_[keys[i]].push_back(vals[i]);
+          key_order64_.push_back(keys[i]);
+        } else {
+          it->second.push_back(vals[i]);
+        }
+      }
+      return;
+    }
+    DegradeToGeneric();
+  }
+  ForEachDatum(chunk, [&](const Datum& element) {
     MITOS_CHECK(element.is_tuple() && element.size() >= 2)
         << "reduceByKey input is not a (key, value) pair: "
         << element.ToString();
@@ -80,10 +236,29 @@ void ReduceByKeyOp::Push(int input, const DatumVector& chunk,
     } else {
       it->second.push_back(element.field(1));
     }
-  }
+  });
 }
 
 void ReduceByKeyOp::Finish(const EmitFn& emit) {
+  if (typed_) {
+    if (key_order64_.empty()) return;
+    std::vector<int64_t> out_keys;
+    std::vector<int64_t> out_vals;
+    out_keys.reserve(key_order64_.size());
+    out_vals.reserve(key_order64_.size());
+    for (int64_t key : key_order64_) {
+      // Canonical fold order (see class comment): sort buffered values so
+      // chunk arrival order cannot change the result.
+      std::vector<int64_t>& vals = values64_.at(key);
+      std::sort(vals.begin(), vals.end());
+      int64_t acc = vals.front();
+      for (size_t i = 1; i < vals.size(); ++i) acc = combine_.i64(acc, vals[i]);
+      out_keys.push_back(key);
+      out_vals.push_back(acc);
+    }
+    emit(Chunk::OfInt64Pairs(std::move(out_keys), std::move(out_vals)));
+    return;
+  }
   if (key_order_.empty()) return;
   DatumVector out;
   out.reserve(key_order_.size());
@@ -98,32 +273,67 @@ void ReduceByKeyOp::Finish(const EmitFn& emit) {
     for (size_t i = 1; i < vals.size(); ++i) acc = combine_(acc, vals[i]);
     out.push_back(Datum::Pair(key, std::move(acc)));
   }
-  emit(std::move(out));
+  EmitDatums(std::move(out), emit);
 }
 
-void ReduceOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+void ReduceOp::Open() {
+  values_.clear();
+  values64_.clear();
+  typed_ = columnar() && static_cast<bool>(combine_.i64);
+}
+
+void ReduceOp::DegradeToGeneric() {
+  for (int64_t v : values64_) values_.push_back(Datum::Int64(v));
+  values64_.clear();
+  typed_ = false;
+}
+
+void ReduceOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   MITOS_CHECK_EQ(input, 0);
   (void)emit;
-  values_.insert(values_.end(), chunk.begin(), chunk.end());
+  if (typed_) {
+    if (chunk.rep() == Chunk::Rep::kInt64) {
+      const int64_t* in = chunk.i64();
+      values64_.insert(values64_.end(), in, in + chunk.size());
+      return;
+    }
+    DegradeToGeneric();
+  }
+  ForEachDatum(chunk, [&](const Datum& x) { values_.push_back(x); });
 }
 
 void ReduceOp::Finish(const EmitFn& emit) {
+  if (typed_) {
+    if (values64_.empty()) return;
+    // Canonical fold order; int64 sort order matches Datum sort order.
+    std::sort(values64_.begin(), values64_.end());
+    int64_t acc = values64_.front();
+    for (size_t i = 1; i < values64_.size(); ++i) {
+      acc = combine_.i64(acc, values64_[i]);
+    }
+    emit(Chunk::OfInt64({acc}));
+    return;
+  }
   if (values_.empty()) return;
   // Canonical fold order (see ReduceByKeyOp::Finish).
   std::sort(values_.begin(), values_.end());
   Datum acc = values_.front();
   for (size_t i = 1; i < values_.size(); ++i) acc = combine_(acc, values_[i]);
-  emit(DatumVector{std::move(acc)});
+  EmitDatums(DatumVector{std::move(acc)}, emit);
 }
 
-void CountOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+void CountOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   MITOS_CHECK_EQ(input, 0);
   (void)emit;
   count_ += static_cast<int64_t>(chunk.size());
 }
 
 void CountOp::Finish(const EmitFn& emit) {
-  emit(DatumVector{Datum::Int64(count_)});
+  if (columnar()) {
+    emit(Chunk::OfInt64({count_}));
+  } else {
+    emit(Chunk::OfDatums(DatumVector{Datum::Int64(count_)}, false));
+  }
 }
 
 void JoinOp::Open() {
@@ -135,44 +345,66 @@ void JoinOp::SetReuseInput(int input, bool reuse) {
   reuse_build_ = reuse;
 }
 
-void JoinOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+void JoinOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   if (input == 0) {
-    for (const Datum& element : chunk) {
+    ForEachDatum(chunk, [&](const Datum& element) {
       MITOS_CHECK(element.is_tuple() && element.size() >= 2)
           << "join build input is not a (key, value) pair";
       table_[element.field(0)].push_back(element.field(1));
-    }
+    });
     return;
   }
   MITOS_CHECK_EQ(input, 1);
   DatumVector out;
-  for (const Datum& element : chunk) {
+  ForEachDatum(chunk, [&](const Datum& element) {
     MITOS_CHECK(element.is_tuple() && element.size() >= 2)
         << "join probe input is not a (key, value) pair";
     auto it = table_.find(element.field(0));
-    if (it == table_.end()) continue;
+    if (it == table_.end()) return;
     for (const Datum& build_value : it->second) {
       out.push_back(
           Datum::Tuple({element.field(0), build_value, element.field(1)}));
     }
-  }
-  if (!out.empty()) emit(std::move(out));
+  });
+  EmitDatums(std::move(out), emit);
 }
 
-void UnionOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+void UnionOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   MITOS_CHECK(input == 0 || input == 1);
-  DatumVector out = chunk;
-  emit(std::move(out));
+  emit(Chunk(chunk));  // shared handle: forwarding is a pointer copy
 }
 
-void DistinctOp::Push(int input, const DatumVector& chunk,
-                      const EmitFn& emit) {
+void DistinctOp::Open() {
+  seen_.clear();
+  seen64_.clear();
+  typed_ = columnar();
+}
+
+void DistinctOp::DegradeToGeneric() {
+  for (int64_t v : seen64_) seen_.emplace(Datum::Int64(v), true);
+  seen64_.clear();
+  typed_ = false;
+}
+
+void DistinctOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   MITOS_CHECK_EQ(input, 0);
-  DatumVector out;
-  for (const Datum& x : chunk) {
-    if (seen_.emplace(x, true).second) out.push_back(x);
+  if (typed_) {
+    if (chunk.rep() == Chunk::Rep::kInt64) {
+      const int64_t* in = chunk.i64();
+      std::vector<int64_t> out;
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        if (seen64_.insert(in[i]).second) out.push_back(in[i]);
+      }
+      if (!out.empty()) emit(Chunk::OfInt64(std::move(out)));
+      return;
+    }
+    DegradeToGeneric();
   }
-  if (!out.empty()) emit(std::move(out));
+  DatumVector out;
+  ForEachDatum(chunk, [&](const Datum& x) {
+    if (seen_.emplace(x, true).second) out.push_back(x);
+  });
+  EmitDatums(std::move(out), emit);
 }
 
 void Combine2Op::Open() {
@@ -180,10 +412,9 @@ void Combine2Op::Open() {
   b_.reset();
 }
 
-void Combine2Op::Push(int input, const DatumVector& chunk,
-                      const EmitFn& emit) {
+void Combine2Op::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   (void)emit;
-  for (const Datum& x : chunk) {
+  ForEachDatum(chunk, [&](const Datum& x) {
     if (input == 0) {
       MITOS_CHECK(!a_.has_value()) << "combine2 input 0 has >1 element";
       a_ = x;
@@ -192,53 +423,66 @@ void Combine2Op::Push(int input, const DatumVector& chunk,
       MITOS_CHECK(!b_.has_value()) << "combine2 input 1 has >1 element";
       b_ = x;
     }
-  }
+  });
 }
 
 void Combine2Op::Finish(const EmitFn& emit) {
   if (a_.has_value() && b_.has_value()) {
-    emit(DatumVector{fn_(*a_, *b_)});
+    EmitDatums(DatumVector{fn_(*a_, *b_)}, emit);
   }
 }
 
-void PhiOp::Push(int input, const DatumVector& chunk, const EmitFn& emit) {
+void PhiOp::Push(int input, const Chunk& chunk, const EmitFn& emit) {
   (void)input;  // the host feeds only the selected input
-  DatumVector out = chunk;
-  emit(std::move(out));
+  emit(Chunk(chunk));  // shared handle: forwarding is a pointer copy
 }
 
-std::unique_ptr<BagOperator> MakeOperator(const LogicalNode& node) {
+std::unique_ptr<BagOperator> MakeOperator(const LogicalNode& node,
+                                          bool columnar) {
+  std::unique_ptr<BagOperator> op;
   switch (node.kind) {
     case NodeKind::kMap:
-      return std::make_unique<MapOp>(node.unary);
+      op = std::make_unique<MapOp>(node.unary);
+      break;
     case NodeKind::kFilter:
-      return std::make_unique<FilterOp>(node.pred);
+      op = std::make_unique<FilterOp>(node.pred);
+      break;
     case NodeKind::kFlatMap:
-      return std::make_unique<FlatMapOp>(node.flat);
+      op = std::make_unique<FlatMapOp>(node.flat);
+      break;
     case NodeKind::kReduceByKey:
-      return std::make_unique<ReduceByKeyOp>(node.binary);
+      op = std::make_unique<ReduceByKeyOp>(node.binary);
+      break;
     case NodeKind::kLocalReduce:
     case NodeKind::kFinalReduce:
-      return std::make_unique<ReduceOp>(node.binary);
+      op = std::make_unique<ReduceOp>(node.binary);
+      break;
     case NodeKind::kLocalCount:
-      return std::make_unique<CountOp>();
+      op = std::make_unique<CountOp>();
+      break;
     case NodeKind::kJoin:
-      return std::make_unique<JoinOp>();
+      op = std::make_unique<JoinOp>();
+      break;
     case NodeKind::kUnion:
-      return std::make_unique<UnionOp>();
+      op = std::make_unique<UnionOp>();
+      break;
     case NodeKind::kDistinct:
-      return std::make_unique<DistinctOp>();
+      op = std::make_unique<DistinctOp>();
+      break;
     case NodeKind::kCombine2:
-      return std::make_unique<Combine2Op>(node.binary);
+      op = std::make_unique<Combine2Op>(node.binary);
+      break;
     case NodeKind::kPhi:
-      return std::make_unique<PhiOp>();
+      op = std::make_unique<PhiOp>();
+      break;
     case NodeKind::kBagLit:
     case NodeKind::kReadFile:
     case NodeKind::kWriteFile:
     case NodeKind::kCondition:
       return nullptr;  // handled by the host
   }
-  return nullptr;
+  if (op != nullptr) op->set_columnar(columnar);
+  return op;
 }
 
 }  // namespace mitos::dataflow

@@ -12,6 +12,13 @@
 // hoisting possible (paper Sec. 5.3): a kernel that supports state reuse
 // (hash join build side) keeps its built state when the host tells it the
 // corresponding input bag is unchanged.
+//
+// Data moves in batched Chunks (common/chunk.h). When a chunk is columnar
+// and the user function carries a matching typed fast path
+// (lang/functions.h), the hot kernels (map/filter/flatMap/reduce/
+// reduceByKey/distinct) run tight loops over the raw columns; otherwise
+// they fall back to the generic boxed-Datum path. Both paths are
+// element-equivalent by construction and cross-checked by the fuzz harness.
 #ifndef MITOS_DATAFLOW_OPERATORS_H_
 #define MITOS_DATAFLOW_OPERATORS_H_
 
@@ -19,8 +26,10 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/chunk.h"
 #include "common/datum.h"
 #include "dataflow/graph.h"
 #include "lang/functions.h"
@@ -29,7 +38,7 @@ namespace mitos::dataflow {
 
 class BagOperator {
  public:
-  using EmitFn = std::function<void(DatumVector&&)>;
+  using EmitFn = std::function<void(Chunk&&)>;
 
   virtual ~BagOperator() = default;
 
@@ -38,8 +47,7 @@ class BagOperator {
   virtual void Open() = 0;
 
   // Feeds a chunk of the chosen input bag on logical input `input`.
-  virtual void Push(int input, const DatumVector& chunk,
-                    const EmitFn& emit) = 0;
+  virtual void Push(int input, const Chunk& chunk, const EmitFn& emit) = 0;
 
   // All data of logical input `input` has been fed for this bag.
   virtual void Close(int input, const EmitFn& emit);
@@ -58,12 +66,27 @@ class BagOperator {
   // Input that must be fully fed before any other input (join build side);
   // -1 if none.
   virtual int BlockingInput() const;
+
+  // Columnar-plane switch: when false (the ablation / pre-batching mode),
+  // kernels never take typed fast paths and emit boxed chunks only.
+  void set_columnar(bool on) { columnar_ = on; }
+
+ protected:
+  bool columnar() const { return columnar_; }
+  // Emits `out` re-columnarized iff the columnar plane is on.
+  void EmitDatums(DatumVector&& out, const EmitFn& emit) const {
+    if (!out.empty()) emit(Chunk::OfDatums(std::move(out), columnar_));
+  }
+
+ private:
+  bool columnar_ = true;
 };
 
-// Creates the kernel for `node`. Source/sink/condition kinds (bagLit,
-// readFile, writeFile, condition) are handled by the host itself and return
-// null here.
-std::unique_ptr<BagOperator> MakeOperator(const LogicalNode& node);
+// Creates the kernel for `node`, wired to the given columnar mode.
+// Source/sink/condition kinds (bagLit, readFile, writeFile, condition) are
+// handled by the host itself and return null here.
+std::unique_ptr<BagOperator> MakeOperator(const LogicalNode& node,
+                                          bool columnar = true);
 
 // ----- concrete kernels (exposed for unit tests) -----
 
@@ -71,7 +94,7 @@ class MapOp : public BagOperator {
  public:
   explicit MapOp(lang::UnaryFn fn) : fn_(std::move(fn)) {}
   void Open() override {}
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& emit) override;
 
  private:
@@ -82,7 +105,7 @@ class FilterOp : public BagOperator {
  public:
   explicit FilterOp(lang::PredicateFn fn) : fn_(std::move(fn)) {}
   void Open() override {}
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& emit) override;
 
  private:
@@ -93,7 +116,7 @@ class FlatMapOp : public BagOperator {
  public:
   explicit FlatMapOp(lang::FlatMapFn fn) : fn_(std::move(fn)) {}
   void Open() override {}
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& emit) override;
 
  private:
@@ -107,16 +130,27 @@ class FlatMapOp : public BagOperator {
 // collections, and a canonical fold order is what makes re-executed
 // (recovered) runs byte-identical even for non-associative-in-float
 // combiners.
+//
+// Fast path: while every pushed chunk is an (int64, int64) column and the
+// combiner has an i64 variant, keys and value lists stay in raw int64
+// state; the first incompatible chunk degrades the state to the generic
+// boxed form (int64 ordering and equality are identical in both domains,
+// so results cannot differ).
 class ReduceByKeyOp : public BagOperator {
  public:
   explicit ReduceByKeyOp(lang::BinaryFn combine)
       : combine_(std::move(combine)) {}
   void Open() override;
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& emit) override;
 
  private:
+  void DegradeToGeneric();
+
   lang::BinaryFn combine_;
+  bool typed_ = false;
+  std::vector<int64_t> key_order64_;
+  std::unordered_map<int64_t, std::vector<int64_t>> values64_;
   std::vector<Datum> key_order_;
   std::unordered_map<Datum, DatumVector, DatumHash, DatumEq> values_;
 };
@@ -124,16 +158,21 @@ class ReduceByKeyOp : public BagOperator {
 // Folds everything it sees; emits the (single) partial at Finish, or
 // nothing when the input was empty. Used for both the local pre-fold and
 // the final fold of a global reduce. Buffers and folds in sorted order at
-// Finish (canonical order; see ReduceByKeyOp).
+// Finish (canonical order; see ReduceByKeyOp). Same typed/degrade scheme
+// as ReduceByKeyOp, over plain int64 columns.
 class ReduceOp : public BagOperator {
  public:
   explicit ReduceOp(lang::BinaryFn combine) : combine_(std::move(combine)) {}
-  void Open() override { values_.clear(); }
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Open() override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& emit) override;
 
  private:
+  void DegradeToGeneric();
+
   lang::BinaryFn combine_;
+  bool typed_ = false;
+  std::vector<int64_t> values64_;
   DatumVector values_;
 };
 
@@ -141,7 +180,7 @@ class ReduceOp : public BagOperator {
 class CountOp : public BagOperator {
  public:
   void Open() override { count_ = 0; }
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& emit) override;
 
  private:
@@ -150,10 +189,12 @@ class CountOp : public BagOperator {
 
 // Hash join: input 0 builds, input 1 probes; emits (k, build_v, probe_v).
 // The build side supports loop-invariant state reuse (paper Sec. 5.3).
+// Output tuples are width-3 and never columnar, so the kernel stays on the
+// generic path.
 class JoinOp : public BagOperator {
  public:
   void Open() override;
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& /*emit*/) override {}
   bool CanReuseInput(int input) const override { return input == 0; }
   void SetReuseInput(int input, bool reuse) override;
@@ -164,23 +205,28 @@ class JoinOp : public BagOperator {
   std::unordered_map<Datum, DatumVector, DatumHash, DatumEq> table_;
 };
 
-// Multiset union: forwards both inputs.
+// Multiset union: forwards both inputs (shared handle, no copy).
 class UnionOp : public BagOperator {
  public:
   void Open() override {}
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& /*emit*/) override {}
 };
 
 // Per-partition duplicate elimination (inputs arrive hash-partitioned by
-// whole element, so global distinctness holds).
+// whole element, so global distinctness holds). int64 columns keep a raw
+// int64 seen-set; anything else degrades to the boxed set.
 class DistinctOp : public BagOperator {
  public:
-  void Open() override { seen_.clear(); }
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Open() override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& /*emit*/) override {}
 
  private:
+  void DegradeToGeneric();
+
+  bool typed_ = false;
+  std::unordered_set<int64_t> seen64_;
   std::unordered_map<Datum, bool, DatumHash, DatumEq> seen_;
 };
 
@@ -189,7 +235,7 @@ class Combine2Op : public BagOperator {
  public:
   explicit Combine2Op(lang::BinaryFn fn) : fn_(std::move(fn)) {}
   void Open() override;
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& emit) override;
 
  private:
@@ -202,7 +248,7 @@ class Combine2Op : public BagOperator {
 class PhiOp : public BagOperator {
  public:
   void Open() override {}
-  void Push(int input, const DatumVector& chunk, const EmitFn& emit) override;
+  void Push(int input, const Chunk& chunk, const EmitFn& emit) override;
   void Finish(const EmitFn& /*emit*/) override {}
 };
 

@@ -250,25 +250,23 @@ StatusOr<UnaryFn> ResolveUnary(const FnRef& ref) {
   }
   if (ref.name == "mulInt64") {
     MITOS_RETURN_IF_ERROR(need(1));
-    int64_t k = ref.args[0];
-    return UnaryFn{"mulInt64(" + std::to_string(k) + ")",
-                   [k](const Datum& x) { return Datum::Int64(x.int64() * k); }};
+    return fns::MulInt64(ref.args[0]);
   }
   if (ref.name == "sumJoin") {
     MITOS_RETURN_IF_ERROR(need(0));
-    // Join output (k, lv, rv) -> (k, lv + rv): projects a join back into a
-    // pair bag, so joined pipelines stay joinable/reducible.
-    return UnaryFn{"sumJoin", [](const Datum& t) {
-                     return Datum::Pair(t.field(0),
-                                        Datum::Int64(t.field(1).int64() +
-                                                     t.field(2).int64()));
-                   }};
+    return fns::SumJoin();
   }
   if (ref.name == "pairSwap") {
     MITOS_RETURN_IF_ERROR(need(0));
-    return UnaryFn{"pairSwap", [](const Datum& p) {
-                     return Datum::Pair(p.field(1), p.field(0));
-                   }};
+    return fns::PairSwap();
+  }
+  if (ref.name == "strLen") {
+    MITOS_RETURN_IF_ERROR(need(0));
+    return fns::StrLen();
+  }
+  if (ref.name == "strTag") {
+    MITOS_RETURN_IF_ERROR(need(1));
+    return fns::StrTag(ref.args[0]);
   }
   return FnError(ref, "unknown element function '" + ref.name + "'");
 }
@@ -284,15 +282,15 @@ StatusOr<PredicateFn> ResolvePredicate(const FnRef& ref) {
   }
   if (ref.name == "gtInt64") {
     MITOS_RETURN_IF_ERROR(need(1));
-    int64_t k = ref.args[0];
-    return PredicateFn{"gtInt64(" + std::to_string(k) + ")",
-                       [k](const Datum& x) { return x.int64() > k; }};
+    return fns::GtInt64(ref.args[0]);
   }
   if (ref.name == "ltInt64") {
     MITOS_RETURN_IF_ERROR(need(1));
-    int64_t k = ref.args[0];
-    return PredicateFn{"ltInt64(" + std::to_string(k) + ")",
-                       [k](const Datum& x) { return x.int64() < k; }};
+    return fns::LtInt64(ref.args[0]);
+  }
+  if (ref.name == "strLenGt") {
+    MITOS_RETURN_IF_ERROR(need(1));
+    return fns::StrLenGt(ref.args[0]);
   }
   if (ref.name == "fieldEquals") {
     MITOS_RETURN_IF_ERROR(need(2));
@@ -306,39 +304,20 @@ StatusOr<BinaryFn> ResolveBinary(const FnRef& ref) {
   if (!ref.args.empty()) return WrongArity(ref, 0);
   if (ref.name == "sumInt64") return fns::SumInt64();
   if (ref.name == "sumDouble") return fns::SumDouble();
-  if (ref.name == "minInt64") {
-    return BinaryFn{"minInt64", [](const Datum& a, const Datum& b) {
-                      return a.int64() <= b.int64() ? a : b;
-                    }};
-  }
-  if (ref.name == "maxInt64") {
-    return BinaryFn{"maxInt64", [](const Datum& a, const Datum& b) {
-                      return a.int64() >= b.int64() ? a : b;
-                    }};
-  }
-  if (ref.name == "keepLast") {
-    return BinaryFn{"keepLast",
-                    [](const Datum&, const Datum& b) { return b; }};
-  }
+  if (ref.name == "minInt64") return fns::MinInt64();
+  if (ref.name == "maxInt64") return fns::MaxInt64();
+  if (ref.name == "keepLast") return fns::KeepLast();
   return FnError(ref, "unknown combiner '" + ref.name + "'");
 }
 
 StatusOr<FlatMapFn> ResolveFlatMap(const FnRef& ref) {
   if (ref.name == "dup") {
     if (!ref.args.empty()) return WrongArity(ref, 0);
-    return FlatMapFn{"dup", [](const Datum& x) {
-                       return DatumVector{x, x};
-                     }};
+    return fns::Dup();
   }
   if (ref.name == "rangeTo") {
     if (!ref.args.empty()) return WrongArity(ref, 0);
-    return FlatMapFn{"rangeTo", [](const Datum& x) {
-                       DatumVector out;
-                       for (int64_t i = 0; i < x.int64(); ++i) {
-                         out.push_back(Datum::Int64(i));
-                       }
-                       return out;
-                     }};
+    return fns::RangeTo();
   }
   return FnError(ref, "unknown flatMap function '" + ref.name + "'");
 }

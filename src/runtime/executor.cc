@@ -26,7 +26,8 @@ std::string RunStats::ToString() const {
   std::ostringstream out;
   out << "time=" << total_seconds << "s jobs=" << jobs
       << " decisions=" << decisions << " bags=" << bags
-      << " elements=" << elements << " net=" << cluster.network_bytes
+      << " elements=" << elements << " chunks=" << chunks
+      << " net=" << cluster.network_bytes
       << "B msgs=" << cluster.messages << " disk=" << cluster.disk_bytes
       << "B cpu=" << cluster.cpu_seconds << "s";
   // Fault fields only when something actually went wrong (or was durably
@@ -250,6 +251,8 @@ class Job : public RuntimeContext {
     stats.decisions = authority_->decisions();
     stats.bags = bags_.load();
     stats.elements = elements_.load();
+    stats.chunks = chunks_.load();
+    stats.chunk_fallbacks = chunk_fallbacks_.load();
     stats.hoisted_reuses = reuses_.load();
     stats.peak_buffered_bytes = peak_buffered_bytes_.load();
     for (const dataflow::LogicalNode& node : graph_.nodes) {
@@ -284,6 +287,8 @@ class Job : public RuntimeContext {
       mr->Inc("jobs");
       mr->Inc("bags", stats.bags);
       mr->Inc("elements", stats.elements);
+      mr->Inc("chunks", stats.chunks);
+      mr->Inc("chunk_fallback", stats.chunk_fallbacks);
       mr->Inc("hoisted_reuses", stats.hoisted_reuses);
       if (templates_on_) {
         mr->Inc("step_template_hits", stats.template_hits);
@@ -420,6 +425,13 @@ class Job : public RuntimeContext {
                                 static_cast<double>(elements_in));
     }
   }
+
+  void CountChunk(bool fallback) override {
+    chunks_.fetch_add(1, std::memory_order_relaxed);
+    if (fallback) chunk_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool columnar() const override { return options_.columnar; }
 
   void CountReuse() override {
     reuses_.fetch_add(1, std::memory_order_relaxed);
@@ -640,6 +652,8 @@ class Job : public RuntimeContext {
 
   std::atomic<int64_t> bags_{0};
   std::atomic<int64_t> elements_{0};
+  std::atomic<int64_t> chunks_{0};
+  std::atomic<int64_t> chunk_fallbacks_{0};
   std::atomic<int64_t> reuses_{0};
   std::atomic<int64_t> buffered_bytes_{0};
   std::atomic<int64_t> peak_buffered_bytes_{0};

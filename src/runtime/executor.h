@@ -66,6 +66,11 @@ struct ExecutorOptions {
   // so the dataflow graph matches the paper's one-node-per-assignment
   // construction; the ablation bench measures its effect.
   bool operator_fusion = false;
+  // Columnar chunk plane (common/chunk.h): homogeneous batches travel as
+  // typed columns and kernels vectorize over them. Off = every chunk stays
+  // a boxed DatumVector end to end (the pre-batching plane; ablation and
+  // wall-clock-speedup baseline). Outputs are element-identical either way.
+  bool columnar = true;
   // Runaway-loop guard.
   int max_path_len = 1'000'000;
   // Observability (src/obs/): execution-trace recorder and metrics
@@ -94,6 +99,8 @@ struct RunStats {
   int decisions = 0;          // control flow decisions taken
   int64_t bags = 0;           // output bags computed across all instances
   int64_t elements = 0;       // elements fed into operators
+  int64_t chunks = 0;         // chunks delivered to hosts
+  int64_t chunk_fallbacks = 0;  // of which boxed-DatumVector fallbacks
   int64_t hoisted_reuses = 0; // build-side states kept across steps (5.3)
   int64_t peak_buffered_bytes = 0;  // max bytes cached across all hosts
   // Fault recovery (all zero/one for fault-free runs; see sim/fault.h).

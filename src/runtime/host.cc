@@ -34,13 +34,20 @@ BagOperatorHost::BagOperatorHost(RuntimeContext* ctx,
       machine_(machine),
       cfm_(cfm),
       out_edges_(ctx->graph().routing(node->id)) {
-  kernel_ = dataflow::MakeOperator(*node);
+  kernel_ = dataflow::MakeOperator(*node, ctx->columnar());
 }
 
 bool BagOperatorHost::IsSpecial() const { return kernel_ == nullptr; }
 
 double BagOperatorHost::PerElementCost() const {
   return ctx_->backend()->config().cpu_per_element * node_->cost_factor;
+}
+
+double BagOperatorHost::ChunkCost(const Chunk& chunk) const {
+  const sim::ClusterConfig& config = ctx_->backend()->config();
+  return (config.cpu_per_chunk +
+          static_cast<double>(chunk.SerializedSize()) * config.cpu_per_byte) *
+         node_->cost_factor;
 }
 
 void BagOperatorHost::Init() {
@@ -112,8 +119,8 @@ void BagOperatorHost::OnPathComplete() {
   for (PendingSend& ps : pending_sends_) {
     if (ps.state == PendingSend::State::kPending) {
       ps.state = PendingSend::State::kDropped;
-      for (const DatumVector& chunk : ps.buffered) {
-        ctx_->TrackMemory(-static_cast<int64_t>(SerializedSize(chunk)));
+      for (const Chunk& chunk : ps.buffered) {
+        ctx_->TrackMemory(-static_cast<int64_t>(chunk.SerializedSize()));
       }
       ps.buffered.clear();
     }
@@ -378,10 +385,9 @@ void BagOperatorHost::TryFeed() {
       bag.closed[i] = true;
       EnqueueWork(0, "close", [this, i, bag_len] {
         if (kernel_) {
-          kernel_->Close(static_cast<int>(i),
-                         [this, bag_len](DatumVector&& out) {
-                           EmitChunk(bag_len, std::move(out));
-                         });
+          kernel_->Close(static_cast<int>(i), [this, bag_len](Chunk&& out) {
+            EmitChunk(bag_len, std::move(out));
+          });
         }
       });
       continue;
@@ -390,14 +396,13 @@ void BagOperatorHost::TryFeed() {
     const int chosen_len = bag.chosen[i];
     while (bag.fed[i] < entry.chunks.size()) {
       size_t idx = bag.fed[i]++;
-      size_t elements = entry.chunks[idx].size();
-      bag.elements_in += static_cast<int64_t>(elements);
-      double cpu =
-          bag.replay ? 0 : static_cast<double>(elements) * PerElementCost();
+      bag.elements_in += static_cast<int64_t>(entry.chunks[idx].size());
+      // Per-chunk charging (amortized dispatch + payload bytes) instead of
+      // the old per-element model.
+      double cpu = bag.replay ? 0 : ChunkCost(entry.chunks[idx]);
       EnqueueWork(cpu, "push", [this, i, chosen_len, idx, bag_len] {
-        const DatumVector& chunk =
-            inputs_[i].bags.at(chosen_len).chunks[idx];
-        auto emit = [this, bag_len](DatumVector&& out) {
+        const Chunk& chunk = inputs_[i].bags.at(chosen_len).chunks[idx];
+        auto emit = [this, bag_len](Chunk&& out) {
           EmitChunk(bag_len, std::move(out));
         };
         if (kernel_) {
@@ -412,10 +417,9 @@ void BagOperatorHost::TryFeed() {
       bag.closed[i] = true;
       EnqueueWork(0, "close", [this, i, bag_len] {
         if (kernel_) {
-          kernel_->Close(static_cast<int>(i),
-                         [this, bag_len](DatumVector&& out) {
-                           EmitChunk(bag_len, std::move(out));
-                         });
+          kernel_->Close(static_cast<int>(i), [this, bag_len](Chunk&& out) {
+            EmitChunk(bag_len, std::move(out));
+          });
         }
       });
     }
@@ -442,7 +446,7 @@ void BagOperatorHost::EnqueueFinish(OutBag& bag) {
   if (bag.replay) cpu = 0;
   EnqueueWork(cpu, "finish", [this, bag_len] {
     if (kernel_) {
-      kernel_->Finish([this, bag_len](DatumVector&& out) {
+      kernel_->Finish([this, bag_len](Chunk&& out) {
         EmitChunk(bag_len, std::move(out));
       });
       FinalizeActiveBag();
@@ -456,8 +460,8 @@ void BagOperatorHost::FlushShuffleBuffers(int bag_len) {
   for (size_t e = 0; e < out_edges_.size(); ++e) {
     auto it = shuffle_buffers_.find({bag_len, e});
     if (it == shuffle_buffers_.end()) continue;
-    for (const DatumVector& chunk : it->second) {
-      SendOnEdge(e, bag_len, chunk);
+    for (Chunk& chunk : it->second) {
+      SendOnEdge(e, bag_len, std::move(chunk));
     }
     shuffle_buffers_.erase(it);
   }
@@ -558,12 +562,13 @@ void BagOperatorHost::MaybeEvict(size_t input_index) {
 // ----- deliveries -----
 
 void BagOperatorHost::DeliverChunk(int input_index, int bag_len,
-                                   DatumVector chunk) {
+                                   Chunk chunk) {
   if (ctx_->failed()) return;
   ctx_->NoteProgress();
+  ctx_->CountChunk(chunk.fallback());
   InputBagEntry& entry =
       inputs_[static_cast<size_t>(input_index)].bags[bag_len];
-  int64_t bytes = static_cast<int64_t>(SerializedSize(chunk));
+  int64_t bytes = static_cast<int64_t>(chunk.SerializedSize());
   entry.bytes += bytes;
   ctx_->TrackMemory(bytes);
   entry.chunks.push_back(std::move(chunk));
@@ -594,21 +599,18 @@ void BagOperatorHost::DeliverMarker(int input_index, int bag_len) {
 
 // ----- special (kernel-less) nodes -----
 
-void BagOperatorHost::SpecialPush(int input, const DatumVector& chunk) {
+void BagOperatorHost::SpecialPush(int input, const Chunk& chunk) {
   switch (node_->kind) {
     case NodeKind::kCondition:
     case NodeKind::kReadFile:
       MITOS_CHECK_EQ(input, 0);
-      special_values_.insert(special_values_.end(), chunk.begin(),
-                             chunk.end());
+      chunk.AppendTo(&special_values_);
       break;
     case NodeKind::kWriteFile:
       if (input == 0) {
-        special_data_.insert(special_data_.end(), chunk.begin(),
-                             chunk.end());
+        chunk.AppendTo(&special_data_);
       } else {
-        special_values_.insert(special_values_.end(), chunk.begin(),
-                               chunk.end());
+        chunk.AppendTo(&special_values_);
       }
       break;
     default:
@@ -621,8 +623,7 @@ void BagOperatorHost::SpecialFinish() {
   const int bag_len = bag.path_len;
   switch (node_->kind) {
     case NodeKind::kBagLit: {
-      DatumVector literal = node_->literal;
-      EmitChunk(bag_len, std::move(literal));
+      EmitChunk(bag_len, Chunk::OfDatums(node_->literal, ctx_->columnar()));
       FinalizeActiveBag();
       return;
     }
@@ -669,11 +670,12 @@ void BagOperatorHost::StartFileRead(const std::string& filename) {
   const bool replay = out_bags_.front().replay;
   size_t bytes = std::max<size_t>(SerializedSize(*data), 1);
   size_t chunk_elements = ctx_->backend()->config().chunk_elements;
-  auto chunks = std::make_shared<std::vector<DatumVector>>();
-  for (size_t begin = 0; begin < data->size(); begin += chunk_elements) {
-    size_t end = std::min(begin + chunk_elements, data->size());
-    chunks->emplace_back(data->begin() + static_cast<long>(begin),
-                         data->begin() + static_cast<long>(end));
+  // Columnarize the partition once, then cut zero-copy slices.
+  Chunk all = Chunk::OfDatums(std::move(*data), ctx_->columnar());
+  auto chunks = std::make_shared<ChunkVector>();
+  for (size_t begin = 0; begin < all.size(); begin += chunk_elements) {
+    size_t len = std::min(chunk_elements, all.size() - begin);
+    chunks->push_back(all.Slice(begin, len));
   }
   if (chunks->empty()) chunks->emplace_back();  // empty partition
   int pieces = static_cast<int>(chunks->size());
@@ -722,87 +724,198 @@ void BagOperatorHost::FinishFileWrite() {
 
 // ----- emission -----
 
-void BagOperatorHost::EmitChunk(int bag_len, DatumVector&& chunk) {
+void BagOperatorHost::EmitChunk(int bag_len, Chunk&& chunk) {
   if (chunk.empty()) return;
-  size_t max_elems = ctx_->backend()->config().chunk_elements;
+  const size_t max_elems = ctx_->backend()->config().chunk_elements;
+  const size_t total = chunk.size();
+  if (total <= max_elems) {
+    RoutePiece(bag_len, std::move(chunk));
+    return;
+  }
   // Split oversized emissions so consumers pipeline at chunk granularity.
-  for (size_t begin = 0; begin < chunk.size(); begin += max_elems) {
-    size_t end = std::min(begin + max_elems, chunk.size());
-    DatumVector piece(chunk.begin() + static_cast<long>(begin),
-                      chunk.begin() + static_cast<long>(end));
-    for (size_t e = 0; e < out_edges_.size(); ++e) {
-      if (!out_edges_[e].conditional) {
-        if (ctx_->blocking_shuffles() &&
-            out_edges_[e].kind == EdgeKind::kShuffle) {
-          shuffle_buffers_[{bag_len, e}].push_back(piece);
+  // Slices share the emitted buffer; no payload is copied.
+  for (size_t begin = 0; begin < total; begin += max_elems) {
+    RoutePiece(bag_len, chunk.Slice(begin, std::min(max_elems,
+                                                    total - begin)));
+  }
+}
+
+void BagOperatorHost::RoutePiece(int bag_len, Chunk piece) {
+  for (size_t e = 0; e < out_edges_.size(); ++e) {
+    // Move the shared handle on the last (or only) edge; earlier edges
+    // copy it (a refcount bump, never a payload copy).
+    const bool last = e + 1 == out_edges_.size();
+    if (!out_edges_[e].conditional) {
+      if (ctx_->blocking_shuffles() &&
+          out_edges_[e].kind == EdgeKind::kShuffle) {
+        ChunkVector& buffer = shuffle_buffers_[{bag_len, e}];
+        if (last) {
+          buffer.push_back(std::move(piece));
+        } else {
+          buffer.push_back(piece);
+        }
+      } else if (last) {
+        SendOnEdge(e, bag_len, std::move(piece));
+      } else {
+        SendOnEdge(e, bag_len, piece);
+      }
+      continue;
+    }
+    PendingSend* ps = FindPendingSend(bag_len, e);
+    if (ps == nullptr) {
+      ctx_->Fail(Status::Internal(
+          "operator " + node_->name + "[" + std::to_string(instance_) +
+          "] emitted on conditional edge " + std::to_string(e) +
+          " for bag @" + std::to_string(bag_len) +
+          " without gating state"));
+      return;
+    }
+    switch (ps->state) {
+      case PendingSend::State::kSending:
+        if (last) {
+          SendOnEdge(e, bag_len, std::move(piece));
         } else {
           SendOnEdge(e, bag_len, piece);
         }
-        continue;
-      }
-      PendingSend* ps = FindPendingSend(bag_len, e);
-      if (ps == nullptr) {
-        ctx_->Fail(Status::Internal(
-            "operator " + node_->name + "[" + std::to_string(instance_) +
-            "] emitted on conditional edge " + std::to_string(e) +
-            " for bag @" + std::to_string(bag_len) +
-            " without gating state"));
-        return;
-      }
-      switch (ps->state) {
-        case PendingSend::State::kSending:
-          SendOnEdge(e, bag_len, piece);
-          break;
-        case PendingSend::State::kPending:
-          ctx_->TrackMemory(static_cast<int64_t>(SerializedSize(piece)));
+        break;
+      case PendingSend::State::kPending:
+        ctx_->TrackMemory(static_cast<int64_t>(piece.SerializedSize()));
+        if (last) {
+          ps->buffered.push_back(std::move(piece));
+        } else {
           ps->buffered.push_back(piece);
-          break;
-        case PendingSend::State::kDropped:
-          break;
-      }
+        }
+        break;
+      case PendingSend::State::kDropped:
+        break;
     }
   }
 }
 
-void BagOperatorHost::SendOnEdge(size_t edge_index, int bag_len,
-                                 const DatumVector& chunk) {
+bool BagOperatorHost::PartitionChunk(const Chunk& chunk, size_t edge_index,
+                                     ChunkVector* parts) {
   const OutEdgeInfo& edge = out_edges_[edge_index];
-  switch (edge.kind) {
-    case EdgeKind::kForward:
-      SendChunkTo(edge, instance_, bag_len, chunk);
-      break;
-    case EdgeKind::kGather:
-      SendChunkTo(edge, 0, bag_len, chunk);
-      break;
-    case EdgeKind::kBroadcast:
-      for (int ci = 0; ci < edge.consumer_par; ++ci) {
-        SendChunkTo(edge, ci, bag_len, chunk);
+  const size_t par = static_cast<size_t>(edge.consumer_par);
+  const bool by_key = edge.shuffle_key == ShuffleKey::kField0;
+  const size_t n = chunk.size();
+  parts->assign(par, Chunk());
+  if (n == 0) return true;
+  switch (chunk.rep()) {
+    case Chunk::Rep::kInt64:
+    case Chunk::Rep::kDouble: {
+      if (by_key) {
+        // Reachable from user programs (a keyed operation downstream of a
+        // non-tuple bag); fail the job instead of aborting.
+        ctx_->Fail(Status::InvalidArgument(
+            "operator " + node_->name +
+            " shuffles by key but emitted a non-tuple element: " +
+            chunk.At(0).ToString()));
+        return false;
       }
-      break;
-    case EdgeKind::kShuffle: {
-      std::vector<DatumVector> parts(static_cast<size_t>(edge.consumer_par));
-      for (const Datum& element : chunk) {
+      if (chunk.rep() == Chunk::Rep::kInt64) {
+        std::vector<std::vector<int64_t>> cols(par);
+        const int64_t* in = chunk.i64();
+        for (size_t i = 0; i < n; ++i) {
+          cols[chunk.HashAt(i) % par].push_back(in[i]);
+        }
+        for (size_t p = 0; p < par; ++p) {
+          if (!cols[p].empty()) {
+            (*parts)[p] = Chunk::OfInt64(std::move(cols[p]));
+          }
+        }
+      } else {
+        std::vector<std::vector<double>> cols(par);
+        const double* in = chunk.f64();
+        for (size_t i = 0; i < n; ++i) {
+          cols[chunk.HashAt(i) % par].push_back(in[i]);
+        }
+        for (size_t p = 0; p < par; ++p) {
+          if (!cols[p].empty()) {
+            (*parts)[p] = Chunk::OfDouble(std::move(cols[p]));
+          }
+        }
+      }
+      return true;
+    }
+    case Chunk::Rep::kInt64Pair: {
+      std::vector<std::vector<int64_t>> keys(par);
+      std::vector<std::vector<int64_t>> vals(par);
+      const int64_t* ks = chunk.keys();
+      const int64_t* vs = chunk.vals();
+      for (size_t i = 0; i < n; ++i) {
+        size_t h = by_key ? chunk.HashField0At(i) : chunk.HashAt(i);
+        size_t p = h % par;
+        keys[p].push_back(ks[i]);
+        vals[p].push_back(vs[i]);
+      }
+      for (size_t p = 0; p < par; ++p) {
+        if (!keys[p].empty()) {
+          (*parts)[p] =
+              Chunk::OfInt64Pairs(std::move(keys[p]), std::move(vals[p]));
+        }
+      }
+      return true;
+    }
+    case Chunk::Rep::kDatums: {
+      std::vector<DatumVector> boxed(par);
+      const Datum* data = chunk.datums();
+      for (size_t i = 0; i < n; ++i) {
+        const Datum& element = data[i];
         size_t h;
-        if (edge.shuffle_key == ShuffleKey::kField0) {
+        if (by_key) {
           if (!element.is_tuple() || element.size() < 1) {
-            // Reachable from user programs (a keyed operation downstream of
-            // a non-tuple bag); fail the job instead of aborting.
             ctx_->Fail(Status::InvalidArgument(
                 "operator " + node_->name +
                 " shuffles by key but emitted a non-tuple element: " +
                 element.ToString()));
-            return;
+            return false;
           }
           h = element.field(0).Hash();
         } else {
           h = element.Hash();
         }
-        parts[h % static_cast<size_t>(edge.consumer_par)].push_back(element);
+        boxed[h % par].push_back(element);
       }
+      for (size_t p = 0; p < par; ++p) {
+        if (!boxed[p].empty()) {
+          (*parts)[p] =
+              Chunk::OfDatums(std::move(boxed[p]), ctx_->columnar());
+        }
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+void BagOperatorHost::SendOnEdge(size_t edge_index, int bag_len,
+                                 Chunk chunk) {
+  const OutEdgeInfo& edge = out_edges_[edge_index];
+  switch (edge.kind) {
+    case EdgeKind::kForward:
+      SendChunkTo(edge, instance_, bag_len, std::move(chunk));
+      break;
+    case EdgeKind::kGather:
+      SendChunkTo(edge, 0, bag_len, std::move(chunk));
+      break;
+    case EdgeKind::kBroadcast:
+      // Every consumer receives the same shared handle: a broadcast costs
+      // consumer_par refcount bumps, not consumer_par payload copies.
       for (int ci = 0; ci < edge.consumer_par; ++ci) {
-        if (!parts[static_cast<size_t>(ci)].empty()) {
-          SendChunkTo(edge, ci, bag_len,
-                      parts[static_cast<size_t>(ci)]);
+        if (ci + 1 == edge.consumer_par) {
+          SendChunkTo(edge, ci, bag_len, std::move(chunk));
+        } else {
+          SendChunkTo(edge, ci, bag_len, chunk);
+        }
+      }
+      break;
+    case EdgeKind::kShuffle: {
+      ChunkVector parts;
+      if (!PartitionChunk(chunk, edge_index, &parts)) return;
+      for (int ci = 0; ci < edge.consumer_par; ++ci) {
+        Chunk& part = parts[static_cast<size_t>(ci)];
+        if (!part.empty()) {
+          SendChunkTo(edge, ci, bag_len, std::move(part));
         }
       }
       break;
@@ -812,17 +925,19 @@ void BagOperatorHost::SendOnEdge(size_t edge_index, int bag_len,
 
 void BagOperatorHost::SendChunkTo(const OutEdgeInfo& edge,
                                   int consumer_instance, int bag_len,
-                                  DatumVector chunk) {
-  size_t bytes = SerializedSize(chunk) +
+                                  Chunk chunk) {
+  size_t bytes = chunk.SerializedSize() +
                  ctx_->backend()->config().control_message_bytes;
   int dst = ctx_->MachineOf(edge.consumer, consumer_instance);
   BagOperatorHost* consumer = ctx_->host(edge.consumer, consumer_instance);
-  auto payload = std::make_shared<DatumVector>(std::move(chunk));
   int input_index = edge.input_index;
+  // The chunk handle rides inside the completion callback: on both
+  // backends the channel hop moves a pointer, never the payload.
   ctx_->backend()->Send(machine_, dst, bytes,
-                        [consumer, input_index, bag_len, payload] {
+                        [consumer, input_index, bag_len,
+                         chunk = std::move(chunk)]() mutable {
                           consumer->DeliverChunk(input_index, bag_len,
-                                                 std::move(*payload));
+                                                 std::move(chunk));
                         });
 }
 
@@ -873,9 +988,10 @@ void BagOperatorHost::AdvancePendingSends(ir::BlockId block) {
       // Transmit: the path reached the consumer before this operator's
       // block re-occurred (Sec. 5.2.4).
       ps.state = PendingSend::State::kSending;
-      for (DatumVector& chunk : ps.buffered) {
-        ctx_->TrackMemory(-static_cast<int64_t>(SerializedSize(chunk)));
-        SendOnEdge(static_cast<size_t>(ps.edge_index), ps.bag_len, chunk);
+      for (Chunk& chunk : ps.buffered) {
+        ctx_->TrackMemory(-static_cast<int64_t>(chunk.SerializedSize()));
+        SendOnEdge(static_cast<size_t>(ps.edge_index), ps.bag_len,
+                   std::move(chunk));
       }
       ps.buffered.clear();
       if (ps.bag_finished) {
@@ -889,8 +1005,8 @@ void BagOperatorHost::AdvancePendingSends(ir::BlockId block) {
       // no longer be reached without passing this operator again: discard
       // the partition (the paper's discard rule).
       ps.state = PendingSend::State::kDropped;
-      for (const DatumVector& chunk : ps.buffered) {
-        ctx_->TrackMemory(-static_cast<int64_t>(SerializedSize(chunk)));
+      for (const Chunk& chunk : ps.buffered) {
+        ctx_->TrackMemory(-static_cast<int64_t>(chunk.SerializedSize()));
       }
       ps.buffered.clear();
     }

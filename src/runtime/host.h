@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/chunk.h"
 #include "common/datum.h"
 #include "common/status.h"
 #include "dataflow/graph.h"
@@ -103,6 +104,14 @@ class RuntimeContext {
   virtual void BeginFileWrite(const std::string& filename, BagId bag) = 0;
 
   virtual void CountBag(int64_t elements_in) = 0;
+  // A chunk was delivered to a host; `fallback` says it rode the boxed
+  // DatumVector path instead of a typed column (chunk-plane observability).
+  virtual void CountChunk(bool fallback) {
+    (void)fallback;
+  }
+  // Columnar plane switch: when false, sources and kernels keep every chunk
+  // in the boxed representation (the pre-batching plane; ablation mode).
+  virtual bool columnar() const { return true; }
   // An input's built state was kept across bags (loop-invariant hoisting).
   virtual void CountReuse() = 0;
   // Buffered-bytes accounting (input caches + gated output partitions);
@@ -161,7 +170,8 @@ class BagOperatorHost {
   void Init();
 
   // Network deliveries (invoked by producer hosts through the cluster).
-  void DeliverChunk(int input_index, int bag_len, DatumVector chunk);
+  // The chunk arrives as a shared handle: channel hops are pointer swaps.
+  void DeliverChunk(int input_index, int bag_len, Chunk chunk);
   void DeliverMarker(int input_index, int bag_len);
 
   // True when the host has no queued or in-flight work (diagnostics).
@@ -179,7 +189,7 @@ class BagOperatorHost {
   using OutEdgeInfo = dataflow::LogicalGraph::RoutingEdge;
 
   struct InputBagEntry {
-    std::vector<DatumVector> chunks;
+    ChunkVector chunks;
     int markers = 0;
     int refs = 0;
     bool superseded = false;
@@ -215,7 +225,7 @@ class BagOperatorHost {
     int edge_index;
     enum class State { kPending, kSending, kDropped } state =
         State::kPending;
-    std::vector<DatumVector> buffered;
+    ChunkVector buffered;
     bool bag_finished = false;
     bool done = false;  // marker sent or dropped; entry removable
   };
@@ -249,16 +259,25 @@ class BagOperatorHost {
 
   // ----- special (kernel-less) nodes -----
   bool IsSpecial() const;
-  void SpecialPush(int input, const DatumVector& chunk);
+  void SpecialPush(int input, const Chunk& chunk);
   void SpecialFinish();  // may complete asynchronously (disk I/O)
   void StartFileRead(const std::string& filename);
   void FinishFileWrite();
 
   // ----- emission -----
-  void EmitChunk(int bag_len, DatumVector&& chunk);
-  void SendOnEdge(size_t edge_index, int bag_len, const DatumVector& chunk);
+  // Re-chunks `chunk` to the configured chunk size via zero-copy slices and
+  // routes each piece over every out-edge; the handle is *moved* on the
+  // last (or only) edge so single-consumer fan-out never touches refcounts.
+  void EmitChunk(int bag_len, Chunk&& chunk);
+  void RoutePiece(int bag_len, Chunk piece);
+  void SendOnEdge(size_t edge_index, int bag_len, Chunk chunk);
+  // Hash-partitions `chunk` for a shuffle edge, preserving representation
+  // (typed columns partition into typed columns). Returns false after
+  // failing the job (kField0 over non-tuple elements).
+  bool PartitionChunk(const Chunk& chunk, size_t edge_index,
+                      ChunkVector* parts);
   void SendChunkTo(const OutEdgeInfo& edge, int consumer_instance,
-                   int bag_len, DatumVector chunk);
+                   int bag_len, Chunk chunk);
   void SendMarkerOnEdge(size_t edge_index, int bag_len);
   void FlushShuffleBuffers(int bag_len);
   void AdvancePendingSends(ir::BlockId block);
@@ -267,6 +286,9 @@ class BagOperatorHost {
   void MaybeEvict(size_t input_index);
 
   double PerElementCost() const;
+  // Per-chunk virtual-time charge: amortized dispatch bookkeeping plus
+  // per-payload-byte cost (sim::ClusterConfig::cpu_per_chunk/cpu_per_byte).
+  double ChunkCost(const Chunk& chunk) const;
 
   RuntimeContext* ctx_;
   const dataflow::LogicalNode* node_;
@@ -282,8 +304,7 @@ class BagOperatorHost {
   std::deque<OutBag> out_bags_;
   std::list<PendingSend> pending_sends_;
   // Spark-style blocking shuffles: chunks held until the bag finishes.
-  std::map<std::pair<int, size_t>, std::vector<DatumVector>>
-      shuffle_buffers_;
+  std::map<std::pair<int, size_t>, ChunkVector> shuffle_buffers_;
 
   // Previous (finished) bag's input choices, for hoisting.
   std::vector<int> prev_chosen_;

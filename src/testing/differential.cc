@@ -108,13 +108,18 @@ std::vector<EngineVariant> DefaultMatrix() {
   using api::BackendKind;
   using api::EngineKind;
   return {
-      // label, engine, backend, templates, machines, fusion, twice, faults
+      // label, engine, backend, templates, machines, fusion, columnar,
+      // twice, faults
       {"mitos-des-t@3", EngineKind::kMitos, BackendKind::kDes, true, 3,
-       false, /*run_twice=*/true, /*fault_replay=*/true},
+       false, /*columnar=*/true, /*run_twice=*/true, /*fault_replay=*/true},
       {"mitos-des-not@3", EngineKind::kMitos, BackendKind::kDes, false, 3},
       {"mitos-des-t@1", EngineKind::kMitos, BackendKind::kDes, true, 1},
+      // Boxed data plane: same engine, columnar ablation off. Catches any
+      // divergence between the typed column kernels and the generic path.
+      {"mitos-des-boxed@3", EngineKind::kMitos, BackendKind::kDes, true, 3,
+       false, /*columnar=*/false},
       {"mitos-threads@3", EngineKind::kMitos, BackendKind::kThreads, true,
-       3, false, /*run_twice=*/true},
+       3, false, /*columnar=*/true, /*run_twice=*/true},
       {"mitos-fusion@3", EngineKind::kMitos, BackendKind::kDes, true, 3,
        /*fusion=*/true},
       {"mitos-nopipe@3", EngineKind::kMitosNoPipelining, BackendKind::kDes,
@@ -188,6 +193,7 @@ DiffReport RunDifferential(const lang::Program& program,
     config.backend = variant.backend;
     config.step_templates = variant.step_templates;
     config.mitos_operator_fusion = variant.fusion;
+    config.columnar = variant.columnar;
 
     sim::SimFileSystem fs;
     auto run = api::Run(variant.engine, program, &fs, config);

@@ -40,6 +40,9 @@ struct EngineVariant {
   bool step_templates = true;
   int machines = 3;
   bool fusion = false;
+  // Columnar batched data plane (the default); false runs the boxed
+  // DatumVector fallback end to end — the two must be element-identical.
+  bool columnar = true;
   // Run twice from pristine inputs; the outputs must be byte-identical.
   bool run_twice = false;
   // Replay DiffOptions::fault_plans against this variant (DES Mitos only);
@@ -48,8 +51,8 @@ struct EngineVariant {
 };
 
 // The default cross-check matrix (see the header comment). Labels:
-//   mitos-des-t@3, mitos-des-not@3, mitos-des-t@1, mitos-threads@3,
-//   mitos-fusion@3, mitos-nopipe@3, flink@3, spark@3
+//   mitos-des-t@3, mitos-des-not@3, mitos-des-t@1, mitos-des-boxed@3,
+//   mitos-threads@3, mitos-fusion@3, mitos-nopipe@3, flink@3, spark@3
 std::vector<EngineVariant> DefaultMatrix();
 
 // `filter` is a comma-separated list of label substrings (mitos_fuzz

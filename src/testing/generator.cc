@@ -13,7 +13,11 @@ namespace {
 using lang::ExprPtr;
 using lang::StmtList;
 
-enum class Shape { kInt, kPair };
+// Element shapes a generated bag can hold. kInt and kPair ride the typed
+// column fast path of the batched data plane; kStr and kStrPair (string
+// key, int64 value) force the boxed DatumVector fallback — the fuzzer must
+// exercise both so the differential harness covers fast path and fallback.
+enum class Shape { kInt, kPair, kStr, kStrPair };
 
 class Generator {
  public:
@@ -30,7 +34,7 @@ class Generator {
     // is closed (no pre-seeded filesystem).
     int num_seeds = 2 + static_cast<int>(rng_.NextBelow(2));
     for (int i = 0; i < num_seeds; ++i) {
-      Shape shape = rng_.NextBelow(2) == 0 ? Shape::kInt : Shape::kPair;
+      Shape shape = RandomShape();
       std::string name = NewVar();
       Emit(lang::Assign(name, lang::BagLit(RandomBag(shape))));
       bags_.push_back({name, shape});
@@ -62,18 +66,49 @@ class Generator {
 
   std::string NewVar() { return "v" + std::to_string(var_counter_++); }
 
+  Shape RandomShape() {
+    switch (rng_.NextBelow(4)) {
+      case 0:
+        return Shape::kInt;
+      case 1:
+        return Shape::kPair;
+      case 2:
+        return Shape::kStr;
+      default:
+        return Shape::kStrPair;
+    }
+  }
+
+  // A small vocabulary keyed by k (same key space as the int shapes) so
+  // distinct/union/reduceByKey see collisions on string data too.
+  static std::string Word(int64_t k) {
+    return std::string(1 + static_cast<size_t>(k % 4),
+                       static_cast<char>('a' + k % 26));
+  }
+
   DatumVector RandomBag(Shape shape) {
     DatumVector data;
     size_t n = 1 + rng_.NextBelow(static_cast<uint64_t>(opts_.max_bag));
     for (size_t i = 0; i < n; ++i) {
       int64_t k = static_cast<int64_t>(
           rng_.NextBelow(static_cast<uint64_t>(opts_.key_range)));
-      if (shape == Shape::kInt) {
-        data.push_back(Datum::Int64(k));
-      } else {
-        data.push_back(Datum::Pair(
-            Datum::Int64(k),
-            Datum::Int64(static_cast<int64_t>(rng_.NextBelow(100)))));
+      switch (shape) {
+        case Shape::kInt:
+          data.push_back(Datum::Int64(k));
+          break;
+        case Shape::kPair:
+          data.push_back(Datum::Pair(
+              Datum::Int64(k),
+              Datum::Int64(static_cast<int64_t>(rng_.NextBelow(100)))));
+          break;
+        case Shape::kStr:
+          data.push_back(Datum::String(Word(k)));
+          break;
+        case Shape::kStrPair:
+          data.push_back(Datum::Pair(
+              Datum::String(Word(k)),
+              Datum::Int64(static_cast<int64_t>(rng_.NextBelow(100)))));
+          break;
       }
     }
     return data;
@@ -89,22 +124,46 @@ class Generator {
     if (!candidates.empty()) {
       return candidates[rng_.NextBelow(candidates.size())]->name;
     }
-    const BagVar& src = bags_[rng_.NextBelow(bags_.size())];
     std::string name = NewVar();
-    if (want == Shape::kPair) {
-      ExprPtr in = lang::Var(src.name);
-      if (src.shape == Shape::kPair) in = lang::Map(in, lang::fns::Field(0));
-      Emit(lang::Assign(name, lang::Map(in, lang::fns::PairWithOne())));
-    } else {
-      if (src.shape == Shape::kPair) {
-        Emit(lang::Assign(name, lang::Map(lang::Var(src.name),
-                                          lang::fns::Field(1))));
-      } else {
-        Emit(lang::Assign(name, lang::Map(lang::Var(src.name),
-                                          lang::fns::AddInt64(1))));
+    switch (want) {
+      case Shape::kStr:
+        // Strings are not derivable from the int world: seed a literal.
+        Emit(lang::Assign(name, lang::BagLit(RandomBag(Shape::kStr))));
+        break;
+      case Shape::kStrPair: {
+        std::string in = BagOfShape(Shape::kStr);
+        Emit(lang::Assign(name, lang::Map(lang::Var(in),
+                                          lang::fns::PairWithOne())));
+        Count("map");
+        break;
+      }
+      case Shape::kPair: {
+        std::string in = BagOfShape(Shape::kInt);
+        Emit(lang::Assign(name, lang::Map(lang::Var(in),
+                                          lang::fns::PairWithOne())));
+        Count("map");
+        break;
+      }
+      case Shape::kInt: {
+        const BagVar& src = bags_[rng_.NextBelow(bags_.size())];
+        ExprPtr in = lang::Var(src.name);
+        switch (src.shape) {
+          case Shape::kInt:
+            in = lang::Map(std::move(in), lang::fns::AddInt64(1));
+            break;
+          case Shape::kPair:
+          case Shape::kStrPair:
+            in = lang::Map(std::move(in), lang::fns::Field(1));
+            break;
+          case Shape::kStr:
+            in = lang::Map(std::move(in), lang::fns::StrLen());
+            break;
+        }
+        Emit(lang::Assign(name, std::move(in)));
+        Count("map");
+        break;
       }
     }
-    Count("map");
     bags_.push_back({name, want});
     return name;
   }
@@ -142,7 +201,7 @@ class Generator {
   }
 
   void EmitBagStmt() {
-    switch (rng_.NextBelow(14)) {
+    switch (rng_.NextBelow(17)) {
       case 0: {  // int map
         std::string in = BagOfShape(Shape::kInt);
         std::string name = NewVar();
@@ -150,7 +209,8 @@ class Generator {
             rng_.NextBelow(2) == 0
                 ? lang::Map(lang::Var(in),
                             lang::fns::AddInt64(rng_.NextInRange(-3, 3)))
-                : lang::Map(lang::Var(in), MulInt64(rng_.NextInRange(-2, 3)));
+                : lang::Map(lang::Var(in),
+                            lang::fns::MulInt64(rng_.NextInRange(-2, 3)));
         Emit(lang::Assign(name, rhs));
         Count("map");
         bags_.push_back({name, Shape::kInt});
@@ -169,11 +229,11 @@ class Generator {
             break;
           case 1:
             rhs = lang::Filter(lang::Var(in),
-                               GtInt64(rng_.NextInRange(0, 8)));
+                               lang::fns::GtInt64(rng_.NextInRange(0, 8)));
             break;
           default:
             rhs = lang::Filter(lang::Var(in),
-                               LtInt64(rng_.NextInRange(2, 10)));
+                               lang::fns::LtInt64(rng_.NextInRange(2, 10)));
             break;
         }
         Emit(lang::Assign(name, rhs));
@@ -206,7 +266,7 @@ class Generator {
         ExprPtr joined = lang::Join(lang::Var(build), lang::Var(probe));
         switch (rng_.NextBelow(3)) {
           case 0:  // (k, lv + rv): stays a pair bag
-            Emit(lang::Assign(name, lang::Map(joined, SumJoin())));
+            Emit(lang::Assign(name, lang::Map(joined, lang::fns::SumJoin())));
             bags_.push_back({name, Shape::kPair});
             break;
           case 1:  // |lv - rv|: int bag
@@ -224,7 +284,7 @@ class Generator {
         break;
       }
       case 5: {  // union (same shape)
-        Shape shape = rng_.NextBelow(2) == 0 ? Shape::kInt : Shape::kPair;
+        Shape shape = RandomShape();
         std::string a = BagOfShape(shape);
         std::string b = BagOfShape(shape);
         std::string name = NewVar();
@@ -234,7 +294,7 @@ class Generator {
         break;
       }
       case 6: {  // distinct
-        Shape shape = rng_.NextBelow(2) == 0 ? Shape::kInt : Shape::kPair;
+        Shape shape = RandomShape();
         std::string in = BagOfShape(shape);
         std::string name = NewVar();
         Emit(lang::Assign(name, lang::Distinct(lang::Var(in))));
@@ -242,8 +302,10 @@ class Generator {
         bags_.push_back({name, shape});
         break;
       }
-      case 7: {  // values of pairs
-        std::string in = BagOfShape(Shape::kPair);
+      case 7: {  // values of pairs (int- or string-keyed)
+        std::string in = BagOfShape(rng_.NextBelow(2) == 0
+                                        ? Shape::kPair
+                                        : Shape::kStrPair);
         std::string name = NewVar();
         Emit(lang::Assign(name, lang::Map(lang::Var(in),
                                           lang::fns::Field(1))));
@@ -262,13 +324,14 @@ class Generator {
       case 9: {  // flatMap dup
         std::string in = BagOfShape(Shape::kInt);
         std::string name = NewVar();
-        Emit(lang::Assign(name, lang::FlatMap(lang::Var(in), Dup())));
+        Emit(lang::Assign(name, lang::FlatMap(lang::Var(in),
+                                              lang::fns::Dup())));
         Count("flatMap");
         bags_.push_back({name, Shape::kInt});
         break;
       }
       case 10: {  // count: one-element int bag
-        Shape shape = rng_.NextBelow(2) == 0 ? Shape::kInt : Shape::kPair;
+        Shape shape = RandomShape();
         std::string in = BagOfShape(shape);
         std::string name = NewVar();
         Emit(lang::Assign(name, lang::Count(lang::Var(in))));
@@ -288,12 +351,13 @@ class Generator {
       case 12: {  // pairSwap (value becomes the join/reduce key)
         std::string in = BagOfShape(Shape::kPair);
         std::string name = NewVar();
-        Emit(lang::Assign(name, lang::Map(lang::Var(in), PairSwap())));
+        Emit(lang::Assign(name, lang::Map(lang::Var(in),
+                                          lang::fns::PairSwap())));
         Count("map");
         bags_.push_back({name, Shape::kPair});
         break;
       }
-      default: {  // filter pairs on key
+      case 13: {  // filter pairs on key
         std::string in = BagOfShape(Shape::kPair);
         std::string name = NewVar();
         Emit(lang::Assign(
@@ -304,6 +368,44 @@ class Generator {
                                     0, opts_.key_range - 1))))));
         Count("filter");
         bags_.push_back({name, Shape::kPair});
+        break;
+      }
+      case 14: {  // string map: tag (str -> str), boxed fallback territory
+        std::string in = BagOfShape(Shape::kStr);
+        std::string name = NewVar();
+        Emit(lang::Assign(name,
+                          lang::Map(lang::Var(in),
+                                    lang::fns::StrTag(
+                                        rng_.NextInRange(0, 9)))));
+        Count("map");
+        bags_.push_back({name, Shape::kStr});
+        break;
+      }
+      case 15: {  // string length: map into the int world, or filter on it
+        std::string in = BagOfShape(Shape::kStr);
+        std::string name = NewVar();
+        if (rng_.NextBelow(2) == 0) {
+          Emit(lang::Assign(name, lang::Map(lang::Var(in),
+                                            lang::fns::StrLen())));
+          Count("map");
+          bags_.push_back({name, Shape::kInt});
+        } else {
+          Emit(lang::Assign(name,
+                            lang::Filter(lang::Var(in),
+                                         lang::fns::StrLenGt(
+                                             rng_.NextInRange(0, 3)))));
+          Count("filter");
+          bags_.push_back({name, Shape::kStr});
+        }
+        break;
+      }
+      default: {  // string-keyed reduceByKey: typed state must degrade
+        std::string in = BagOfShape(Shape::kStrPair);
+        std::string name = NewVar();
+        Emit(lang::Assign(name, lang::ReduceByKey(lang::Var(in),
+                                                  RandomCombiner())));
+        Count("reduceByKey");
+        bags_.push_back({name, Shape::kStrPair});
         break;
       }
     }
@@ -479,73 +581,44 @@ class Generator {
   void ReassignExistingBag(size_t scope) {
     if (scope == 0) return;
     const BagVar& target = bags_[rng_.NextBelow(scope)];
-    if (target.shape == Shape::kInt) {
-      Emit(lang::Assign(target.name,
-                        lang::Map(lang::Var(target.name),
-                                  lang::fns::AddInt64(1))));
-      Count("map");
-    } else {
-      Emit(lang::Assign(target.name,
-                        lang::ReduceByKey(lang::Var(target.name),
-                                          lang::fns::SumInt64())));
-      Count("reduceByKey");
+    switch (target.shape) {
+      case Shape::kInt:
+        Emit(lang::Assign(target.name,
+                          lang::Map(lang::Var(target.name),
+                                    lang::fns::AddInt64(1))));
+        Count("map");
+        break;
+      case Shape::kStr:
+        Emit(lang::Assign(target.name,
+                          lang::Map(lang::Var(target.name),
+                                    lang::fns::StrTag(1))));
+        Count("map");
+        break;
+      case Shape::kPair:
+      case Shape::kStrPair:
+        Emit(lang::Assign(target.name,
+                          lang::ReduceByKey(lang::Var(target.name),
+                                            lang::fns::SumInt64())));
+        Count("reduceByKey");
+        break;
     }
-  }
-
-  // ----- parser-registry functions not wrapped in lang/functions.h -----
-  // Names must match lang/parser.cc's registry so programs round-trip.
-
-  static lang::UnaryFn MulInt64(int64_t k) {
-    return {"mulInt64(" + std::to_string(k) + ")", [k](const Datum& x) {
-              return Datum::Int64(x.int64() * k);
-            }};
-  }
-
-  static lang::UnaryFn PairSwap() {
-    return {"pairSwap", [](const Datum& p) {
-              return Datum::Pair(p.field(1), p.field(0));
-            }};
-  }
-
-  static lang::UnaryFn SumJoin() {
-    return {"sumJoin", [](const Datum& t) {
-              return Datum::Pair(t.field(0),
-                                 Datum::Int64(t.field(1).int64() +
-                                              t.field(2).int64()));
-            }};
-  }
-
-  static lang::PredicateFn GtInt64(int64_t k) {
-    return {"gtInt64(" + std::to_string(k) + ")",
-            [k](const Datum& x) { return x.int64() > k; }};
-  }
-
-  static lang::PredicateFn LtInt64(int64_t k) {
-    return {"ltInt64(" + std::to_string(k) + ")",
-            [k](const Datum& x) { return x.int64() < k; }};
-  }
-
-  static lang::FlatMapFn Dup() {
-    return {"dup", [](const Datum& x) { return DatumVector{x, x}; }};
   }
 
   // Only commutative + associative combiners: engines reduce in partition
   // order, the reference in literal order, so an order-dependent combiner
   // (keepLast, say) diverges legally — found by this very fuzzer on seed
   // 2499428271988735912, where reduce(keepLast) over bagOf(11, 11, 0)
-  // keeps 0 sequentially and 11 distributed.
+  // keeps 0 sequentially and 11 distributed. The fns:: factories carry the
+  // vectorized i64 fast paths, so generated programs exercise the typed
+  // reducer state as well as the generic one.
   lang::BinaryFn RandomCombiner() {
     switch (rng_.NextBelow(3)) {
       case 0:
         return lang::fns::SumInt64();
       case 1:
-        return {"minInt64", [](const Datum& a, const Datum& b) {
-                  return a.int64() <= b.int64() ? a : b;
-                }};
+        return lang::fns::MinInt64();
       default:
-        return {"maxInt64", [](const Datum& a, const Datum& b) {
-                  return a.int64() >= b.int64() ? a : b;
-                }};
+        return lang::fns::MaxInt64();
     }
   }
 

@@ -1,0 +1,159 @@
+// Unit tests for the batched data plane's unit of movement (common/chunk.h):
+// columnarization of homogeneous batches, the boxed fallback, zero-copy
+// slicing, and the representation-independence invariants (SerializedSize
+// and Hash*At must agree between a columnar chunk and its boxed twin — the
+// cost model and shuffle routing both depend on that).
+#include "common/chunk.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/datum.h"
+#include "gtest/gtest.h"
+
+namespace mitos {
+namespace {
+
+DatumVector Ints(std::initializer_list<int64_t> values) {
+  DatumVector data;
+  for (int64_t v : values) data.push_back(Datum::Int64(v));
+  return data;
+}
+
+TEST(ChunkTest, OfDatumsColumnarizesHomogeneousInt64) {
+  Chunk c = Chunk::OfDatums(Ints({1, 2, 3}));
+  EXPECT_EQ(c.rep(), Chunk::Rep::kInt64);
+  EXPECT_FALSE(c.fallback());
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.i64()[0], 1);
+  EXPECT_EQ(c.i64()[2], 3);
+}
+
+TEST(ChunkTest, OfDatumsColumnarizesHomogeneousDouble) {
+  DatumVector data{Datum::Double(1.5), Datum::Double(-2.5)};
+  Chunk c = Chunk::OfDatums(std::move(data));
+  EXPECT_EQ(c.rep(), Chunk::Rep::kDouble);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.f64()[1], -2.5);
+}
+
+TEST(ChunkTest, OfDatumsColumnarizesInt64Pairs) {
+  DatumVector data{Datum::Pair(Datum::Int64(1), Datum::Int64(10)),
+                   Datum::Pair(Datum::Int64(2), Datum::Int64(20))};
+  Chunk c = Chunk::OfDatums(std::move(data));
+  EXPECT_EQ(c.rep(), Chunk::Rep::kInt64Pair);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.keys()[1], 2);
+  EXPECT_EQ(c.vals()[1], 20);
+}
+
+TEST(ChunkTest, MixedAndStringBatchesFallBack) {
+  DatumVector mixed{Datum::Int64(1), Datum::String("x")};
+  Chunk c = Chunk::OfDatums(std::move(mixed));
+  EXPECT_EQ(c.rep(), Chunk::Rep::kDatums);
+  EXPECT_TRUE(c.fallback());
+
+  DatumVector strings{Datum::String("a"), Datum::String("bb")};
+  Chunk s = Chunk::OfDatums(std::move(strings));
+  EXPECT_TRUE(s.fallback());
+}
+
+TEST(ChunkTest, ColumnarizeFalseKeepsBoxedRep) {
+  Chunk c = Chunk::OfDatums(Ints({1, 2, 3}), /*columnarize=*/false);
+  EXPECT_EQ(c.rep(), Chunk::Rep::kDatums);
+  EXPECT_TRUE(c.fallback());
+  EXPECT_EQ(c.ToDatums(), Ints({1, 2, 3}));
+}
+
+TEST(ChunkTest, EmptyChunkIsColumnarAndSizeZero) {
+  Chunk c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_FALSE(c.fallback());
+  EXPECT_EQ(c.SerializedSize(), 0u);
+  EXPECT_TRUE(c.ToDatums().empty());
+}
+
+TEST(ChunkTest, SliceIsZeroCopyAndHonorsOffsets) {
+  Chunk c = Chunk::OfInt64({10, 11, 12, 13, 14});
+  Chunk s = c.Slice(1, 3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.i64(), c.i64() + 1);  // same buffer, shifted — no copy
+  EXPECT_EQ(s.At(0), Datum::Int64(11));
+  EXPECT_EQ(s.At(2), Datum::Int64(13));
+
+  // A slice of a slice composes offsets.
+  Chunk ss = s.Slice(1, 1);
+  EXPECT_EQ(ss.At(0), Datum::Int64(12));
+  EXPECT_EQ(ss.i64(), c.i64() + 2);
+}
+
+TEST(ChunkTest, SliceKeepsStorageAliveAfterParentDies) {
+  Chunk s;
+  {
+    Chunk c = Chunk::OfInt64({7, 8, 9});
+    s = c.Slice(2, 1);
+  }
+  EXPECT_EQ(s.At(0), Datum::Int64(9));
+}
+
+TEST(ChunkTest, AtAndAppendToMatchBoxedElements) {
+  DatumVector data{Datum::Pair(Datum::Int64(3), Datum::Int64(30)),
+                   Datum::Pair(Datum::Int64(4), Datum::Int64(40))};
+  Chunk c = Chunk::OfDatums(DatumVector(data));
+  ASSERT_EQ(c.rep(), Chunk::Rep::kInt64Pair);
+  EXPECT_EQ(c.At(0), data[0]);
+  EXPECT_EQ(c.At(1), data[1]);
+  DatumVector out;
+  c.AppendTo(&out);
+  EXPECT_EQ(out, data);
+}
+
+// The invariant the cost model charges by: a columnar chunk and its boxed
+// twin report identical wire bytes.
+TEST(ChunkTest, SerializedSizeIsRepresentationIndependent) {
+  DatumVector ints = Ints({1, 2, 3});
+  EXPECT_EQ(Chunk::OfDatums(DatumVector(ints)).SerializedSize(),
+            Chunk::OfDatums(DatumVector(ints), false).SerializedSize());
+  EXPECT_EQ(Chunk::OfDatums(DatumVector(ints)).SerializedSize(), 3u * 8u);
+
+  DatumVector pairs{Datum::Pair(Datum::Int64(1), Datum::Int64(2))};
+  EXPECT_EQ(Chunk::OfDatums(DatumVector(pairs)).SerializedSize(),
+            Chunk::OfDatums(DatumVector(pairs), false).SerializedSize());
+  EXPECT_EQ(Chunk::OfDatums(DatumVector(pairs)).SerializedSize(),
+            4u + 8u + 8u);
+}
+
+// The invariant the shuffle routes by: hashes must not depend on the rep.
+TEST(ChunkTest, HashAtMatchesDatumHash) {
+  DatumVector ints = Ints({0, -5, 123456789});
+  Chunk c = Chunk::OfDatums(DatumVector(ints));
+  ASSERT_EQ(c.rep(), Chunk::Rep::kInt64);
+  for (size_t i = 0; i < ints.size(); ++i) {
+    EXPECT_EQ(c.HashAt(i), ints[i].Hash()) << i;
+  }
+
+  DatumVector pairs{Datum::Pair(Datum::Int64(2), Datum::Int64(7)),
+                    Datum::Pair(Datum::Int64(-1), Datum::Int64(0))};
+  Chunk p = Chunk::OfDatums(DatumVector(pairs));
+  ASSERT_EQ(p.rep(), Chunk::Rep::kInt64Pair);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(p.HashAt(i), pairs[i].Hash()) << i;
+    EXPECT_EQ(p.HashField0At(i), pairs[i].field(0).Hash()) << i;
+  }
+}
+
+TEST(ChunkTest, HashAtOnSliceIndexesTheView) {
+  Chunk c = Chunk::OfInt64({10, 20, 30});
+  Chunk s = c.Slice(1, 2);
+  EXPECT_EQ(s.HashAt(0), Datum::Int64(20).Hash());
+  EXPECT_EQ(s.HashAt(1), Datum::Int64(30).Hash());
+}
+
+TEST(ChunkTest, CopyIsAHandleNotAPayloadCopy) {
+  Chunk a = Chunk::OfInt64({1, 2, 3, 4});
+  Chunk b = a;
+  EXPECT_EQ(a.i64(), b.i64());  // shared storage
+}
+
+}  // namespace
+}  // namespace mitos

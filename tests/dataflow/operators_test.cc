@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/chunk.h"
+
 namespace mitos::dataflow {
 namespace {
 
@@ -11,17 +13,20 @@ DatumVector Ints(std::initializer_list<int64_t> values) {
   return out;
 }
 
-// Drives one output bag through a kernel and collects emissions.
+// Drives one output bag through a kernel and collects emissions. With
+// `columnar` false the kernel and every input chunk stay boxed, exercising
+// the generic paths the columnar fast paths must agree with.
 DatumVector RunBag(BagOperator& op,
                    const std::vector<std::pair<int, DatumVector>>& pushes,
-                   int num_inputs = 1) {
+                   int num_inputs = 1, bool columnar = true) {
+  op.set_columnar(columnar);
   DatumVector collected;
-  BagOperator::EmitFn emit = [&](DatumVector&& chunk) {
-    collected.insert(collected.end(), chunk.begin(), chunk.end());
+  BagOperator::EmitFn emit = [&](Chunk&& chunk) {
+    chunk.AppendTo(&collected);
   };
   op.Open();
-  for (const auto& [input, chunk] : pushes) {
-    op.Push(input, chunk, emit);
+  for (const auto& [input, data] : pushes) {
+    op.Push(input, Chunk::OfDatums(DatumVector(data), columnar), emit);
   }
   for (int i = 0; i < num_inputs; ++i) op.Close(i, emit);
   op.Finish(emit);
@@ -72,6 +77,34 @@ TEST(OperatorsTest, ReduceByKeyResetsBetweenBags) {
   EXPECT_EQ(out[0].field(1).int64(), 2);  // not 12: state was dropped
 }
 
+TEST(OperatorsTest, ReduceByKeyDegradesToGenericMidBag) {
+  // First chunk hits the typed accumulator; the second is a boxed mixed
+  // chunk, forcing a mid-bag degrade that must preserve the typed state.
+  ReduceByKeyOp op(lang::fns::SumInt64());
+  op.set_columnar(true);
+  DatumVector collected;
+  BagOperator::EmitFn emit = [&](Chunk&& chunk) {
+    chunk.AppendTo(&collected);
+  };
+  op.Open();
+  op.Push(0,
+          Chunk::OfDatums({Datum::Pair(Datum::Int64(1), Datum::Int64(10)),
+                           Datum::Pair(Datum::Int64(2), Datum::Int64(5))}),
+          emit);
+  op.Push(0,
+          Chunk::OfDatums({Datum::Pair(Datum::String("k"), Datum::Int64(3)),
+                           Datum::Pair(Datum::Int64(1), Datum::Int64(1))},
+                          /*columnarize=*/false),
+          emit);
+  op.Close(0, emit);
+  op.Finish(emit);
+  ASSERT_EQ(collected.size(), 3u);
+  EXPECT_EQ(collected[0], Datum::Pair(Datum::Int64(1), Datum::Int64(11)));
+  EXPECT_EQ(collected[1], Datum::Pair(Datum::Int64(2), Datum::Int64(5)));
+  EXPECT_EQ(collected[2],
+            Datum::Pair(Datum::String("k"), Datum::Int64(3)));
+}
+
 TEST(OperatorsTest, ReduceEmitsNothingOnEmptyInput) {
   ReduceOp op(lang::fns::SumInt64());
   EXPECT_TRUE(RunBag(op, {}).empty());
@@ -116,11 +149,12 @@ TEST(OperatorsTest, JoinReusesBuildStateWhenAsked) {
   // Bag 2: reuse the build side, probe key 1 — must still match.
   op.SetReuseInput(0, true);
   DatumVector collected;
-  BagOperator::EmitFn emit = [&](DatumVector&& chunk) {
-    collected.insert(collected.end(), chunk.begin(), chunk.end());
+  BagOperator::EmitFn emit = [&](Chunk&& chunk) {
+    chunk.AppendTo(&collected);
   };
   op.Open();
-  op.Push(1, {Datum::Pair(Datum::Int64(1), Datum::Int64(7))}, emit);
+  op.Push(1, Chunk::OfDatums({Datum::Pair(Datum::Int64(1), Datum::Int64(7))}),
+          emit);
   op.Finish(emit);
   ASSERT_EQ(collected.size(), 1u);
   EXPECT_EQ(collected[0].field(1).str(), "a");
@@ -132,11 +166,12 @@ TEST(OperatorsTest, JoinDropsBuildStateWithoutReuse) {
          /*num_inputs=*/2);
   op.SetReuseInput(0, false);
   DatumVector collected;
-  BagOperator::EmitFn emit = [&](DatumVector&& chunk) {
-    collected.insert(collected.end(), chunk.begin(), chunk.end());
+  BagOperator::EmitFn emit = [&](Chunk&& chunk) {
+    chunk.AppendTo(&collected);
   };
   op.Open();
-  op.Push(1, {Datum::Pair(Datum::Int64(1), Datum::Int64(7))}, emit);
+  op.Push(1, Chunk::OfDatums({Datum::Pair(Datum::Int64(1), Datum::Int64(7))}),
+          emit);
   op.Finish(emit);
   EXPECT_TRUE(collected.empty());
 }
@@ -199,6 +234,64 @@ TEST(OperatorsTest, MakeOperatorDispatch) {
   EXPECT_EQ(MakeOperator(node), nullptr);
   node.kind = NodeKind::kJoin;
   EXPECT_NE(MakeOperator(node), nullptr);
+}
+
+// Every vectorized fast path must agree element-for-element with the
+// generic (boxed) path it replaces.
+TEST(OperatorsTest, ColumnarMatchesBoxedAcrossKernels) {
+  DatumVector ints, doubles, pairs;
+  for (int64_t i = 0; i < 100; ++i) {
+    ints.push_back(Datum::Int64(i * 7 % 23));
+    doubles.push_back(Datum::Double(static_cast<double>(i) * 0.5));
+    pairs.push_back(Datum::Pair(Datum::Int64(i % 5), Datum::Int64(i)));
+  }
+  struct Case {
+    const char* name;
+    std::function<std::unique_ptr<BagOperator>()> make;
+    const DatumVector* input;
+  };
+  const std::vector<Case> cases = {
+      {"map.addInt64", [] { return std::make_unique<MapOp>(
+                                lang::fns::AddInt64(3)); }, &ints},
+      {"map.pairWithOne", [] { return std::make_unique<MapOp>(
+                                   lang::fns::PairWithOne()); }, &ints},
+      {"map.field0", [] { return std::make_unique<MapOp>(
+                              lang::fns::Field(0)); }, &pairs},
+      {"map.pairSwap", [] { return std::make_unique<MapOp>(
+                                lang::fns::PairSwap()); }, &pairs},
+      {"map.scaleDouble", [] { return std::make_unique<MapOp>(
+                                   lang::fns::ScaleDouble(1.5)); }, &doubles},
+      {"filter.gt", [] { return std::make_unique<FilterOp>(
+                             lang::fns::GtInt64(10)); }, &ints},
+      {"filter.fieldEquals", [] { return std::make_unique<FilterOp>(
+                                      lang::fns::FieldEquals(
+                                          0, Datum::Int64(2))); }, &pairs},
+      {"flatMap.dup", [] { return std::make_unique<FlatMapOp>(
+                               lang::fns::Dup()); }, &ints},
+      {"reduceByKey.sum", [] { return std::make_unique<ReduceByKeyOp>(
+                                   lang::fns::SumInt64()); }, &pairs},
+      {"reduceByKey.min", [] { return std::make_unique<ReduceByKeyOp>(
+                                   lang::fns::MinInt64()); }, &pairs},
+      {"reduce.sum", [] { return std::make_unique<ReduceOp>(
+                              lang::fns::SumInt64()); }, &ints},
+      {"reduce.max", [] { return std::make_unique<ReduceOp>(
+                              lang::fns::MaxInt64()); }, &ints},
+      {"distinct", [] { return std::make_unique<DistinctOp>(); }, &ints},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    // Split the input in two chunks to exercise cross-chunk state.
+    DatumVector first(c.input->begin(), c.input->begin() + 40);
+    DatumVector rest(c.input->begin() + 40, c.input->end());
+    auto fast_op = c.make();
+    DatumVector fast = RunBag(*fast_op, {{0, first}, {0, rest}},
+                              /*num_inputs=*/1, /*columnar=*/true);
+    auto boxed_op = c.make();
+    DatumVector boxed = RunBag(*boxed_op, {{0, first}, {0, rest}},
+                               /*num_inputs=*/1, /*columnar=*/false);
+    EXPECT_EQ(fast, boxed);
+    EXPECT_FALSE(fast.empty());
+  }
 }
 
 }  // namespace

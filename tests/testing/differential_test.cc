@@ -98,7 +98,7 @@ TEST(DifferentialTest, FilterMatrixSelectsBySubstring) {
   auto all = DefaultMatrix();
   EXPECT_EQ(FilterMatrix(all, "").size(), all.size());
   auto mitos_only = FilterMatrix(all, "mitos-des");
-  ASSERT_EQ(mitos_only.size(), 3u);
+  ASSERT_EQ(mitos_only.size(), 4u);  // t@3, not@3, t@1, boxed@3
   for (const auto& v : mitos_only) {
     EXPECT_NE(v.label.find("mitos-des"), std::string::npos);
   }

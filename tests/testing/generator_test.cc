@@ -150,9 +150,9 @@ TEST(GeneratorTest, GoldenSourceHashes) {
     uint64_t hash;
   };
   const Golden kGoldens[] = {
-      {1, 0xbdae7c1976e47d75ULL},
-      {2, 0xac8dc4fe0581d815ULL},
-      {3, 0xac6212d73340e444ULL},
+      {1, 0x45e1064e9bdebaa4ULL},
+      {2, 0xab42f7361dd34f1cULL},
+      {3, 0xc903c2fc4a1354f3ULL},
   };
   GeneratorOptions options;
   for (const Golden& golden : kGoldens) {

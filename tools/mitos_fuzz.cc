@@ -21,8 +21,8 @@
 //   --budget=N          statement budget per program (default 14)
 //   --engines=a,b       label-substring filter over the matrix (labels:
 //                       mitos-des-t@3 mitos-des-not@3 mitos-des-t@1
-//                       mitos-threads@3 mitos-fusion@3 mitos-nopipe@3
-//                       flink@3 spark@3)
+//                       mitos-des-boxed@3 mitos-threads@3 mitos-fusion@3
+//                       mitos-nopipe@3 flink@3 spark@3)
 //   --faults-per-program=N  fault plans replayed per program (default 2)
 //   --shrink / --no-shrink  minimize findings (default on)
 //   --max-evals=N       shrink evaluation budget (default 300)

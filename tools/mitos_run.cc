@@ -63,6 +63,10 @@
 //                       engines; default on): validated replay of per-step
 //                       bag-id/input-choice/routing decisions across
 //                       structurally identical loop iterations
+//   --columnar=on|off   columnar chunk plane (Mitos engines; default on):
+//                       off boxes every chunk as a DatumVector end to end
+//                       (the pre-batching data plane; ablation baseline).
+//                       Outputs are element-identical either way
 //   --faults=SPEC       deterministic fault injection (Mitos engines only):
 //                       "crash=M@T[+R]; drop=P[@SEED]; slow=MxF; ckpt=K"
 //                       e.g. --faults="crash=1@2.5+0.5" crashes machine 1 at
@@ -174,6 +178,7 @@ int main(int argc, char** argv) {
   std::string watchdog_flag = "auto";  // on with --event-log by default
   bool have_faults = false;
   bool step_templates = true;
+  bool columnar = true;
   sim::SimFileSystem fs;
   std::vector<std::string> input_files;
 
@@ -276,6 +281,12 @@ int main(int argc, char** argv) {
         return Fail("--step-templates expects on or off, got " + value);
       }
       step_templates = value == "on";
+    } else if (arg.rfind("--columnar=", 0) == 0) {
+      const std::string value = value_of("--columnar=");
+      if (value != "on" && value != "off") {
+        return Fail("--columnar expects on or off, got " + value);
+      }
+      columnar = value == "on";
     } else if (arg.rfind("--faults=", 0) == 0) {
       faults_spec = value_of("--faults=");
       have_faults = true;
@@ -352,6 +363,7 @@ int main(int argc, char** argv) {
   config.backend = backend_name == "threads" ? api::BackendKind::kThreads
                                              : api::BackendKind::kDes;
   config.step_templates = step_templates;
+  config.columnar = columnar;
   // The analyzer consumes the same recorder the trace export does; both are
   // purely observational, so enabling them never changes virtual time.
   if (!trace_out.empty() || want_report) config.trace = &trace;
@@ -502,6 +514,7 @@ int main(int argc, char** argv) {
       api::RunConfig side_config{.machines = machines};
       side_config.backend = side_backend;
       side_config.step_templates = step_templates;
+      side_config.columnar = columnar;
       side_config.trace = side_trace;
       side_config.metrics = side_metrics;
       return api::Run(engine, *program, &side_fs, side_config);
@@ -543,6 +556,7 @@ int main(int argc, char** argv) {
     sim::SimFileSystem check_fs = pristine_fs;
     api::RunConfig check_config{.machines = machines};
     check_config.step_templates = step_templates;
+    check_config.columnar = columnar;
     auto check_run = api::Run(check_engine, *program, &check_fs, check_config);
     if (!check_run.ok()) {
       return Fail("--check-against run error: " +
